@@ -1,0 +1,80 @@
+"""E4 — Sections 3/4: the COSY cost analysis itself.
+
+The paper's COSY identifies regions with high parallelization overhead from
+the region's speedup, explains the overhead through the performance
+properties, and ranks the properties by severity (total cost, measured /
+unmeasured cost, synchronisation, communication, I/O, load imbalance).
+
+This benchmark regenerates that analysis for the mixed synthetic application:
+the per-run cost series (duration, speedup, SublinearSpeedup severity) and the
+severity ranking of the largest run, and checks the qualitative shape — the
+total cost grows with the processor count, and the injected bottlenecks are
+found with the expected ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import speedup_series
+from repro.cosy import ClientSideStrategy
+
+
+class TestE4CostAnalysis:
+    def test_full_analysis_of_the_largest_run(self, benchmark, small_scenario):
+        """One complete property evaluation + ranking (client-side strategy)."""
+
+        def analyze():
+            return small_scenario.analyzer.analyze(
+                strategy=ClientSideStrategy(small_scenario.specification)
+            )
+
+        result = benchmark(analyze)
+        bottleneck = result.bottleneck()
+        assert bottleneck is not None
+        # The whole-program total cost is the main property (paper, Section 3).
+        assert bottleneck.property_name == "SublinearSpeedup"
+        assert bottleneck.subject == "app_main"
+        benchmark.extra_info["bottleneck_severity"] = bottleneck.severity
+        benchmark.extra_info["problems"] = len(result.problems())
+
+    def test_cost_series_over_the_test_runs(self, benchmark, small_scenario):
+        """The per-run table: summed duration, speedup and total-cost severity."""
+
+        def series():
+            return speedup_series(small_scenario)
+
+        rows = benchmark(series)
+        for row in rows:
+            benchmark.extra_info[f"severity_at_{int(row['pes'])}_pes"] = row["severity"]
+        severities = [row["severity"] for row in rows]
+        durations = [row["duration"] for row in rows]
+        # Shape: the lost cycles (and their severity) grow monotonically with
+        # the processor count; the reference run has none.
+        assert severities[0] == pytest.approx(0.0)
+        assert severities == sorted(severities)
+        assert durations == sorted(durations)
+        # Speedup stays above 1 but clearly below the ideal P.
+        assert all(1.0 <= row["speedup"] <= row["pes"] for row in rows[1:])
+
+    def test_severity_ranking_orders_the_injected_bottlenecks(
+        self, benchmark, small_scenario
+    ):
+        """The ranked breakdown: sync cost of the imbalanced region dominates
+        communication, which dominates the (small) serialized I/O phase."""
+
+        def analyze():
+            return small_scenario.analyzer.analyze()
+
+        result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+        sync = result.severity_of("SyncCost", "assemble_matrix")
+        comm = result.severity_of("CommunicationCost", "field_exchange")
+        io = result.severity_of("IOCost", "write_results")
+        benchmark.extra_info["sync_severity"] = sync
+        benchmark.extra_info["comm_severity"] = comm
+        benchmark.extra_info["io_severity"] = io
+        assert sync > comm > io > 0
+        # MeasuredCost + UnmeasuredCost ≈ total cost on the basis region.
+        measured = result.severity_of("MeasuredCost", "app_main")
+        unmeasured = result.severity_of("UnmeasuredCost", "app_main")
+        total = result.total_cost_severity()
+        assert measured + unmeasured == pytest.approx(total, rel=0.01)

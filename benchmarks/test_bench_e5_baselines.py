@@ -1,0 +1,108 @@
+"""E5 — Section 2: specification-based analysis vs. the related-work baselines.
+
+The paper positions ASL/COSY against Paradyn (fixed bottleneck set), OPAL
+(rule base in the tool), EDL (compound event patterns) and EARL (procedural
+trace scripts).  The benchmark runs all five analyses on the same simulated
+application with a known injected bottleneck (severe load imbalance) and
+checks that (a) every approach locates the bottleneck region and (b) reports
+the analysis cost of each approach for comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apprentice import ExecutionSimulator, SimulationConfig, synthetic_workload
+from repro.asl.specs import cosy_specification
+from repro.baselines import (
+    EarlAnalyzer,
+    EdlAnalyzer,
+    ParadynSearch,
+    RuleEngine,
+    default_rule_base,
+)
+from repro.cosy import CosyAnalyzer
+from repro.traces import generate_trace
+
+PES = 16
+BOTTLENECK_REGION = "particle_push"
+
+
+@pytest.fixture(scope="module")
+def setting():
+    workload = synthetic_workload("imbalanced", imbalance=0.8)
+    repository = ExecutionSimulator(
+        workload, SimulationConfig(pe_counts=(1, PES))
+    ).run()
+    version = repository.programs[0].latest_version()
+    return {
+        "workload": workload,
+        "repository": repository,
+        "version": version,
+        "run": version.run_with_pes(PES),
+        "trace": generate_trace(workload, PES),
+        "spec": cosy_specification(),
+    }
+
+
+class TestE5BaselineComparison:
+    def test_cosy_specification_based_analysis(self, benchmark, setting):
+        analyzer = CosyAnalyzer(setting["repository"], specification=setting["spec"])
+
+        def run():
+            return analyzer.analyze(pes=PES)
+
+        result = benchmark(run)
+        assert result.severity_of("SyncCost", BOTTLENECK_REGION) > 0.05
+        assert any(
+            BOTTLENECK_REGION in i.subject for i in result.by_property("LoadImbalance")
+        )
+        benchmark.extra_info["instances"] = len(result.instances)
+
+    def test_paradyn_like_fixed_search(self, benchmark, setting):
+        search = ParadynSearch(setting["repository"])
+
+        def run():
+            return search.search(setting["version"], setting["run"])
+
+        findings = benchmark(run)
+        assert any(
+            f.problem == "ExcessiveSyncWaitingTime" and f.location == BOTTLENECK_REGION
+            for f in findings
+        )
+        benchmark.extra_info["findings"] = len(findings)
+
+    def test_opal_like_rule_engine(self, benchmark, setting):
+        def run():
+            engine = RuleEngine(setting["repository"], default_rule_base())
+            return engine.analyze(setting["version"], setting["run"])
+
+        findings = benchmark(run)
+        assert any(
+            f.problem == "LoadImbalance" and BOTTLENECK_REGION in f.location
+            for f in findings
+        )
+        benchmark.extra_info["findings"] = len(findings)
+
+    def test_edl_like_event_patterns(self, benchmark, setting):
+        analyzer = EdlAnalyzer()
+
+        def run():
+            return analyzer.analyze(setting["trace"])
+
+        findings = benchmark(run)
+        assert any(
+            f.problem == "BarrierWait" and f.location == BOTTLENECK_REGION
+            for f in findings
+        )
+        benchmark.extra_info["findings"] = len(findings)
+
+    def test_earl_like_trace_scripts(self, benchmark, setting):
+        def run():
+            return EarlAnalyzer().analyze(setting["trace"])
+
+        findings = benchmark(run)
+        assert any(
+            f.problem == "BarrierWait" and f.location == BOTTLENECK_REGION
+            for f in findings
+        )
+        benchmark.extra_info["findings"] = len(findings)

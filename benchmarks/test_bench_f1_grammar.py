@@ -1,0 +1,69 @@
+"""F1 — Figure 1: the ASL property grammar.
+
+The paper's only figure is the grammar of the property specification language.
+This benchmark regenerates the corresponding artifact of this reproduction:
+parsing and checking complete ASL specification documents — the bundled COSY
+documents exactly as printed in the paper, and synthetically grown documents
+with many properties (the cost of re-targeting the tool to a large
+specification)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asl import check_asl, parse_asl, unparse
+from repro.asl.specs import COSY_DATA_MODEL, COSY_PROPERTIES
+
+
+def synthetic_property(index: int) -> str:
+    """One generated property exercising every production of Figure 1."""
+    return f"""
+    Property Generated{index:04d}(Region r, TestRun t, Region Basis) {{
+        LET float Cost{index} = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+                AND tt.Type == Barrier);
+            float Reference = Duration(Basis, t)
+        IN
+        CONDITION: (low) Cost{index} > 0 OR (high) Cost{index} > 0.5 * Reference;
+        CONFIDENCE: MAX((low) -> 0.5, (high) -> 0.9);
+        SEVERITY: MAX((low) -> Cost{index} / Reference, (high) -> 1);
+    }}
+    """
+
+
+def grown_document(properties: int) -> str:
+    return COSY_PROPERTIES + "\n".join(
+        synthetic_property(index) for index in range(properties)
+    )
+
+
+class TestF1Grammar:
+    def test_parse_and_check_the_paper_specification(self, benchmark):
+        """Parse + type-check the COSY data model and property documents."""
+
+        def parse_and_check():
+            model = parse_asl(COSY_DATA_MODEL)
+            properties = parse_asl(COSY_PROPERTIES)
+            return check_asl(model.merge(properties))
+
+        checked = benchmark(parse_and_check)
+        assert len(checked.index.properties) >= 8
+        assert len(checked.index.classes) == 9
+
+    @pytest.mark.parametrize("properties", [25, 100])
+    def test_parse_grown_specification_documents(self, benchmark, properties):
+        """Parsing scales to specification documents with many properties."""
+        source = grown_document(properties)
+        program = benchmark(parse_asl, source)
+        assert len(program.properties) == properties + 8
+
+    def test_round_trip_through_the_pretty_printer(self, benchmark):
+        """unparse(parse(document)) is stable — the grammar is self-consistent."""
+        source = COSY_DATA_MODEL + "\n" + COSY_PROPERTIES
+
+        def round_trip():
+            once = unparse(parse_asl(source))
+            twice = unparse(parse_asl(once))
+            return once, twice
+
+        once, twice = benchmark(round_trip)
+        assert once == twice

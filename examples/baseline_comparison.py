@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare COSY's specification-based analysis with the related-work baselines.
+
+Section 2 of the paper positions ASL/COSY against Paradyn (fixed bottleneck
+set), OPAL (rule base built into the tool), EDL (event patterns) and EARL
+(procedural trace scripts).  This example runs all five analyses on the same
+simulated application with a known, injected bottleneck (severe load imbalance
+in the ``particle_push`` loop) and prints what each approach reports.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from repro.apprentice import ExecutionSimulator, SimulationConfig, synthetic_workload
+from repro.asl.specs import cosy_specification
+from repro.baselines import (
+    EarlAnalyzer,
+    EdlAnalyzer,
+    ParadynSearch,
+    RuleEngine,
+    default_rule_base,
+)
+from repro.cosy import CosyAnalyzer
+from repro.cosy.report import format_table
+from repro.traces import generate_trace
+
+
+def main() -> None:
+    workload = synthetic_workload("imbalanced", imbalance=0.8)
+    pes = 16
+    repository = ExecutionSimulator(
+        workload, SimulationConfig(pe_counts=(1, pes))
+    ).run()
+    version = repository.programs[0].latest_version()
+    run = version.run_with_pes(pes)
+    trace = generate_trace(workload, pes)
+
+    rows = []
+
+    # COSY: specification-based, severity-ranked properties.
+    cosy_result = CosyAnalyzer(repository, specification=cosy_specification()).analyze(
+        pes=pes
+    )
+    for instance in cosy_result.ranked()[:3]:
+        rows.append(
+            ("COSY (ASL)", instance.property_name, instance.subject,
+             f"{instance.severity:.3f}")
+        )
+
+    # Paradyn-like fixed search.
+    for finding in ParadynSearch(repository).search(version, run)[:3]:
+        rows.append(("Paradyn-like", finding.problem, finding.location,
+                     f"{finding.severity:.3f}"))
+
+    # OPAL-like rule base.
+    for finding in RuleEngine(repository, default_rule_base()).analyze(version, run)[:3]:
+        rows.append(("OPAL-like", finding.problem, finding.location,
+                     f"{finding.severity:.3f}"))
+
+    # EDL-like compound events over the trace.
+    for finding in EdlAnalyzer().analyze(trace)[:3]:
+        rows.append(("EDL-like", finding.problem, finding.location,
+                     f"{finding.severity:.3f}"))
+
+    # EARL-like procedural trace scripts.
+    for finding in EarlAnalyzer().analyze(trace)[:3]:
+        rows.append(("EARL-like", finding.problem, finding.location,
+                     f"{finding.severity:.3f}"))
+
+    print(
+        "Injected ground truth: persistent load imbalance in 'particle_push' "
+        f"(imbalance 0.8, {pes} PEs)\n"
+    )
+    print(format_table(["approach", "reported problem", "location", "severity"], rows))
+    print(
+        "\nAll approaches point at the barrier / load-imbalance problem; the\n"
+        "difference is where the knowledge lives: in an exchangeable ASL\n"
+        "specification document (COSY) versus fixed hypothesis sets, tool-coded\n"
+        "rules or hand-written trace scripts."
+    )
+
+
+if __name__ == "__main__":
+    main()

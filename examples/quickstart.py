@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a parallel application and let COSY find its bottleneck.
+
+The script follows the paper's workflow end to end:
+
+1. a synthetic message-passing application (the ``mixed`` workload) is
+   "executed" on 1..32 processors by the simulated Apprentice environment;
+2. the resulting performance data populate the COSY data model;
+3. the ASL performance properties are evaluated for the 32-processor run and
+   ranked by severity;
+4. the ranked report and the per-run cost table are printed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.apprentice import ExecutionSimulator, SimulationConfig, synthetic_workload
+from repro.asl.specs import cosy_specification
+from repro.cosy import CosyAnalyzer, render_report, render_speedup_table
+
+
+def main() -> None:
+    # 1. Simulate the application (the substitute for Cray T3E + Apprentice).
+    workload = synthetic_workload("mixed")
+    simulator = ExecutionSimulator(
+        workload, SimulationConfig(pe_counts=(1, 2, 4, 8, 16, 32))
+    )
+    repository = simulator.run()
+
+    # 2./3. Evaluate and rank the ASL performance properties.
+    specification = cosy_specification()
+    analyzer = CosyAnalyzer(repository, specification=specification, threshold=0.05)
+    result = analyzer.analyze()  # largest run, whole program as ranking basis
+
+    # 4. Report.
+    print(render_report(result, top=15))
+    print()
+    print("Cost development over the test runs (basis region):")
+    version = repository.programs[0].latest_version()
+    basis = version.main_region
+    rows = []
+    for run in sorted(version.Runs, key=lambda r: r.NoPe):
+        duration = basis.duration(run)
+        rows.append(
+            (
+                run.NoPe,
+                f"{duration:.2f}",
+                f"{repository.speedup(basis, run):.2f}",
+                f"{repository.total_cost(basis, run) / duration:.3f}",
+            )
+        )
+    print(render_speedup_table(rows))
+
+    bottleneck = result.bottleneck()
+    print()
+    print(
+        f"=> The bottleneck is {bottleneck.property_name} on {bottleneck.subject} "
+        f"(severity {bottleneck.severity:.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — reproduction of *Specification Techniques for Automatic Performance
+Analysis Tools* (M. Gerndt, H.-G. Eßer, CPC/IPPS 2000).
+
+The package provides a complete, self-contained implementation of the systems
+described in the paper:
+
+``repro.asl``
+    The APART Specification Language (ASL): lexer, parser, type checker,
+    reference evaluator and the bundled COSY specifications.
+
+``repro.datamodel``
+    The COSY performance data model (Program, ProgVersion, TestRun, Function,
+    Region, TotalTiming, TypedTiming, FunctionCall, CallTiming) as a runtime
+    object repository.
+
+``repro.apprentice``
+    A simulated Cray T3E / MPP Apprentice measurement environment: a parallel
+    execution simulator that produces Apprentice-style region summary data for
+    synthetic message-passing workloads.
+
+``repro.relalg``
+    A from-scratch in-memory relational database engine with a SQL subset plus
+    simulated backend latency profiles (Oracle-, MS Access-, MS SQL Server- and
+    Postgres-like) used by the Section 5 experiments.
+
+``repro.compiler``
+    Automatic translation of ASL data models to relational schemas and of ASL
+    performance properties to SQL queries (the paper's stated future work).
+
+``repro.cosy``
+    The KOJAK Cost Analyzer: property evaluation strategies (client-side and
+    SQL pushdown), severity ranking, bottleneck identification and reporting.
+
+``repro.traces`` / ``repro.baselines``
+    Event-trace substrate and the related-work baseline analyzers (Paradyn-,
+    OPAL-, EDL- and EARL-like) used for comparison experiments.
+"""
+
+from repro.datamodel import (
+    CallTiming,
+    Function,
+    FunctionCall,
+    PerformanceDatabase,
+    Program,
+    ProgVersion,
+    Region,
+    RegionKind,
+    TestRun,
+    TimingType,
+    TotalTiming,
+    TypedTiming,
+)
+from repro.asl import (
+    AslError,
+    AslEvaluator,
+    AslParseError,
+    AslProgram,
+    AslTypeError,
+    parse_asl,
+    check_asl,
+)
+from repro.apprentice import (
+    ApprenticeExport,
+    ExecutionSimulator,
+    SimulationConfig,
+    WorkloadSpec,
+    synthetic_workload,
+)
+from repro.cosy import CosyAnalyzer, AnalysisResult, PropertyInstance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "ApprenticeExport",
+    "AslError",
+    "AslEvaluator",
+    "AslParseError",
+    "AslProgram",
+    "AslTypeError",
+    "CallTiming",
+    "CosyAnalyzer",
+    "ExecutionSimulator",
+    "Function",
+    "FunctionCall",
+    "PerformanceDatabase",
+    "Program",
+    "ProgVersion",
+    "PropertyInstance",
+    "Region",
+    "RegionKind",
+    "SimulationConfig",
+    "TestRun",
+    "TimingType",
+    "TotalTiming",
+    "TypedTiming",
+    "WorkloadSpec",
+    "check_asl",
+    "parse_asl",
+    "synthetic_workload",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Simulated Cray MPP Apprentice measurement environment (data supply tool).
+
+This package replaces the paper's Cray T3E + Apprentice setup with a
+deterministic parallel-execution simulator:
+
+* :mod:`repro.apprentice.program_model` — synthetic application descriptions;
+* :mod:`repro.apprentice.workload` — predefined workloads with injected,
+  well-defined bottlenecks (load imbalance, all-to-all communication,
+  serialized I/O …);
+* :mod:`repro.apprentice.simulator` — turns a workload plus processor counts
+  into Apprentice-style summary data inside a
+  :class:`~repro.datamodel.PerformanceDatabase`;
+* :mod:`repro.apprentice.export` — the summary-file format (exporter/parser)
+  that models the file Apprentice writes before it is transferred into the
+  relational database.
+"""
+
+from repro.apprentice.export import (
+    ApprenticeExport,
+    ApprenticeFormatError,
+    ApprenticeParser,
+)
+from repro.apprentice.program_model import (
+    CallSpec,
+    CommPattern,
+    FunctionSpec,
+    RegionSpec,
+    WorkloadError,
+    WorkloadSpec,
+)
+from repro.apprentice.rng import imbalanced_shares, rng_for, stable_seed
+from repro.apprentice.simulator import (
+    ExecutionSimulator,
+    RegionMeasurement,
+    SimulationConfig,
+    simulate,
+)
+from repro.apprentice.workload import (
+    WORKLOAD_FACTORIES,
+    comm_bound_workload,
+    imbalanced_workload,
+    io_bound_workload,
+    mixed_workload,
+    scalable_workload,
+    stencil_workload,
+    synthetic_workload,
+)
+
+__all__ = [
+    "ApprenticeExport",
+    "ApprenticeFormatError",
+    "ApprenticeParser",
+    "CallSpec",
+    "CommPattern",
+    "ExecutionSimulator",
+    "FunctionSpec",
+    "RegionMeasurement",
+    "RegionSpec",
+    "SimulationConfig",
+    "WORKLOAD_FACTORIES",
+    "WorkloadError",
+    "WorkloadSpec",
+    "comm_bound_workload",
+    "imbalanced_shares",
+    "imbalanced_workload",
+    "io_bound_workload",
+    "mixed_workload",
+    "rng_for",
+    "scalable_workload",
+    "simulate",
+    "stable_seed",
+    "stencil_workload",
+    "synthetic_workload",
+]

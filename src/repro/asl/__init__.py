@@ -1,0 +1,132 @@
+"""The APART Specification Language (ASL) implementation.
+
+This package is the core contribution of the reproduced paper: a specification
+language for automatic performance analysis tools with
+
+* an object-oriented **performance data model** section (classes with typed
+  attributes, ``setof`` collections, enumerations, single inheritance),
+* global **specification functions** (e.g. ``Summary`` and ``Duration``),
+* **performance property** declarations with conditions, confidence and
+  severity expressions (the grammar of Figure 1).
+
+Pipeline::
+
+    source text ──tokenize──▶ tokens ──parse_asl──▶ AslProgram (AST)
+        ──check_asl──▶ CheckedSpecification ──AslEvaluator──▶ property values
+                                            └─repro.compiler─▶ SQL queries
+
+The bundled COSY specification documents live in :mod:`repro.asl.specs`.
+"""
+
+from repro.asl.ast_nodes import (
+    AggregateExpr,
+    AslProgram,
+    AttributeAccess,
+    AttributeDecl,
+    BinaryExpr,
+    BinaryOp,
+    BoolLiteral,
+    ClassDecl,
+    ConditionClause,
+    ConstantDecl,
+    EnumDecl,
+    Expr,
+    FloatLiteral,
+    FunctionCall,
+    FunctionDecl,
+    GuardedExpr,
+    Identifier,
+    IntLiteral,
+    LetDef,
+    Param,
+    PropertyDecl,
+    SetComprehension,
+    StringLiteral,
+    TypeRef,
+    UnaryExpr,
+    UnaryOp,
+    ValueSpec,
+    walk,
+)
+from repro.asl.errors import (
+    AslError,
+    AslEvaluationError,
+    AslLexError,
+    AslNameError,
+    AslParseError,
+    AslTypeError,
+    SourceLocation,
+)
+from repro.asl.evaluator import AslEvaluator, PropertyEvaluation, default_enum_binding
+from repro.asl.lexer import Lexer, tokenize
+from repro.asl.parser import Parser, parse_asl, parse_expression
+from repro.asl.pretty import unparse, unparse_declaration, unparse_expr
+from repro.asl.semantic import CheckedSpecification, SemanticChecker, check_asl
+from repro.asl.specs import (
+    COSY_DATA_MODEL,
+    COSY_PROPERTIES,
+    COSY_PROPERTY_NAMES,
+    cosy_specification,
+)
+from repro.asl.symbols import ClassInfo, Scope, SpecificationIndex
+from repro.asl import types
+
+__all__ = [
+    "AggregateExpr",
+    "AslError",
+    "AslEvaluationError",
+    "AslEvaluator",
+    "AslLexError",
+    "AslNameError",
+    "AslParseError",
+    "AslProgram",
+    "AslTypeError",
+    "AttributeAccess",
+    "AttributeDecl",
+    "BinaryExpr",
+    "BinaryOp",
+    "BoolLiteral",
+    "COSY_DATA_MODEL",
+    "COSY_PROPERTIES",
+    "COSY_PROPERTY_NAMES",
+    "CheckedSpecification",
+    "ClassDecl",
+    "ClassInfo",
+    "ConditionClause",
+    "ConstantDecl",
+    "EnumDecl",
+    "Expr",
+    "FloatLiteral",
+    "FunctionCall",
+    "FunctionDecl",
+    "GuardedExpr",
+    "Identifier",
+    "IntLiteral",
+    "LetDef",
+    "Lexer",
+    "Param",
+    "Parser",
+    "PropertyDecl",
+    "PropertyEvaluation",
+    "Scope",
+    "SemanticChecker",
+    "SetComprehension",
+    "SourceLocation",
+    "SpecificationIndex",
+    "StringLiteral",
+    "TypeRef",
+    "UnaryExpr",
+    "UnaryOp",
+    "ValueSpec",
+    "check_asl",
+    "cosy_specification",
+    "default_enum_binding",
+    "parse_asl",
+    "parse_expression",
+    "tokenize",
+    "types",
+    "unparse",
+    "unparse_declaration",
+    "unparse_expr",
+    "walk",
+]

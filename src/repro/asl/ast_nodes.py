@@ -1,0 +1,461 @@
+"""Abstract syntax tree of the APART Specification Language.
+
+The node classes follow the structure of the paper:
+
+* the **data model section** consists of class declarations (attributes only,
+  single inheritance), enumeration declarations and global helper function
+  definitions such as ``Summary`` and ``Duration`` (Section 4.1 / 4.2);
+* the **property section** consists of property declarations following the
+  grammar of Figure 1: parameter list, optional ``LET … IN`` definitions, a
+  list of (optionally named) conditions, and confidence / severity
+  specifications that are either a single expression or the ``MAX`` of a list
+  of condition-guarded expressions.
+
+Every node carries a :class:`~repro.asl.errors.SourceLocation` so the semantic
+checker and the SQL compiler can produce precise diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.asl.errors import SourceLocation
+
+__all__ = [
+    # types
+    "TypeRef",
+    # expressions
+    "Expr",
+    "IntLiteral",
+    "FloatLiteral",
+    "StringLiteral",
+    "BoolLiteral",
+    "Identifier",
+    "AttributeAccess",
+    "FunctionCall",
+    "UnaryOp",
+    "UnaryExpr",
+    "BinaryOp",
+    "BinaryExpr",
+    "SetComprehension",
+    "AggregateExpr",
+    # declarations
+    "AttributeDecl",
+    "ClassDecl",
+    "EnumDecl",
+    "ConstantDecl",
+    "Param",
+    "FunctionDecl",
+    "LetDef",
+    "ConditionClause",
+    "GuardedExpr",
+    "ValueSpec",
+    "PropertyDecl",
+    "AslProgram",
+    "Declaration",
+    "walk",
+]
+
+
+# --------------------------------------------------------------------------- #
+# type references
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A syntactic reference to a type, e.g. ``float`` or ``setof Region``."""
+
+    name: str
+    is_set: bool = False
+    location: SourceLocation = field(default_factory=SourceLocation.unknown, compare=False)
+
+    def __str__(self) -> str:
+        return f"setof {self.name}" if self.is_set else self.name
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Expr:
+    """Base class of every ASL expression node."""
+
+    location: SourceLocation = field(
+        default_factory=SourceLocation.unknown, compare=False
+    )
+
+    def children(self) -> Sequence["Expr"]:
+        """Direct sub-expressions (used by generic tree walks)."""
+        return ()
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    """A reference to a parameter, LET definition, constant or enum member."""
+
+    name: str = ""
+
+
+@dataclass
+class AttributeAccess(Expr):
+    """``object.Attribute`` — navigation along the data model."""
+
+    obj: Expr = field(default_factory=Expr)
+    attribute: str = ""
+
+    def children(self) -> Sequence[Expr]:
+        return (self.obj,)
+
+
+@dataclass
+class FunctionCall(Expr):
+    """A call of a user-defined specification function, e.g. ``Duration(r, t)``."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+
+class UnaryOp(enum.Enum):
+    NEG = "-"
+    NOT = "NOT"
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: UnaryOp = UnaryOp.NEG
+    operand: Expr = field(default_factory=Expr)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+
+class BinaryOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "AND"
+    OR = "OR"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (
+            BinaryOp.EQ,
+            BinaryOp.NE,
+            BinaryOp.LT,
+            BinaryOp.LE,
+            BinaryOp.GT,
+            BinaryOp.GE,
+        )
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinaryOp.AND, BinaryOp.OR)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (
+            BinaryOp.ADD,
+            BinaryOp.SUB,
+            BinaryOp.MUL,
+            BinaryOp.DIV,
+            BinaryOp.MOD,
+        )
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: BinaryOp = BinaryOp.ADD
+    left: Expr = field(default_factory=Expr)
+    right: Expr = field(default_factory=Expr)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+
+@dataclass
+class SetComprehension(Expr):
+    """``{ var IN source WITH predicate }`` — selection from a set."""
+
+    var: str = ""
+    source: Expr = field(default_factory=Expr)
+    predicate: Optional[Expr] = None
+
+    def children(self) -> Sequence[Expr]:
+        if self.predicate is None:
+            return (self.source,)
+        return (self.source, self.predicate)
+
+
+@dataclass
+class AggregateExpr(Expr):
+    """An aggregate over a set.
+
+    Two syntactic forms are supported, both used in the paper's examples:
+
+    * ``UNIQUE(set-expr)`` — the single element of a singleton set
+      (``func="UNIQUE"``, ``var`` empty, ``value`` is the set expression);
+    * ``SUM(value WHERE var IN source AND pred …)`` /
+      ``MIN(...)`` / ``MAX(...)`` / ``AVG(...)`` / ``COUNT(...)`` —
+      an aggregate of ``value`` over the elements of ``source`` bound to
+      ``var`` that satisfy the optional predicate.
+    """
+
+    func: str = "SUM"
+    value: Expr = field(default_factory=Expr)
+    var: str = ""
+    source: Optional[Expr] = None
+    predicate: Optional[Expr] = None
+
+    @property
+    def is_unique(self) -> bool:
+        return self.func == "UNIQUE"
+
+    def children(self) -> Sequence[Expr]:
+        result: List[Expr] = [self.value]
+        if self.source is not None:
+            result.append(self.source)
+        if self.predicate is not None:
+            result.append(self.predicate)
+        return tuple(result)
+
+
+# --------------------------------------------------------------------------- #
+# declarations
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class AttributeDecl:
+    """One attribute of a data-model class, e.g. ``setof TestRun Runs;``."""
+
+    type: TypeRef
+    name: str
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class ClassDecl:
+    """A data-model class (attributes only, optional single inheritance)."""
+
+    name: str
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    base: Optional[str] = None
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+    def attribute(self, name: str) -> Optional[AttributeDecl]:
+        """Return the attribute declared *directly* on this class, if any."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+
+@dataclass
+class EnumDecl:
+    """An enumeration type, e.g. the Apprentice ``TimingType``."""
+
+    name: str
+    members: List[str] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class ConstantDecl:
+    """A named constant usable in property expressions.
+
+    The paper's ``LoadImbalance`` property refers to an ``ImbalanceThreshold``
+    without defining it; constants make such thresholds part of the
+    specification document while still being overridable by the tool.
+    """
+
+    type: TypeRef
+    name: str
+    value: Expr
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class Param:
+    """A formal parameter of a function or property."""
+
+    type: TypeRef
+    name: str
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class FunctionDecl:
+    """A specification function, e.g. ``float Duration(Region r, TestRun t) = …;``."""
+
+    return_type: TypeRef
+    name: str
+    params: List[Param]
+    body: Expr
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class LetDef:
+    """One definition inside a property's ``LET … IN`` block."""
+
+    type: TypeRef
+    name: str
+    value: Expr
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class ConditionClause:
+    """One condition of a property, optionally labelled with a condition id."""
+
+    expr: Expr
+    cond_id: Optional[str] = None
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class GuardedExpr:
+    """A confidence/severity value, optionally guarded by a condition id."""
+
+    expr: Expr
+    guard: Optional[str] = None
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class ValueSpec:
+    """A confidence or severity specification.
+
+    ``is_max`` is true when the specification uses the ``MAX( … )`` form of
+    Figure 1; otherwise ``entries`` holds exactly one (possibly guarded)
+    expression.
+    """
+
+    entries: List[GuardedExpr] = field(default_factory=list)
+    is_max: bool = False
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+
+@dataclass
+class PropertyDecl:
+    """A complete ASL performance property (Figure 1)."""
+
+    name: str
+    params: List[Param] = field(default_factory=list)
+    let_defs: List[LetDef] = field(default_factory=list)
+    conditions: List[ConditionClause] = field(default_factory=list)
+    confidence: ValueSpec = field(default_factory=ValueSpec)
+    severity: ValueSpec = field(default_factory=ValueSpec)
+    location: SourceLocation = field(default_factory=SourceLocation.unknown)
+
+    def condition_ids(self) -> List[str]:
+        """All declared condition identifiers, in declaration order."""
+        return [c.cond_id for c in self.conditions if c.cond_id is not None]
+
+
+Declaration = Union[ClassDecl, EnumDecl, ConstantDecl, FunctionDecl, PropertyDecl]
+
+
+@dataclass
+class AslProgram:
+    """A parsed ASL specification document (data model + properties)."""
+
+    declarations: List[Declaration] = field(default_factory=list)
+    filename: str = "<asl>"
+
+    # -- typed views -----------------------------------------------------------
+
+    @property
+    def classes(self) -> List[ClassDecl]:
+        return [d for d in self.declarations if isinstance(d, ClassDecl)]
+
+    @property
+    def enums(self) -> List[EnumDecl]:
+        return [d for d in self.declarations if isinstance(d, EnumDecl)]
+
+    @property
+    def constants(self) -> List[ConstantDecl]:
+        return [d for d in self.declarations if isinstance(d, ConstantDecl)]
+
+    @property
+    def functions(self) -> List[FunctionDecl]:
+        return [d for d in self.declarations if isinstance(d, FunctionDecl)]
+
+    @property
+    def properties(self) -> List[PropertyDecl]:
+        return [d for d in self.declarations if isinstance(d, PropertyDecl)]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def class_decl(self, name: str) -> ClassDecl:
+        for decl in self.classes:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no class named {name!r}")
+
+    def property_decl(self, name: str) -> PropertyDecl:
+        for decl in self.properties:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no property named {name!r}")
+
+    def function_decl(self, name: str) -> FunctionDecl:
+        for decl in self.functions:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no function named {name!r}")
+
+    def merge(self, other: "AslProgram") -> "AslProgram":
+        """Return a new program combining the declarations of both documents.
+
+        COSY keeps the data model and the property specifications in separate
+        sections (Section 4); merging the two parsed documents produces the
+        complete specification.
+        """
+        return AslProgram(
+            declarations=list(self.declarations) + list(other.declarations),
+            filename=f"{self.filename}+{other.filename}",
+        )
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all nested sub-expressions, depth first."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)

@@ -1,0 +1,408 @@
+"""Reference evaluator for ASL performance properties.
+
+The paper's COSY prototype translates property conditions into SQL; this
+module provides the *reference semantics* against which the SQL translation is
+validated: it evaluates properties directly over the object repository
+(:mod:`repro.datamodel`), binding ASL class attributes to Python attributes.
+
+The evaluation of a property proceeds exactly as described in Section 4:
+
+1. the property's parameters are bound to the supplied context objects
+   (e.g. the region, the test run and the ranking basis);
+2. the ``LET`` definitions are evaluated sequentially;
+3. every condition is evaluated to a boolean; the property *holds* when at
+   least one condition is true;
+4. the confidence and severity are computed as the maximum of their
+   (condition-guarded) value expressions — a guarded entry contributes only
+   when its condition evaluated to true;
+5. the property is a *performance problem* when its severity exceeds the
+   user- or tool-defined threshold, and the *bottleneck* is the property
+   instance with the highest severity (this ranking is performed by
+   :mod:`repro.cosy`).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.asl.ast_nodes import (
+    AggregateExpr,
+    AttributeAccess,
+    BinaryExpr,
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    FloatLiteral,
+    FunctionCall,
+    Identifier,
+    IntLiteral,
+    PropertyDecl,
+    SetComprehension,
+    StringLiteral,
+    UnaryExpr,
+    UnaryOp,
+    ValueSpec,
+)
+from repro.asl.errors import AslEvaluationError, AslNameError
+from repro.asl.semantic import CheckedSpecification
+from repro.asl.symbols import Scope
+
+__all__ = ["AslEvaluator", "PropertyEvaluation", "default_enum_binding"]
+
+
+@dataclass
+class PropertyEvaluation:
+    """The result of evaluating one property in one context."""
+
+    property_name: str
+    #: The parameter binding the property was evaluated with.
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    #: Whether at least one condition was satisfied.
+    holds: bool = False
+    #: The confidence value (0..1) computed from the confidence specification.
+    confidence: float = 0.0
+    #: The severity value computed from the severity specification.
+    severity: float = 0.0
+    #: Value of each condition; keys are condition identifiers where declared,
+    #: otherwise the 1-based position of the condition.
+    conditions: Dict[str, bool] = field(default_factory=dict)
+    #: Values of the LET definitions (useful for reports and debugging).
+    let_values: Dict[str, Any] = field(default_factory=dict)
+
+    def is_problem(self, threshold: float) -> bool:
+        """Performance property → performance problem iff severity > threshold."""
+        return self.holds and self.severity > threshold
+
+
+def default_enum_binding(checked: CheckedSpecification) -> Dict[str, Any]:
+    """Bind enum member names of the specification to runtime values.
+
+    Members of an enum named ``TimingType`` are bound to the
+    :class:`repro.datamodel.TimingType` members of the same name when they
+    exist; every other member is bound to its own name (a string marker),
+    which is sufficient for equality comparisons as long as the repository
+    stores the same markers.
+    """
+    binding: Dict[str, Any] = {}
+    try:
+        from repro.datamodel import TimingType as _TimingType
+    except ImportError:  # pragma: no cover - datamodel is part of this package
+        _TimingType = None  # type: ignore[assignment]
+    for enum_name, decl in checked.index.enums.items():
+        for member in decl.members:
+            value: Any = member
+            if _TimingType is not None and enum_name == "TimingType":
+                try:
+                    value = _TimingType(member)
+                except ValueError:
+                    value = member
+            binding[member] = value
+    return binding
+
+
+class AslEvaluator:
+    """Evaluates checked ASL specifications over Python objects."""
+
+    def __init__(
+        self,
+        checked: CheckedSpecification,
+        constants: Optional[Mapping[str, Any]] = None,
+        enum_binding: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.checked = checked
+        self.index = checked.index
+        self._constant_overrides: Dict[str, Any] = dict(constants or {})
+        self._enum_binding: Dict[str, Any] = (
+            dict(enum_binding)
+            if enum_binding is not None
+            else default_enum_binding(checked)
+        )
+        self._constant_cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def evaluate_property(
+        self, name: str, parameters: Mapping[str, Any]
+    ) -> PropertyEvaluation:
+        """Evaluate property ``name`` with the given parameter binding."""
+        try:
+            decl = self.index.properties[name]
+        except KeyError:
+            raise AslNameError(f"unknown property {name!r}") from None
+        missing = [p.name for p in decl.params if p.name not in parameters]
+        if missing:
+            raise AslEvaluationError(
+                f"property {name!r} is missing parameter(s) {missing}; expected "
+                f"{[p.name for p in decl.params]}"
+            )
+        scope: Scope[Any] = Scope()
+        for param in decl.params:
+            scope.define(param.name, parameters[param.name])
+
+        result = PropertyEvaluation(
+            property_name=name,
+            parameters={p.name: parameters[p.name] for p in decl.params},
+        )
+        for let_def in decl.let_defs:
+            value = self.evaluate(let_def.value, scope)
+            scope.define(let_def.name, value)
+            result.let_values[let_def.name] = value
+
+        for position, condition in enumerate(decl.conditions, start=1):
+            value = bool(self.evaluate(condition.expr, scope))
+            key = condition.cond_id if condition.cond_id is not None else str(position)
+            result.conditions[key] = value
+        result.holds = any(result.conditions.values())
+
+        result.confidence = self._evaluate_value_spec(
+            decl.confidence, result.conditions, scope
+        )
+        if result.holds:
+            result.severity = self._evaluate_value_spec(
+                decl.severity, result.conditions, scope
+            )
+        else:
+            result.severity = 0.0
+        return result
+
+    def evaluate_function(self, name: str, *args: Any) -> Any:
+        """Evaluate a specification function (e.g. ``Duration``) directly."""
+        try:
+            decl = self.index.functions[name]
+        except KeyError:
+            raise AslNameError(f"unknown function {name!r}") from None
+        if len(args) != len(decl.params):
+            raise AslEvaluationError(
+                f"function {name!r} expects {len(decl.params)} arguments, got "
+                f"{len(args)}"
+            )
+        scope: Scope[Any] = Scope()
+        for param, arg in zip(decl.params, args):
+            scope.define(param.name, arg)
+        return self.evaluate(decl.body, scope)
+
+    def constant_value(self, name: str) -> Any:
+        """Value of a specification constant, honouring overrides."""
+        if name in self._constant_overrides:
+            return self._constant_overrides[name]
+        if name in self._constant_cache:
+            return self._constant_cache[name]
+        decl = self.index.constants.get(name)
+        if decl is None:
+            raise AslNameError(f"unknown constant {name!r}")
+        value = self.evaluate(decl.value, Scope())
+        self._constant_cache[name] = value
+        return value
+
+    # ------------------------------------------------------------------ #
+    # value specifications
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_value_spec(
+        self, spec: ValueSpec, conditions: Mapping[str, bool], scope: Scope[Any]
+    ) -> float:
+        values: List[float] = []
+        for entry in spec.entries:
+            if entry.guard is not None and not conditions.get(entry.guard, False):
+                continue
+            values.append(float(self.evaluate(entry.expr, scope)))
+        if not values:
+            return 0.0
+        return max(values) if (spec.is_max or len(values) > 1) else values[0]
+
+    # ------------------------------------------------------------------ #
+    # expression evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, expr: Expr, scope: Scope[Any]) -> Any:
+        """Evaluate one expression in the given scope."""
+        if isinstance(expr, IntLiteral):
+            return expr.value
+        if isinstance(expr, FloatLiteral):
+            return expr.value
+        if isinstance(expr, StringLiteral):
+            return expr.value
+        if isinstance(expr, BoolLiteral):
+            return expr.value
+        if isinstance(expr, Identifier):
+            return self._evaluate_identifier(expr, scope)
+        if isinstance(expr, AttributeAccess):
+            return self._evaluate_attribute(expr, scope)
+        if isinstance(expr, FunctionCall):
+            return self._evaluate_call(expr, scope)
+        if isinstance(expr, UnaryExpr):
+            return self._evaluate_unary(expr, scope)
+        if isinstance(expr, BinaryExpr):
+            return self._evaluate_binary(expr, scope)
+        if isinstance(expr, SetComprehension):
+            return self._evaluate_comprehension(expr, scope)
+        if isinstance(expr, AggregateExpr):
+            return self._evaluate_aggregate(expr, scope)
+        raise AslEvaluationError(
+            f"unsupported expression node {type(expr).__name__}", expr.location
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _evaluate_identifier(self, expr: Identifier, scope: Scope[Any]) -> Any:
+        value = scope.lookup(expr.name)
+        if value is not None or expr.name in scope:
+            return value
+        if expr.name in self._constant_overrides or expr.name in self.index.constants:
+            return self.constant_value(expr.name)
+        if expr.name in self._enum_binding:
+            return self._enum_binding[expr.name]
+        raise AslNameError(f"unbound name {expr.name!r}", expr.location)
+
+    def _evaluate_attribute(self, expr: AttributeAccess, scope: Scope[Any]) -> Any:
+        obj = self.evaluate(expr.obj, scope)
+        if obj is None:
+            raise AslEvaluationError(
+                f"cannot access attribute {expr.attribute!r} of an absent "
+                f"(null) object",
+                expr.location,
+            )
+        try:
+            return getattr(obj, expr.attribute)
+        except AttributeError:
+            raise AslEvaluationError(
+                f"object of type {type(obj).__name__} has no attribute "
+                f"{expr.attribute!r}",
+                expr.location,
+            ) from None
+
+    def _evaluate_call(self, expr: FunctionCall, scope: Scope[Any]) -> Any:
+        args = [self.evaluate(arg, scope) for arg in expr.args]
+        if expr.name in self.index.functions:
+            decl = self.index.functions[expr.name]
+            inner: Scope[Any] = Scope()
+            for param, arg in zip(decl.params, args):
+                inner.define(param.name, arg)
+            return self.evaluate(decl.body, inner)
+        upper = expr.name.upper()
+        if upper == "MIN" and args:
+            return min(args)
+        if upper == "MAX" and args:
+            return max(args)
+        if upper == "ABS" and len(args) == 1:
+            return abs(args[0])
+        raise AslNameError(f"unknown function {expr.name!r}", expr.location)
+
+    def _evaluate_unary(self, expr: UnaryExpr, scope: Scope[Any]) -> Any:
+        value = self.evaluate(expr.operand, scope)
+        if expr.op is UnaryOp.NEG:
+            return -value
+        if expr.op is UnaryOp.NOT:
+            return not value
+        raise AssertionError(f"unhandled unary operator {expr.op}")
+
+    def _evaluate_binary(self, expr: BinaryExpr, scope: Scope[Any]) -> Any:
+        op = expr.op
+        if op is BinaryOp.AND:
+            return bool(self.evaluate(expr.left, scope)) and bool(
+                self.evaluate(expr.right, scope)
+            )
+        if op is BinaryOp.OR:
+            return bool(self.evaluate(expr.left, scope)) or bool(
+                self.evaluate(expr.right, scope)
+            )
+        left = self.evaluate(expr.left, scope)
+        right = self.evaluate(expr.right, scope)
+        if op is BinaryOp.ADD:
+            return left + right
+        if op is BinaryOp.SUB:
+            return left - right
+        if op is BinaryOp.MUL:
+            return left * right
+        if op is BinaryOp.DIV:
+            if right == 0:
+                raise AslEvaluationError("division by zero", expr.location)
+            return left / right
+        if op is BinaryOp.MOD:
+            if right == 0:
+                raise AslEvaluationError("modulo by zero", expr.location)
+            return left % right
+        if op is BinaryOp.EQ:
+            return left == right
+        if op is BinaryOp.NE:
+            return left != right
+        try:
+            if op is BinaryOp.LT:
+                return left < right
+            if op is BinaryOp.LE:
+                return left <= right
+            if op is BinaryOp.GT:
+                return left > right
+            if op is BinaryOp.GE:
+                return left >= right
+        except TypeError as exc:
+            raise AslEvaluationError(
+                f"cannot order values {left!r} and {right!r}: {exc}", expr.location
+            ) from None
+        raise AssertionError(f"unhandled binary operator {op}")
+
+    def _evaluate_comprehension(
+        self, expr: SetComprehension, scope: Scope[Any]
+    ) -> List[Any]:
+        source = self._iterable(self.evaluate(expr.source, scope), expr)
+        result: List[Any] = []
+        for element in source:
+            inner = scope.child()
+            inner.define(expr.var, element)
+            if expr.predicate is None or bool(self.evaluate(expr.predicate, inner)):
+                result.append(element)
+        return result
+
+    def _evaluate_aggregate(self, expr: AggregateExpr, scope: Scope[Any]) -> Any:
+        if expr.is_unique:
+            elements = list(self._iterable(self.evaluate(expr.value, scope), expr))
+            if len(elements) != 1:
+                raise AslEvaluationError(
+                    f"UNIQUE applied to a set with {len(elements)} elements "
+                    f"(expected exactly one)",
+                    expr.location,
+                )
+            return elements[0]
+        assert expr.source is not None  # guaranteed by the parser/checker
+        source = self._iterable(self.evaluate(expr.source, scope), expr)
+        values: List[Any] = []
+        for element in source:
+            inner = scope.child()
+            inner.define(expr.var, element)
+            if expr.predicate is not None and not bool(
+                self.evaluate(expr.predicate, inner)
+            ):
+                continue
+            values.append(self.evaluate(expr.value, inner))
+        func = expr.func
+        if func == "COUNT":
+            return len(values)
+        if func == "SUM":
+            return sum(values) if values else 0
+        if not values:
+            raise AslEvaluationError(
+                f"aggregate {func} applied to an empty set", expr.location
+            )
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        raise AslEvaluationError(f"unknown aggregate {func!r}", expr.location)
+
+    @staticmethod
+    def _iterable(value: Any, expr: Expr) -> Iterable[Any]:
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return value
+        if isinstance(value, str) or not hasattr(value, "__iter__"):
+            raise AslEvaluationError(
+                f"expected a set-valued expression, found {type(value).__name__}",
+                expr.location,
+            )
+        return value

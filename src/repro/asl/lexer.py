@@ -1,0 +1,234 @@
+"""Hand-written lexer for the APART Specification Language.
+
+The lexer converts an ASL specification document into a stream of
+:class:`~repro.asl.tokens.Token` objects.  It supports
+
+* ``//`` line comments and ``/* ... */`` block comments,
+* integer, floating point and double-quoted string literals,
+* the case-insensitive keywords listed in :data:`repro.asl.tokens.KEYWORDS`,
+* the two-character operators ``==``, ``!=``, ``<=``, ``>=`` and ``->``.
+
+Identifiers keep their original spelling; keyword recognition lower-cases the
+spelling first because the paper uses both ``PROPERTY`` (grammar) and
+``Property`` (examples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.asl.errors import AslLexError, SourceLocation
+from repro.asl.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["Lexer", "tokenize"]
+
+_SINGLE_CHAR_TOKENS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "%": TokenType.PERCENT,
+}
+
+
+class Lexer:
+    """Tokenises one ASL specification document."""
+
+    def __init__(self, source: str, filename: str = "<asl>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+
+    def tokens(self) -> List[Token]:
+        """Tokenise the whole document and return the token list (incl. EOF)."""
+        result: List[Token] = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    def next_token(self) -> Token:
+        """Return the next token, skipping whitespace and comments."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, "", self._location())
+        location = self._location()
+        char = self.source[self.pos]
+
+        if char.isalpha() or char == "_":
+            return self._lex_word(location)
+        if char.isdigit():
+            return self._lex_number(location)
+        if char == '"':
+            return self._lex_string(location)
+        return self._lex_operator(location)
+
+    # ------------------------------------------------------------------ #
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(line=self.line, column=self.column, filename=self.filename)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self.source[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise AslLexError("unterminated block comment", start)
+            else:
+                return
+
+    def _lex_word(self, location: SourceLocation) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        keyword = KEYWORDS.get(text.lower())
+        if keyword is TokenType.TRUE:
+            return Token(TokenType.TRUE, text, location, value=True)
+        if keyword is TokenType.FALSE:
+            return Token(TokenType.FALSE, text, location, value=False)
+        if keyword is not None:
+            return Token(keyword, text, location)
+        return Token(TokenType.IDENT, text, location, value=text)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        start = self.pos
+        is_float = False
+        while self.pos < len(self.source) and self.source[self.pos].isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self.pos < len(self.source) and self.source[self.pos].isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self.pos < len(self.source) and self.source[self.pos].isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        if self._peek().isalpha() or self._peek() == "_":
+            raise AslLexError(
+                f"invalid character {self._peek()!r} after numeric literal {text!r}",
+                location,
+            )
+        if is_float:
+            return Token(TokenType.FLOAT, text, location, value=float(text))
+        return Token(TokenType.INT, text, location, value=int(text))
+
+    def _lex_string(self, location: SourceLocation) -> Token:
+        assert self.source[self.pos] == '"'
+        self._advance()
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise AslLexError("unterminated string literal", location)
+            char = self.source[self.pos]
+            if char == "\n":
+                raise AslLexError("newline inside string literal", location)
+            if char == '"':
+                self._advance()
+                break
+            if char == "\\":
+                escape = self._peek(1)
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise AslLexError(
+                        f"unknown escape sequence '\\{escape}'", self._location()
+                    )
+                parts.append(mapping[escape])
+                self._advance(2)
+            else:
+                parts.append(char)
+                self._advance()
+        text = "".join(parts)
+        return Token(TokenType.STRING, text, location, value=text)
+
+    def _lex_operator(self, location: SourceLocation) -> Token:
+        two = self.source[self.pos : self.pos + 2]
+        if two == "==":
+            self._advance(2)
+            return Token(TokenType.EQ, two, location)
+        if two == "!=":
+            self._advance(2)
+            return Token(TokenType.NE, two, location)
+        if two == "<=":
+            self._advance(2)
+            return Token(TokenType.LE, two, location)
+        if two == ">=":
+            self._advance(2)
+            return Token(TokenType.GE, two, location)
+        if two == "->":
+            self._advance(2)
+            return Token(TokenType.ARROW, two, location)
+        char = self.source[self.pos]
+        if char == "=":
+            self._advance()
+            return Token(TokenType.ASSIGN, char, location)
+        if char == "<":
+            self._advance()
+            return Token(TokenType.LT, char, location)
+        if char == ">":
+            self._advance()
+            return Token(TokenType.GT, char, location)
+        if char == "-":
+            self._advance()
+            return Token(TokenType.MINUS, char, location)
+        if char == "/":
+            self._advance()
+            return Token(TokenType.SLASH, char, location)
+        token_type = _SINGLE_CHAR_TOKENS.get(char)
+        if token_type is None:
+            raise AslLexError(f"unexpected character {char!r}", location)
+        self._advance()
+        return Token(token_type, char, location)
+
+
+def tokenize(source: str, filename: str = "<asl>") -> List[Token]:
+    """Tokenise ``source`` and return the full token list (including EOF)."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,33 @@
+"""Bundled ASL specification documents.
+
+* :data:`COSY_DATA_MODEL` — the performance data model of Section 4.1;
+* :data:`COSY_PROPERTIES` — the performance properties of Section 4.2 plus the
+  additional cost-breakdown properties COSY evaluates (communication, I/O);
+* :func:`cosy_specification` — the merged, semantically checked specification
+  used by the COSY analyzer and the ASL→SQL compiler.
+"""
+
+from repro.asl.specs.cosy_model import COSY_DATA_MODEL
+from repro.asl.specs.cosy_properties import COSY_PROPERTIES, COSY_PROPERTY_NAMES
+
+
+def cosy_specification():
+    """Parse and check the complete bundled COSY specification.
+
+    Returns a :class:`repro.asl.semantic.CheckedSpecification` combining the
+    data model and the property documents.
+    """
+    from repro.asl.parser import parse_asl
+    from repro.asl.semantic import check_asl
+
+    model = parse_asl(COSY_DATA_MODEL, filename="cosy_model.asl")
+    properties = parse_asl(COSY_PROPERTIES, filename="cosy_properties.asl")
+    return check_asl(model.merge(properties))
+
+
+__all__ = [
+    "COSY_DATA_MODEL",
+    "COSY_PROPERTIES",
+    "COSY_PROPERTY_NAMES",
+    "cosy_specification",
+]

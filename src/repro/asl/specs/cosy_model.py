@@ -1,0 +1,99 @@
+"""The ASL performance data model used by COSY (paper, Section 4.1).
+
+The class definitions follow the paper verbatim, with two small completions
+the paper leaves implicit:
+
+* the ``TimingType`` enumeration is spelled out with the 25 work/overhead
+  categories of the (simulated) Apprentice tool — the paper only states that
+  "Apprentice knows 25 such types";
+* the ``CallTiming`` class, described in prose only, is given explicit
+  attributes for the minimum / maximum / mean / standard deviation of the
+  per-process call counts and times and the extremal processor numbers.
+
+The paper's ``SublinearSpeedup`` property declares its ``MinPeSum`` LET
+variable with type ``TotTimes`` — an obvious typo for ``TotalTiming`` which is
+corrected in the bundled property document.
+"""
+
+COSY_DATA_MODEL = """
+// ---------------------------------------------------------------------------
+// COSY performance data model (ASL), after Gerndt & Esser, Section 4.1.
+// ---------------------------------------------------------------------------
+
+enum TimingType {
+    FloatingPoint, IntegerOps, LoadStore,
+    SendOverhead, ReceiveOverhead, MessageWait, MessagePacking,
+    Broadcast, Reduce, Gather, Scatter, AllToAll,
+    Barrier, LockWait, CriticalSection, EventWait,
+    IORead, IOWrite, IOOpenClose, IOSeek,
+    CacheMiss, RemoteMemAccess, PageFault,
+    Instrumentation, Sampling
+};
+
+class Program {
+    String Name;
+    setof ProgVersion Versions;
+}
+
+class ProgVersion {
+    DateTime Compilation;
+    setof Function Functions;
+    setof TestRun Runs;
+    SourceCode Code;
+}
+
+class TestRun {
+    DateTime Start;
+    int NoPe;
+    int Clockspeed;
+}
+
+class Function {
+    String Name;
+    setof FunctionCall Calls;
+    setof Region Regions;
+}
+
+class Region {
+    Region ParentRegion;
+    setof TotalTiming TotTimes;
+    setof TypedTiming TypTimes;
+}
+
+class TotalTiming {
+    TestRun Run;
+    float Excl;
+    float Incl;
+    float Ovhd;
+}
+
+class TypedTiming {
+    TestRun Run;
+    TimingType Type;
+    float Time;
+}
+
+class FunctionCall {
+    Function Caller;
+    Region CallingReg;
+    setof CallTiming Sums;
+}
+
+class CallTiming {
+    TestRun Run;
+    float MinCalls;
+    float MaxCalls;
+    float MeanCalls;
+    float StdevCalls;
+    float MinTime;
+    float MaxTime;
+    float MeanTime;
+    float StdevTime;
+    int MinCallsPe;
+    int MaxCallsPe;
+    int MinTimePe;
+    int MaxTimePe;
+}
+"""
+
+__all__ = ["COSY_DATA_MODEL"]

@@ -1,0 +1,145 @@
+"""The ASL performance properties evaluated by COSY (paper, Section 4.2).
+
+The four properties printed in the paper (``SublinearSpeedup``,
+``MeasuredCost``, ``SyncCost``, ``LoadImbalance``) are reproduced verbatim
+(modulo the ``TotTimes``→``TotalTiming`` typo fix in the LET declaration).
+In addition the document contains the complementary cost-breakdown properties
+that the paper mentions but does not print:
+
+* ``UnmeasuredCost`` — the counterpart of ``MeasuredCost`` ("If the severity of
+  its counterpart, the UnmeasuredCost, is much higher, the reason cannot be
+  found with the available data");
+* ``CommunicationCost`` and ``IOCost`` — further refinements of the measured
+  cost by overhead category (message passing and I/O are called out explicitly
+  in Section 4.1 as examples of the typed overheads);
+* ``FrequentBarrier`` — a refinement flagging call sites that execute the
+  barrier routine very often.
+
+The ``ImbalanceThreshold`` constant used by ``LoadImbalance`` is not defined in
+the paper; it is declared here (and can be overridden by the tool).
+"""
+
+COSY_PROPERTIES = """
+// ---------------------------------------------------------------------------
+// COSY performance properties (ASL), after Gerndt & Esser, Section 4.2.
+// ---------------------------------------------------------------------------
+
+constant float ImbalanceThreshold = 0.25;
+constant float FrequentBarrierThreshold = 100;
+
+// Helper functions shared by most properties.
+TotalTiming Summary(Region r, TestRun t) =
+    UNIQUE({s IN r.TotTimes WITH s.Run == t});
+
+float Duration(Region r, TestRun t) = Summary(r, t).Incl;
+
+// The test run of a region with the minimal number of processors is the
+// reference for the total-cost computation (Section 3).
+TotalTiming MinPeSummary(Region r) =
+    UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+
+float TypedCost(Region r, TestRun t, TimingType ty) =
+    SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == ty);
+
+// ---------------------------------------------------------------------------
+// Properties printed in the paper.
+// ---------------------------------------------------------------------------
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+        float TotalCost = Duration(r, t) - Duration(r, MinPeSum.Run)
+    IN
+    CONDITION: TotalCost > 0;
+    CONFIDENCE: 1;
+    SEVERITY: TotalCost / Duration(Basis, t);
+}
+
+Property MeasuredCost(Region r, TestRun t, Region Basis) {
+    LET float Cost = Summary(r, t).Ovhd;
+    IN
+    CONDITION: Cost > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Cost / Duration(Basis, t);
+}
+
+Property SyncCost(Region r, TestRun t, Region Basis) {
+    LET float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND tt.Type == Barrier);
+    IN
+    CONDITION: Barrier > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Barrier / Duration(Basis, t);
+}
+
+Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+        float Dev = ct.StdevTime;
+        float Mean = ct.MeanTime
+    IN
+    CONDITION: Dev > ImbalanceThreshold * Mean;
+    CONFIDENCE: 1;
+    SEVERITY: Mean / Duration(Basis, t);
+}
+
+// ---------------------------------------------------------------------------
+// Complementary cost-breakdown properties evaluated by COSY.
+// ---------------------------------------------------------------------------
+
+Property UnmeasuredCost(Region r, TestRun t, Region Basis) {
+    LET float TotalCost = Duration(r, t) - Duration(r, MinPeSummary(r).Run);
+        float Unmeasured = TotalCost - Summary(r, t).Ovhd
+    IN
+    CONDITION: Unmeasured > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Unmeasured / Duration(Basis, t);
+}
+
+Property CommunicationCost(Region r, TestRun t, Region Basis) {
+    LET float Comm = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND (tt.Type == SendOverhead OR tt.Type == ReceiveOverhead
+                 OR tt.Type == MessageWait OR tt.Type == MessagePacking
+                 OR tt.Type == Broadcast OR tt.Type == Reduce
+                 OR tt.Type == Gather OR tt.Type == Scatter
+                 OR tt.Type == AllToAll))
+    IN
+    CONDITION: Comm > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Comm / Duration(Basis, t);
+}
+
+Property IOCost(Region r, TestRun t, Region Basis) {
+    LET float Io = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND (tt.Type == IORead OR tt.Type == IOWrite
+                 OR tt.Type == IOOpenClose OR tt.Type == IOSeek))
+    IN
+    CONDITION: Io > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Io / Duration(Basis, t);
+}
+
+Property FrequentBarrier(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+        float Calls = ct.MeanCalls;
+        float Time = ct.MeanTime
+    IN
+    CONDITION: (c1) Calls > FrequentBarrierThreshold;
+    CONFIDENCE: MAX((c1) -> 0.8);
+    SEVERITY: MAX((c1) -> Time / Duration(Basis, t));
+}
+"""
+
+#: The property names of the bundled document, in evaluation order.
+COSY_PROPERTY_NAMES = (
+    "SublinearSpeedup",
+    "MeasuredCost",
+    "UnmeasuredCost",
+    "SyncCost",
+    "CommunicationCost",
+    "IOCost",
+    "LoadImbalance",
+    "FrequentBarrier",
+)
+
+__all__ = ["COSY_PROPERTIES", "COSY_PROPERTY_NAMES"]

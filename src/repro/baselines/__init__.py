@@ -1,0 +1,69 @@
+"""Related-work baseline analyzers (paper, Section 2).
+
+* :mod:`repro.baselines.paradyn` — automatic search over a *fixed* bottleneck
+  set (Paradyn-like);
+* :mod:`repro.baselines.opal` — rule-based hypothesis proof and refinement
+  (OPAL-like);
+* :mod:`repro.baselines.edl` — compound event patterns over traces (EDL-like);
+* :mod:`repro.baselines.earl` — procedural trace-analysis scripts (EARL-like).
+
+All baselines report :class:`~repro.baselines.common.Finding` objects so the
+E5 benchmark can compare them with COSY's severity-ranked property instances.
+"""
+
+from repro.baselines.common import Finding, rank_findings
+from repro.baselines.earl import (
+    BarrierWaitScript,
+    EarlAnalyzer,
+    EarlInterpreter,
+    EarlScript,
+    MessageStatisticsScript,
+    RegionProfileScript,
+)
+from repro.baselines.edl import (
+    EdlAnalyzer,
+    Match,
+    Pattern,
+    alt,
+    match_stream,
+    plus,
+    prim,
+    seq,
+    star,
+)
+from repro.baselines.opal import (
+    Hypothesis,
+    ProofResult,
+    RuleBase,
+    RuleEngine,
+    default_rule_base,
+)
+from repro.baselines.paradyn import FIXED_HYPOTHESES, ParadynHypothesis, ParadynSearch
+
+__all__ = [
+    "BarrierWaitScript",
+    "EarlAnalyzer",
+    "EarlInterpreter",
+    "EarlScript",
+    "EdlAnalyzer",
+    "FIXED_HYPOTHESES",
+    "Finding",
+    "Hypothesis",
+    "Match",
+    "MessageStatisticsScript",
+    "ParadynHypothesis",
+    "ParadynSearch",
+    "Pattern",
+    "ProofResult",
+    "RegionProfileScript",
+    "RuleBase",
+    "RuleEngine",
+    "alt",
+    "default_rule_base",
+    "match_stream",
+    "plus",
+    "prim",
+    "rank_findings",
+    "seq",
+    "star",
+]

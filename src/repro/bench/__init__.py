@@ -1,0 +1,10 @@
+"""Shared helpers for the benchmark harness and the examples."""
+
+from repro.bench.scenarios import (
+    CosyScenario,
+    build_scenario,
+    load_into_backend,
+    speedup_series,
+)
+
+__all__ = ["CosyScenario", "build_scenario", "load_into_backend", "speedup_series"]

@@ -1,0 +1,116 @@
+"""Standard experiment scenarios shared by the benchmarks and the examples.
+
+Every experiment of EXPERIMENTS.md starts from the same building blocks:
+simulate a synthetic workload, (optionally) load the resulting performance
+data into a simulated database backend, and analyse a test run with COSY.
+:func:`build_scenario` packages those steps into a :class:`CosyScenario` so
+that the benchmark modules stay focused on what they measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apprentice import ExecutionSimulator, SimulationConfig, synthetic_workload
+from repro.asl.semantic import CheckedSpecification
+from repro.asl.specs import cosy_specification
+from repro.compiler import (
+    DatabaseLoader,
+    ObjectIds,
+    SchemaMapping,
+    generate_schema,
+)
+from repro.cosy import CosyAnalyzer
+from repro.datamodel import PerformanceDatabase
+from repro.relalg import DatabaseClient, NativeClient, SimulatedBackend, backend
+
+__all__ = ["CosyScenario", "build_scenario", "load_into_backend", "speedup_series"]
+
+
+@dataclass
+class CosyScenario:
+    """A simulated workload plus everything COSY needs to analyse it."""
+
+    workload_kind: str
+    pe_counts: Tuple[int, ...]
+    repository: PerformanceDatabase
+    specification: CheckedSpecification
+    mapping: SchemaMapping
+    analyzer: CosyAnalyzer
+
+    def run_with_pes(self, pes: int):
+        """The test run with ``pes`` processors."""
+        version = self.repository.programs[0].latest_version()
+        return version.run_with_pes(pes)
+
+    @property
+    def version(self):
+        return self.repository.programs[0].latest_version()
+
+
+def build_scenario(
+    workload_kind: str = "mixed",
+    pe_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    threshold: float = 0.05,
+    specification: Optional[CheckedSpecification] = None,
+    **workload_kwargs,
+) -> CosyScenario:
+    """Simulate ``workload_kind`` and prepare the COSY analyzer for it."""
+    spec = specification or cosy_specification()
+    workload = synthetic_workload(workload_kind, **workload_kwargs)
+    simulator = ExecutionSimulator(
+        workload, SimulationConfig(pe_counts=tuple(pe_counts))
+    )
+    repository = simulator.run()
+    mapping = generate_schema(spec)
+    analyzer = CosyAnalyzer(repository, specification=spec, threshold=threshold)
+    return CosyScenario(
+        workload_kind=workload_kind,
+        pe_counts=tuple(pe_counts),
+        repository=repository,
+        specification=spec,
+        mapping=mapping,
+        analyzer=analyzer,
+    )
+
+
+def load_into_backend(
+    scenario: CosyScenario,
+    backend_name: str = "ms_access",
+    with_indexes: bool = True,
+    client_factory=NativeClient,
+) -> Tuple[DatabaseClient, ObjectIds]:
+    """Load the scenario's repository into a freshly created simulated backend."""
+    client = client_factory(backend(backend_name))
+    loader = DatabaseLoader(scenario.mapping, client)
+    loader.create_schema(with_indexes=with_indexes)
+    ids = loader.load(scenario.repository)
+    return client, ids
+
+
+def speedup_series(scenario: CosyScenario) -> List[Dict[str, float]]:
+    """Per-run duration / speedup / total-cost severity of the main region.
+
+    This is the data series behind the E4 'cost analysis' table: it shows how
+    the summed duration grows with the processor count and how severe the
+    SublinearSpeedup property becomes.
+    """
+    version = scenario.version
+    basis = version.main_region
+    repository = scenario.repository
+    series: List[Dict[str, float]] = []
+    for run in sorted(version.Runs, key=lambda r: r.NoPe):
+        duration = basis.duration(run)
+        speedup = repository.speedup(basis, run)
+        total_cost = repository.total_cost(basis, run)
+        series.append(
+            {
+                "pes": float(run.NoPe),
+                "duration": duration,
+                "speedup": speedup,
+                "total_cost": total_cost,
+                "severity": total_cost / duration if duration > 0 else 0.0,
+            }
+        )
+    return series

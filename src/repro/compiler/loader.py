@@ -1,0 +1,264 @@
+"""Transfer of the object repository into the relational database.
+
+The paper's data flow is: Apprentice writes summary data to a file, the file
+is transferred into the relational database, and COSY then analyses the data
+with SQL queries.  This module implements the "transferred into the database"
+step for the generated schema of :mod:`repro.compiler.schema_gen`: it walks a
+:class:`~repro.datamodel.PerformanceDatabase`, assigns integer row ids to every
+entity and issues parametrised ``INSERT`` statements through any executor that
+offers ``execute(sql, params)`` — the plain in-process
+:class:`~repro.relalg.database.Database`, a
+:class:`~repro.relalg.backends.SimulatedBackend` or one of the client API
+layers.  Using the backend/client objects means the bulk-insert experiments
+(E1) charge exactly the per-row costs the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+
+from repro.compiler.schema_gen import DUAL_TABLE, PRIMARY_KEY, SchemaMapping
+from repro.datamodel import (
+    CallTiming,
+    Function,
+    FunctionCall,
+    PerformanceDatabase,
+    Program,
+    ProgVersion,
+    Region,
+    TestRun,
+    TotalTiming,
+    TypedTiming,
+)
+
+__all__ = ["SqlExecutor", "ObjectIds", "DatabaseLoader", "load_repository"]
+
+
+class SqlExecutor(Protocol):
+    """Anything that can execute a parametrised SQL statement."""
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:  # pragma: no cover
+        ...
+
+
+@dataclass
+class ObjectIds:
+    """Mapping from entity objects (by uid) to their relational row ids."""
+
+    by_class: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def assign(self, class_name: str, uid: int) -> int:
+        ids = self.by_class.setdefault(class_name, {})
+        if uid in ids:
+            return ids[uid]
+        row_id = len(ids) + 1
+        ids[uid] = row_id
+        return row_id
+
+    def id_of(self, class_name: str, uid: int) -> int:
+        try:
+            return self.by_class[class_name][uid]
+        except KeyError:
+            raise KeyError(
+                f"no row id assigned for {class_name} instance with uid {uid}"
+            ) from None
+
+    def id_for(self, entity: Any) -> int:
+        """Row id of a data-model entity (dispatches on the entity class name)."""
+        return self.id_of(type(entity).__name__, entity.uid)
+
+    def count(self, class_name: str) -> int:
+        return len(self.by_class.get(class_name, {}))
+
+    def total(self) -> int:
+        return sum(len(ids) for ids in self.by_class.values())
+
+
+class DatabaseLoader:
+    """Loads a performance-data repository into the generated schema."""
+
+    def __init__(self, mapping: SchemaMapping, executor: SqlExecutor) -> None:
+        self.mapping = mapping
+        self.executor = executor
+        self.ids = ObjectIds()
+        self.rows_inserted = 0
+
+    # ------------------------------------------------------------------ #
+    # schema creation
+    # ------------------------------------------------------------------ #
+
+    def create_schema(self, with_indexes: bool = True) -> None:
+        """Create all generated tables (and optionally the FK indexes)."""
+        for statement in self.mapping.create_statements():
+            self.executor.execute(statement)
+        if with_indexes:
+            for statement in self.mapping.index_statements():
+                self.executor.execute(statement)
+        self._insert(DUAL_TABLE, {"one": 1})
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+
+    def load(self, repository: PerformanceDatabase) -> ObjectIds:
+        """Insert every entity of ``repository`` and return the id mapping."""
+        for program in repository.programs:
+            self._load_program(program)
+        return self.ids
+
+    def _load_program(self, program: Program) -> None:
+        program_id = self.ids.assign("Program", program.uid)
+        self._insert("Program", {PRIMARY_KEY: program_id, "Name": program.Name})
+        for version in program.Versions:
+            self._load_version(version, program_id)
+
+    def _load_version(self, version: ProgVersion, program_id: int) -> None:
+        version_id = self.ids.assign("ProgVersion", version.uid)
+        code_text = "\n".join(
+            f"--- {path}\n{text}" for path, text in sorted(version.Code.files.items())
+        )
+        self._insert(
+            "ProgVersion",
+            {
+                PRIMARY_KEY: version_id,
+                "Compilation": version.Compilation,
+                "Code": code_text,
+                "owner_Program_Versions_id": program_id,
+            },
+        )
+        for run in version.Runs:
+            run_id = self.ids.assign("TestRun", run.uid)
+            self._insert(
+                "TestRun",
+                {
+                    PRIMARY_KEY: run_id,
+                    "Start": run.Start,
+                    "NoPe": run.NoPe,
+                    "Clockspeed": run.Clockspeed,
+                    "owner_ProgVersion_Runs_id": version_id,
+                },
+            )
+        for function in version.Functions:
+            self._load_function(function, version_id)
+
+    def _load_function(self, function: Function, version_id: int) -> None:
+        function_id = self.ids.assign("Function", function.uid)
+        self._insert(
+            "Function",
+            {
+                PRIMARY_KEY: function_id,
+                "Name": function.Name,
+                "owner_ProgVersion_Functions_id": version_id,
+            },
+        )
+        # Regions: parents must be inserted before their children so the
+        # ParentRegion_id foreign key can be resolved.
+        for region in sorted(function.Regions, key=lambda r: r.depth()):
+            self._load_region(region, function_id)
+        for call in function.Calls:
+            self._load_call(call, function_id)
+
+    def _load_region(self, region: Region, function_id: int) -> None:
+        region_id = self.ids.assign("Region", region.uid)
+        parent_id = (
+            self.ids.id_of("Region", region.ParentRegion.uid)
+            if region.ParentRegion is not None
+            else None
+        )
+        self._insert(
+            "Region",
+            {
+                PRIMARY_KEY: region_id,
+                "ParentRegion_id": parent_id,
+                "owner_Function_Regions_id": function_id,
+            },
+        )
+        for total in region.TotTimes:
+            total_id = self.ids.assign("TotalTiming", total.uid)
+            self._insert(
+                "TotalTiming",
+                {
+                    PRIMARY_KEY: total_id,
+                    "Run_id": self.ids.id_of("TestRun", total.Run.uid),
+                    "Excl": total.Excl,
+                    "Incl": total.Incl,
+                    "Ovhd": total.Ovhd,
+                    "owner_Region_TotTimes_id": region_id,
+                },
+            )
+        for typed in region.TypTimes:
+            typed_id = self.ids.assign("TypedTiming", typed.uid)
+            self._insert(
+                "TypedTiming",
+                {
+                    PRIMARY_KEY: typed_id,
+                    "Run_id": self.ids.id_of("TestRun", typed.Run.uid),
+                    "Type": typed.Type.value,
+                    "Time": typed.Time,
+                    "owner_Region_TypTimes_id": region_id,
+                },
+            )
+
+    def _load_call(self, call: FunctionCall, function_id: int) -> None:
+        call_id = self.ids.assign("FunctionCall", call.uid)
+        self._insert(
+            "FunctionCall",
+            {
+                PRIMARY_KEY: call_id,
+                "Caller_id": self.ids.id_of("Function", call.Caller.uid),
+                "CallingReg_id": self.ids.id_of("Region", call.CallingReg.uid),
+                "owner_Function_Calls_id": function_id,
+            },
+        )
+        for timing in call.Sums:
+            timing_id = self.ids.assign("CallTiming", timing.uid)
+            self._insert(
+                "CallTiming",
+                {
+                    PRIMARY_KEY: timing_id,
+                    "Run_id": self.ids.id_of("TestRun", timing.Run.uid),
+                    "MinCalls": timing.MinCalls,
+                    "MaxCalls": timing.MaxCalls,
+                    "MeanCalls": timing.MeanCalls,
+                    "StdevCalls": timing.StdevCalls,
+                    "MinTime": timing.MinTime,
+                    "MaxTime": timing.MaxTime,
+                    "MeanTime": timing.MeanTime,
+                    "StdevTime": timing.StdevTime,
+                    "MinCallsPe": timing.MinCallsPe,
+                    "MaxCallsPe": timing.MaxCallsPe,
+                    "MinTimePe": timing.MinTimePe,
+                    "MaxTimePe": timing.MaxTimePe,
+                    "owner_FunctionCall_Sums_id": call_id,
+                },
+            )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _insert(self, table: str, values: Dict[str, Any]) -> None:
+        """Insert one row, skipping columns the generated schema does not have."""
+        schema = self.mapping.schemas[table]
+        known = {c.name for c in schema.columns}
+        items = [(k, v) for k, v in values.items() if k in known]
+        columns = ", ".join(name for name, _ in items)
+        placeholders = ", ".join("?" for _ in items)
+        sql = f"INSERT INTO {table} ({columns}) VALUES ({placeholders})"
+        self.executor.execute(sql, [value for _, value in items])
+        self.rows_inserted += 1
+
+
+def load_repository(
+    repository: PerformanceDatabase,
+    mapping: SchemaMapping,
+    executor: SqlExecutor,
+    create_schema: bool = True,
+    with_indexes: bool = True,
+) -> ObjectIds:
+    """Create the schema (optionally) and load ``repository`` through ``executor``."""
+    loader = DatabaseLoader(mapping, executor)
+    if create_schema:
+        loader.create_schema(with_indexes=with_indexes)
+    return loader.load(repository)

@@ -1,0 +1,656 @@
+"""Automatic translation of ASL performance properties into SQL queries.
+
+The paper's prototype translated the conditions and severity expressions of
+the performance properties into SQL *by the tool developer*; the conclusion
+names the automatic translation as future work.  This module implements that
+translation for the generated relational schema of
+:mod:`repro.compiler.schema_gen`.
+
+Translation pipeline (per property)::
+
+    property declaration
+      1. inline specification functions      (Duration(r,t) → Summary body …)
+      2. inline LET definitions              (closed expressions over params)
+      3. re-run type inference               (annotates every node)
+      4. translate each condition /
+         confidence / severity expression    (SQL text + parameter slots)
+
+The central ideas of the translation:
+
+* a property parameter of class type is represented by its row id and becomes
+  a ``?`` parameter of the query;
+* an aggregate over a collection attribute (``SUM(tt.Time WHERE tt IN
+  r.TypTimes AND …)``) becomes a scalar subquery over the element table with
+  the owner foreign key bound to the parameter;
+* ``UNIQUE`` selections become scalar subqueries returning either a value
+  column or the row id / foreign key (when the selected object is used as an
+  object value);
+* navigation across a reference attribute inside an aggregate
+  (``sum.Run.NoPe``) becomes a join with the referenced table;
+* the complete condition / severity expression is wrapped into
+  ``SELECT <expr> AS value FROM dual`` so that one statement per expression is
+  sent to the database — exactly the work distribution the paper recommends in
+  Section 5.
+
+Constructs outside this subset raise :class:`PushdownError`; the COSY analyzer
+then falls back to client-side evaluation for that expression (and reports the
+fallback), so adding new properties can never silently produce wrong results.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.asl.ast_nodes import (
+    AggregateExpr,
+    AttributeAccess,
+    BinaryExpr,
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    FloatLiteral,
+    FunctionCall,
+    Identifier,
+    IntLiteral,
+    PropertyDecl,
+    SetComprehension,
+    StringLiteral,
+    UnaryExpr,
+    UnaryOp,
+)
+from repro.asl.errors import AslError, AslTypeError
+from repro.asl.semantic import CheckedSpecification, SemanticChecker
+from repro.asl.symbols import Scope
+from repro.asl.types import ClassType, EnumType, SetType, Type
+from repro.compiler.schema_gen import DUAL_TABLE, PRIMARY_KEY, SchemaMapping
+
+__all__ = [
+    "PushdownError",
+    "CompiledQuery",
+    "CompiledProperty",
+    "PropertyCompiler",
+]
+
+
+class PushdownError(AslError):
+    """Raised when an expression cannot be translated into the SQL subset."""
+
+
+@dataclass
+class CompiledQuery:
+    """One generated SQL query computing a scalar value.
+
+    ``param_slots`` names, for every ``?`` in textual order, the property
+    parameter whose row id (or scalar value) must be bound at execution time.
+    """
+
+    sql: str
+    param_slots: List[str] = field(default_factory=list)
+
+    def bind(self, values: Mapping[str, Any]) -> List[Any]:
+        """Positional parameter list for ``values`` (param name → id/value)."""
+        try:
+            return [values[slot] for slot in self.param_slots]
+        except KeyError as exc:
+            raise KeyError(
+                f"missing value for parameter {exc.args[0]!r}; query needs "
+                f"{self.param_slots}"
+            ) from None
+
+
+@dataclass
+class CompiledProperty:
+    """All generated queries of one property."""
+
+    name: str
+    decl: PropertyDecl
+    #: (condition id or 1-based position as string, query) pairs.
+    conditions: List[Tuple[str, CompiledQuery]] = field(default_factory=list)
+    #: (guard or None, query) pairs for the confidence specification.
+    confidence: List[Tuple[Optional[str], CompiledQuery]] = field(default_factory=list)
+    #: (guard or None, query) pairs for the severity specification.
+    severity: List[Tuple[Optional[str], CompiledQuery]] = field(default_factory=list)
+
+    @property
+    def parameter_names(self) -> List[str]:
+        return [p.name for p in self.decl.params]
+
+    def all_queries(self) -> List[CompiledQuery]:
+        """Every generated query (used by tests and the CLI ``--show-sql``)."""
+        result = [query for _, query in self.conditions]
+        result.extend(query for _, query in self.confidence)
+        result.extend(query for _, query in self.severity)
+        return result
+
+
+class PropertyCompiler:
+    """Compiles checked ASL properties into SQL for a generated schema."""
+
+    def __init__(self, checked: CheckedSpecification, mapping: SchemaMapping) -> None:
+        self.checked = checked
+        self.index = checked.index
+        self.mapping = mapping
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def compile_property(self, name: str) -> CompiledProperty:
+        """Compile one property; raises :class:`PushdownError` when impossible."""
+        decl = self.index.properties.get(name)
+        if decl is None:
+            raise AslTypeError(f"unknown property {name!r}")
+        param_types = {
+            p.name: self._resolve_param_type(p.type.name, p.type.is_set)
+            for p in decl.params
+        }
+        substitutions = self._let_substitutions(decl)
+        compiled = CompiledProperty(name=name, decl=decl)
+        for position, condition in enumerate(decl.conditions, start=1):
+            key = condition.cond_id or str(position)
+            compiled.conditions.append(
+                (key, self._compile_expr(condition.expr, substitutions, param_types))
+            )
+        for entry in decl.confidence.entries:
+            compiled.confidence.append(
+                (entry.guard, self._compile_expr(entry.expr, substitutions, param_types))
+            )
+        for entry in decl.severity.entries:
+            compiled.severity.append(
+                (entry.guard, self._compile_expr(entry.expr, substitutions, param_types))
+            )
+        return compiled
+
+    def compile_all(self) -> Dict[str, CompiledProperty]:
+        """Compile every property of the specification."""
+        return {
+            name: self.compile_property(name) for name in self.index.properties
+        }
+
+    # ------------------------------------------------------------------ #
+    # preparation: inlining and typing
+    # ------------------------------------------------------------------ #
+
+    def _resolve_param_type(self, type_name: str, is_set: bool) -> Type:
+        checker = SemanticChecker.__new__(SemanticChecker)
+        checker.program = self.checked.program
+        checker.index = self.index
+        checker.diagnostics = []
+        from repro.asl.ast_nodes import TypeRef
+
+        return checker.resolve_type(TypeRef(name=type_name, is_set=is_set))
+
+    def _let_substitutions(self, decl: PropertyDecl) -> Dict[str, Expr]:
+        """Inlined (function-free) definitions of the property's LET block."""
+        substitutions: Dict[str, Expr] = {}
+        for let_def in decl.let_defs:
+            inlined = self._inline(let_def.value, substitutions)
+            substitutions[let_def.name] = inlined
+        return substitutions
+
+    def _inline(self, expr: Expr, substitutions: Mapping[str, Expr]) -> Expr:
+        """Inline specification functions and substitute LET names."""
+        return _substitute(self._inline_functions(expr), substitutions)
+
+    def _inline_functions(self, expr: Expr) -> Expr:
+        """Recursively replace calls of specification functions by their body."""
+        expr = copy.deepcopy(expr)
+
+        def rewrite(node: Expr) -> Expr:
+            node = _map_children(node, rewrite)
+            if isinstance(node, FunctionCall) and node.name in self.index.functions:
+                decl = self.index.functions[node.name]
+                body = self._inline_functions(decl.body)
+                mapping = {
+                    param.name: arg for param, arg in zip(decl.params, node.args)
+                }
+                return _substitute(body, mapping)
+            return node
+
+        return rewrite(expr)
+
+    def _annotate(self, expr: Expr, param_types: Mapping[str, Type]) -> None:
+        """Run type inference over an inlined expression (annotates nodes)."""
+        checker = SemanticChecker.__new__(SemanticChecker)
+        checker.program = self.checked.program
+        checker.index = self.index
+        checker.diagnostics = []
+        scope: Scope[Type] = Scope()
+        for name, param_type in param_types.items():
+            scope.define(name, param_type)
+        checker.check_expr(expr, scope)
+        if checker.diagnostics:
+            raise PushdownError(
+                f"cannot type the inlined expression: {checker.diagnostics[0]}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # expression translation
+    # ------------------------------------------------------------------ #
+
+    def _compile_expr(
+        self,
+        expr: Expr,
+        substitutions: Mapping[str, Expr],
+        param_types: Mapping[str, Type],
+    ) -> CompiledQuery:
+        inlined = self._inline(expr, substitutions)
+        self._annotate(inlined, param_types)
+        translator = _ExprTranslator(self, param_types)
+        value_sql = translator.value(inlined, context=None)
+        sql = f"SELECT {value_sql} AS value FROM {DUAL_TABLE}"
+        return CompiledQuery(sql=sql, param_slots=translator.param_slots)
+
+
+# --------------------------------------------------------------------------- #
+# AST utilities
+# --------------------------------------------------------------------------- #
+
+
+def _map_children(node: Expr, fn) -> Expr:
+    """Return ``node`` with every direct child expression rewritten by ``fn``."""
+    if isinstance(node, AttributeAccess):
+        node.obj = fn(node.obj)
+    elif isinstance(node, FunctionCall):
+        node.args = [fn(arg) for arg in node.args]
+    elif isinstance(node, UnaryExpr):
+        node.operand = fn(node.operand)
+    elif isinstance(node, BinaryExpr):
+        node.left = fn(node.left)
+        node.right = fn(node.right)
+    elif isinstance(node, SetComprehension):
+        node.source = fn(node.source)
+        if node.predicate is not None:
+            node.predicate = fn(node.predicate)
+    elif isinstance(node, AggregateExpr):
+        node.value = fn(node.value)
+        if node.source is not None:
+            node.source = fn(node.source)
+        if node.predicate is not None:
+            node.predicate = fn(node.predicate)
+    return node
+
+
+def _substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace free identifiers by (deep copies of) their mapped expressions."""
+    if not mapping:
+        return expr
+
+    def rewrite(node: Expr, bound: frozenset) -> Expr:
+        if isinstance(node, Identifier):
+            if node.name in mapping and node.name not in bound:
+                return copy.deepcopy(mapping[node.name])
+            return node
+        if isinstance(node, SetComprehension):
+            node.source = rewrite(node.source, bound)
+            inner = bound | {node.var}
+            if node.predicate is not None:
+                node.predicate = rewrite(node.predicate, inner)
+            return node
+        if isinstance(node, AggregateExpr):
+            if node.source is not None:
+                node.source = rewrite(node.source, bound)
+            inner = bound | {node.var} if node.var else bound
+            node.value = rewrite(node.value, inner)
+            if node.predicate is not None:
+                node.predicate = rewrite(node.predicate, inner)
+            return node
+        return _map_children(node, lambda child: rewrite(child, bound))
+
+    return rewrite(copy.deepcopy(expr), frozenset())
+
+
+# --------------------------------------------------------------------------- #
+# the expression translator
+# --------------------------------------------------------------------------- #
+
+
+class _QueryContext:
+    """FROM/JOIN context of one (sub)query being generated."""
+
+    def __init__(self, translator: "_ExprTranslator", table: str, alias: str,
+                 var: str, class_name: str) -> None:
+        self.translator = translator
+        self.base_table = table
+        self.base_alias = alias
+        #: var name → (alias, class name)
+        self.row_vars: Dict[str, Tuple[str, str]] = {var: (alias, class_name)}
+        #: list of (table, alias, on-sql)
+        self.joins: List[Tuple[str, str, str]] = []
+
+    def join_via(self, source_alias: str, fk_column: str, target_class: str) -> str:
+        """Alias of the table joined through ``source_alias.fk_column``."""
+        target_table = self.translator.compiler.mapping.table_for(target_class)
+        for table, alias, on in self.joins:
+            if on == f"{alias}.{PRIMARY_KEY} = {source_alias}.{fk_column}":
+                return alias
+        alias = self.translator.new_alias()
+        self.joins.append(
+            (target_table, alias, f"{alias}.{PRIMARY_KEY} = {source_alias}.{fk_column}")
+        )
+        return alias
+
+
+_BINOP_SQL = {
+    BinaryOp.ADD: "+",
+    BinaryOp.SUB: "-",
+    BinaryOp.MUL: "*",
+    BinaryOp.DIV: "/",
+    BinaryOp.EQ: "=",
+    BinaryOp.NE: "<>",
+    BinaryOp.LT: "<",
+    BinaryOp.LE: "<=",
+    BinaryOp.GT: ">",
+    BinaryOp.GE: ">=",
+    BinaryOp.AND: "AND",
+    BinaryOp.OR: "OR",
+}
+
+
+class _ExprTranslator:
+    """Translates one inlined, type-annotated expression into SQL text."""
+
+    def __init__(self, compiler: PropertyCompiler, param_types: Mapping[str, Type]) -> None:
+        self.compiler = compiler
+        self.param_types = dict(param_types)
+        self.param_slots: List[str] = []
+        self._alias_counter = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def new_alias(self) -> str:
+        self._alias_counter += 1
+        return f"t{self._alias_counter}"
+
+    def _placeholder(self, param_name: str) -> str:
+        self.param_slots.append(param_name)
+        return "?"
+
+    @staticmethod
+    def _type_of(expr: Expr) -> Optional[Type]:
+        return getattr(expr, "inferred_type", None)
+
+    # -- value translation -----------------------------------------------------
+
+    def value(self, expr: Expr, context: Optional[_QueryContext]) -> str:
+        """SQL text computing the value of ``expr``.
+
+        Object-typed expressions are represented by their row id.
+        """
+        if isinstance(expr, IntLiteral):
+            return str(expr.value)
+        if isinstance(expr, FloatLiteral):
+            return repr(float(expr.value))
+        if isinstance(expr, BoolLiteral):
+            return "TRUE" if expr.value else "FALSE"
+        if isinstance(expr, StringLiteral):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(expr, Identifier):
+            return self._identifier_value(expr, context)
+        if isinstance(expr, AttributeAccess):
+            return self._attribute_value(expr, context)
+        if isinstance(expr, AggregateExpr):
+            return self._aggregate_value(expr, context, wanted_column=None)
+        if isinstance(expr, UnaryExpr):
+            operand = self.value(expr.operand, context)
+            if expr.op is UnaryOp.NEG:
+                return f"(-{operand})"
+            return f"(NOT {operand})"
+        if isinstance(expr, BinaryExpr):
+            return self._binary_value(expr, context)
+        if isinstance(expr, FunctionCall):
+            raise PushdownError(
+                f"call to {expr.name!r} cannot be pushed down (only "
+                f"specification functions are inlined)"
+            )
+        if isinstance(expr, SetComprehension):
+            raise PushdownError(
+                "a set comprehension can only be pushed down inside UNIQUE or "
+                "an aggregate"
+            )
+        raise PushdownError(
+            f"cannot translate expression node {type(expr).__name__} to SQL"
+        )
+
+    def _identifier_value(self, expr: Identifier, context: Optional[_QueryContext]) -> str:
+        name = expr.name
+        if context is not None and name in context.row_vars:
+            alias, class_name = context.row_vars[name]
+            return f"{alias}.{PRIMARY_KEY}"
+        if name in self.param_types:
+            return self._placeholder(name)
+        if name in self.compiler.index.constants:
+            from repro.asl.evaluator import AslEvaluator
+
+            evaluator = AslEvaluator(self.compiler.checked)
+            value = evaluator.constant_value(name)
+            if isinstance(value, bool):
+                return "TRUE" if value else "FALSE"
+            if isinstance(value, (int, float)):
+                return repr(value)
+            if isinstance(value, str):
+                return "'" + value.replace("'", "''") + "'"
+            raise PushdownError(f"constant {name!r} has a non-scalar value")
+        if name in self.compiler.index.enum_members:
+            return f"'{name}'"
+        raise PushdownError(f"cannot translate identifier {name!r} to SQL")
+
+    def _attribute_value(
+        self, expr: AttributeAccess, context: Optional[_QueryContext]
+    ) -> str:
+        obj = expr.obj
+        obj_type = self._type_of(obj)
+        if not isinstance(obj_type, ClassType):
+            raise PushdownError(
+                f"attribute access {expr.attribute!r} on a value of type "
+                f"{obj_type} cannot be pushed down"
+            )
+        attribute = self.compiler.mapping.attribute(obj_type.name, expr.attribute)
+        if attribute.kind == "collection":
+            raise PushdownError(
+                f"collection attribute {obj_type.name}.{expr.attribute} can "
+                f"only be used as an aggregate or UNIQUE source"
+            )
+        # Row variable in the current query context → direct column reference,
+        # possibly through a join for reference chains.
+        alias = self._alias_for_row(obj, context)
+        if alias is not None:
+            return f"{alias}.{attribute.column}"
+        # UNIQUE(...) result → subquery selecting the wanted column.
+        if isinstance(obj, AggregateExpr) and obj.is_unique:
+            return self._aggregate_value(obj, context, wanted_column=attribute.column)
+        # Anything else: the object is available as an id value; fetch the
+        # column with a scalar subquery against the object's table.
+        table = self.compiler.mapping.table_for(obj_type.name)
+        object_id = self.value(obj, context)
+        if object_id == "?" or object_id.startswith("("):
+            return (
+                f"(SELECT {attribute.column} FROM {table} "
+                f"WHERE {PRIMARY_KEY} = {object_id})"
+            )
+        raise PushdownError(
+            f"cannot translate attribute access {obj_type.name}.{expr.attribute}"
+        )
+
+    def _alias_for_row(
+        self, expr: Expr, context: Optional[_QueryContext]
+    ) -> Optional[str]:
+        """Alias representing ``expr`` as a row of the current context, if any."""
+        if context is None:
+            return None
+        if isinstance(expr, Identifier) and expr.name in context.row_vars:
+            return context.row_vars[expr.name][0]
+        if isinstance(expr, AttributeAccess):
+            obj_type = self._type_of(expr.obj)
+            if not isinstance(obj_type, ClassType):
+                return None
+            attribute = self.compiler.mapping.attribute(obj_type.name, expr.attribute)
+            if attribute.kind != "reference" or attribute.target_class is None:
+                return None
+            source_alias = self._alias_for_row(expr.obj, context)
+            if source_alias is None:
+                return None
+            return context.join_via(source_alias, attribute.column, attribute.target_class)
+        return None
+
+    def _binary_value(self, expr: BinaryExpr, context: Optional[_QueryContext]) -> str:
+        left_type = self._type_of(expr.left)
+        right_type = self._type_of(expr.right)
+        # Object equality compares row ids / foreign keys.
+        if expr.op in (BinaryOp.EQ, BinaryOp.NE) and (
+            isinstance(left_type, ClassType) or isinstance(right_type, ClassType)
+        ):
+            left = self._object_id(expr.left, context)
+            right = self._object_id(expr.right, context)
+        else:
+            left = self.value(expr.left, context)
+            right = self.value(expr.right, context)
+        op = _BINOP_SQL.get(expr.op)
+        if op is None:
+            raise PushdownError(f"operator {expr.op.value!r} is not supported in SQL")
+        return f"({left} {op} {right})"
+
+    def _object_id(self, expr: Expr, context: Optional[_QueryContext]) -> str:
+        """SQL text for the row id of an object-valued expression."""
+        expr_type = self._type_of(expr)
+        if isinstance(expr, AttributeAccess) and context is not None:
+            obj_type = self._type_of(expr.obj)
+            if isinstance(obj_type, ClassType):
+                attribute = self.compiler.mapping.attribute(
+                    obj_type.name, expr.attribute
+                )
+                if attribute.kind == "reference":
+                    source_alias = self._alias_for_row(expr.obj, context)
+                    if source_alias is not None:
+                        return f"{source_alias}.{attribute.column}"
+        if isinstance(expr, AggregateExpr) and expr.is_unique:
+            return self._aggregate_value(expr, context, wanted_column=PRIMARY_KEY)
+        if isinstance(expr, Identifier):
+            return self._identifier_value(expr, context)
+        if isinstance(expr_type, ClassType) and isinstance(expr, AttributeAccess):
+            # Reference attribute of an object reachable only by id: select the
+            # foreign-key column instead of dereferencing the target row.
+            obj_type = self._type_of(expr.obj)
+            if isinstance(obj_type, ClassType):
+                attribute = self.compiler.mapping.attribute(
+                    obj_type.name, expr.attribute
+                )
+                if attribute.kind == "reference":
+                    if isinstance(expr.obj, AggregateExpr) and expr.obj.is_unique:
+                        return self._aggregate_value(
+                            expr.obj, context, wanted_column=attribute.column
+                        )
+                    table = self.compiler.mapping.table_for(obj_type.name)
+                    object_id = self.value(expr.obj, context)
+                    return (
+                        f"(SELECT {attribute.column} FROM {table} "
+                        f"WHERE {PRIMARY_KEY} = {object_id})"
+                    )
+        return self.value(expr, context)
+
+    # -- aggregates / UNIQUE ------------------------------------------------------
+
+    def _aggregate_value(
+        self,
+        expr: AggregateExpr,
+        outer_context: Optional[_QueryContext],
+        wanted_column: Optional[str],
+    ) -> str:
+        """Translate UNIQUE / SUM / MIN / MAX / AVG / COUNT into a scalar subquery.
+
+        Note on parameter ordering: every ``?`` placeholder must be appended to
+        ``param_slots`` in the same order it appears in the generated text.  The
+        generated subquery reads ``SELECT <value> FROM … WHERE <owner> AND
+        <predicates>``, therefore the value expression is translated first, the
+        owner condition second and the predicates last.
+        """
+        if expr.is_unique:
+            var, source, predicate = self._comprehension_parts(expr.value)
+            context, collection = self._make_context(var, source)
+            column = wanted_column or PRIMARY_KEY
+            select_value = f"{context.base_alias}.{column}"
+            where = [self._owner_condition(context, collection, source, outer_context)]
+            if predicate is not None:
+                where.append(self.value(predicate, context))
+            return self._build_select(select_value, context, where)
+        assert expr.source is not None
+        if wanted_column is not None:
+            raise PushdownError(
+                "attribute access on a non-UNIQUE aggregate cannot be pushed down"
+            )
+        var, source, comp_predicate = self._comprehension_parts(expr.source, expr.var)
+        context, collection = self._make_context(var, source)
+        if expr.func == "COUNT":
+            select_value = "COUNT(*)"
+        else:
+            select_value = f"{expr.func}({self.value(expr.value, context)})"
+        where = [self._owner_condition(context, collection, source, outer_context)]
+        if comp_predicate is not None:
+            where.append(self.value(comp_predicate, context))
+        if expr.predicate is not None:
+            where.append(self.value(expr.predicate, context))
+        return self._build_select(select_value, context, where)
+
+    def _comprehension_parts(
+        self, expr: Expr, default_var: str = ""
+    ) -> Tuple[str, Expr, Optional[Expr]]:
+        """Normalise an aggregate/UNIQUE source into (var, collection, predicate)."""
+        if isinstance(expr, SetComprehension):
+            return expr.var, expr.source, expr.predicate
+        if default_var:
+            return default_var, expr, None
+        raise PushdownError(
+            "UNIQUE requires a set comprehension or collection attribute as its "
+            "argument"
+        )
+
+    def _make_context(self, var: str, source: Expr):
+        """Query context for an aggregate over the collection ``source``."""
+        if not isinstance(source, AttributeAccess):
+            raise PushdownError(
+                "only collection attributes (e.g. r.TotTimes) can be used as "
+                "aggregate sources in SQL"
+            )
+        owner_type = self._type_of(source.obj)
+        if not isinstance(owner_type, ClassType):
+            raise PushdownError(
+                f"aggregate source must navigate from an object, found "
+                f"{owner_type}"
+            )
+        attribute = self.compiler.mapping.attribute(owner_type.name, source.attribute)
+        if attribute.kind != "collection" or attribute.target_class is None:
+            raise PushdownError(
+                f"{owner_type.name}.{source.attribute} is not a collection "
+                f"attribute"
+            )
+        alias = self.new_alias()
+        context = _QueryContext(
+            self, table=attribute.table, alias=alias, var=var,
+            class_name=attribute.target_class,
+        )
+        return context, attribute
+
+    def _owner_condition(
+        self,
+        context: _QueryContext,
+        collection,
+        source: AttributeAccess,
+        outer_context: Optional[_QueryContext],
+    ) -> str:
+        """WHERE condition binding the element table to the owning object."""
+        owner_id = self._object_id(source.obj, outer_context)
+        return f"{context.base_alias}.{collection.column} = {owner_id}"
+
+    def _build_select(
+        self, select_value: str, context: _QueryContext, where: List[str]
+    ) -> str:
+        parts = [f"SELECT {select_value} FROM {context.base_table} {context.base_alias}"]
+        for table, alias, on in context.joins:
+            parts.append(f"JOIN {table} {alias} ON {on}")
+        conditions = [w for w in where if w]
+        if conditions:
+            parts.append("WHERE " + " AND ".join(conditions))
+        return "(" + " ".join(parts) + ")"

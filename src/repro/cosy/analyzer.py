@@ -1,0 +1,333 @@
+"""The KOJAK Cost Analyzer (COSY).
+
+The analyzer ties everything together (paper, Section 3):
+
+1. the user selects a program version and a specific test run;
+2. the tool evaluates the set of performance properties — region properties
+   for every program region, call-site properties for (barrier) call sites —
+   against the performance data;
+3. the main property is the total cost of the test run (the cycles lost in
+   comparison to the run with the smallest number of processors), the other
+   properties explain these costs in more detail;
+4. the performance properties are ranked according to their severity and
+   presented to the application programmer; a property is a performance
+   *problem* iff its severity exceeds the threshold, and the most severe
+   property is the program's *bottleneck*.
+
+The evaluation itself is delegated to one of the strategies in
+:mod:`repro.cosy.strategies` (client-side or SQL pushdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.asl.errors import AslEvaluationError
+from repro.asl.evaluator import PropertyEvaluation
+from repro.asl.semantic import CheckedSpecification
+from repro.asl.specs import cosy_specification
+from repro.cosy.properties import (
+    PropertyRegistration,
+    PropertyRegistry,
+    SubjectKind,
+    default_registry,
+)
+from repro.cosy.strategies import ClientSideStrategy, EvaluationStrategy
+from repro.datamodel import (
+    FunctionCall,
+    PerformanceDatabase,
+    ProgVersion,
+    Region,
+    TestRun,
+)
+
+__all__ = ["PropertyInstance", "AnalysisResult", "CosyAnalyzer"]
+
+#: Default severity threshold above which a property is a performance problem.
+DEFAULT_THRESHOLD = 0.05
+
+
+@dataclass
+class PropertyInstance:
+    """One evaluated property in one context (region or call site, one run)."""
+
+    property_name: str
+    #: Human-readable description of the subject (region name or call site).
+    subject: str
+    #: ``region`` or ``call``.
+    subject_kind: str
+    #: The test run the property was evaluated for.
+    run_pes: int
+    holds: bool
+    confidence: float
+    severity: float
+    #: Values of the individual conditions (by condition id / position).
+    conditions: Dict[str, bool] = field(default_factory=dict)
+
+    def is_problem(self, threshold: float) -> bool:
+        """Performance property → performance problem iff severity > threshold."""
+        return self.holds and self.severity > threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.property_name}({self.subject}) severity={self.severity:.4f} "
+            f"confidence={self.confidence:.2f}"
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """The ranked outcome of one COSY analysis."""
+
+    program: str
+    version: str
+    run_pes: int
+    basis: str
+    threshold: float
+    strategy: str
+    instances: List[PropertyInstance] = field(default_factory=list)
+    #: Number of property evaluations that failed (e.g. missing data) and were
+    #: skipped; COSY reports but tolerates them.
+    skipped: int = 0
+
+    # -- ranking -----------------------------------------------------------------
+
+    def ranked(self) -> List[PropertyInstance]:
+        """All property instances that hold, ranked by decreasing severity."""
+        return sorted(
+            (i for i in self.instances if i.holds),
+            key=lambda i: (-i.severity, i.property_name, i.subject),
+        )
+
+    def problems(self) -> List[PropertyInstance]:
+        """The performance problems: severity above the threshold."""
+        return [i for i in self.ranked() if i.is_problem(self.threshold)]
+
+    def bottleneck(self) -> Optional[PropertyInstance]:
+        """The program's unique bottleneck: its most severe property.
+
+        Returns ``None`` when no property holds.  If the bottleneck is not a
+        performance problem, the program does not need any further tuning
+        (paper, Section 4).
+        """
+        ranked = self.ranked()
+        return ranked[0] if ranked else None
+
+    def needs_tuning(self) -> bool:
+        """Whether the bottleneck is a performance problem."""
+        bottleneck = self.bottleneck()
+        return bottleneck is not None and bottleneck.is_problem(self.threshold)
+
+    # -- convenience accessors ------------------------------------------------------
+
+    def by_property(self, property_name: str) -> List[PropertyInstance]:
+        """All instances of one property, ranked by severity."""
+        return [i for i in self.ranked() if i.property_name == property_name]
+
+    def severity_of(self, property_name: str, subject: str) -> float:
+        """Severity of one property instance (0 when it does not exist / hold)."""
+        for instance in self.instances:
+            if instance.property_name == property_name and instance.subject == subject:
+                return instance.severity if instance.holds else 0.0
+        return 0.0
+
+    def total_cost_severity(self) -> float:
+        """Severity of SublinearSpeedup on the whole-program region (main cost)."""
+        instances = self.by_property("SublinearSpeedup")
+        for instance in instances:
+            if instance.subject == self.basis:
+                return instance.severity
+        return instances[0].severity if instances else 0.0
+
+
+class CosyAnalyzer:
+    """Evaluates and ranks the COSY performance properties for one test run."""
+
+    def __init__(
+        self,
+        repository: PerformanceDatabase,
+        specification: Optional[CheckedSpecification] = None,
+        registry: Optional[PropertyRegistry] = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        constants: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.repository = repository
+        self.specification = specification or cosy_specification()
+        self.registry = registry or default_registry()
+        self.threshold = threshold
+        self.constants = dict(constants or {})
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def analyze(
+        self,
+        program: Optional[str] = None,
+        version_label: Optional[str] = None,
+        pes: Optional[int] = None,
+        basis: Optional[Region] = None,
+        strategy: Optional[EvaluationStrategy] = None,
+        properties: Optional[Sequence[str]] = None,
+    ) -> AnalysisResult:
+        """Analyze one test run of one program version.
+
+        Parameters default to: the only (or first) program, its latest version,
+        the run with the largest number of processors, the whole-program region
+        as ranking basis, and client-side evaluation.
+        """
+        prog = self._select_program(program)
+        version = self._select_version(prog, version_label)
+        run = self._select_run(version, pes)
+        basis_region = basis or version.main_region
+        if strategy is None:
+            strategy = ClientSideStrategy(self.specification, constants=self.constants)
+
+        result = AnalysisResult(
+            program=prog.Name,
+            version=version.label,
+            run_pes=run.NoPe,
+            basis=basis_region.name,
+            threshold=self.threshold,
+            strategy=getattr(strategy, "name", type(strategy).__name__),
+        )
+        wanted = set(properties) if properties is not None else None
+
+        for registration in self.registry:
+            if wanted is not None and registration.name not in wanted:
+                continue
+            if registration.name not in self.specification.index.properties:
+                raise KeyError(
+                    f"property {registration.name!r} is registered but not part "
+                    f"of the ASL specification"
+                )
+            if registration.subject == SubjectKind.REGION:
+                self._evaluate_regions(
+                    registration, version, run, basis_region, strategy, result
+                )
+            else:
+                self._evaluate_calls(
+                    registration, version, run, basis_region, strategy, result
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # iteration over subjects
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_regions(
+        self,
+        registration: PropertyRegistration,
+        version: ProgVersion,
+        run: TestRun,
+        basis: Region,
+        strategy: EvaluationStrategy,
+        result: AnalysisResult,
+    ) -> None:
+        for region in version.all_regions():
+            parameters = self._bind_parameters(registration.name, region, run, basis)
+            self._evaluate_one(
+                registration, region.name, SubjectKind.REGION, parameters, run,
+                strategy, result,
+            )
+
+    def _evaluate_calls(
+        self,
+        registration: PropertyRegistration,
+        version: ProgVersion,
+        run: TestRun,
+        basis: Region,
+        strategy: EvaluationStrategy,
+        result: AnalysisResult,
+    ) -> None:
+        for call in version.all_calls():
+            if not registration.accepts_callee(call.callee_name):
+                continue
+            subject = f"{call.callee_name}@{call.CallingReg.name}"
+            parameters = self._bind_parameters(registration.name, call, run, basis)
+            self._evaluate_one(
+                registration, subject, SubjectKind.CALL, parameters, run,
+                strategy, result,
+            )
+
+    def _evaluate_one(
+        self,
+        registration: PropertyRegistration,
+        subject: str,
+        subject_kind: str,
+        parameters: Dict[str, Any],
+        run: TestRun,
+        strategy: EvaluationStrategy,
+        result: AnalysisResult,
+    ) -> None:
+        try:
+            evaluation = strategy.evaluate(registration.name, parameters)
+        except AslEvaluationError:
+            # Missing data for this context (e.g. a region without timings for
+            # the selected run): skip the instance but keep analysing.
+            result.skipped += 1
+            return
+        result.instances.append(
+            PropertyInstance(
+                property_name=registration.name,
+                subject=subject,
+                subject_kind=subject_kind,
+                run_pes=run.NoPe,
+                holds=evaluation.holds,
+                confidence=evaluation.confidence,
+                severity=evaluation.severity,
+                conditions=dict(evaluation.conditions),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # parameter binding and selection helpers
+    # ------------------------------------------------------------------ #
+
+    def _bind_parameters(
+        self, property_name: str, subject: Any, run: TestRun, basis: Region
+    ) -> Dict[str, Any]:
+        """Bind a property's formal parameters to subject / run / basis.
+
+        The first parameter receives the subject; the remaining parameters are
+        bound by type: ``TestRun`` → the selected run, ``Region`` → the ranking
+        basis.
+        """
+        decl = self.specification.index.properties[property_name]
+        if not decl.params:
+            return {}
+        binding: Dict[str, Any] = {decl.params[0].name: subject}
+        for param in decl.params[1:]:
+            if param.type.name == "TestRun":
+                binding[param.name] = run
+            elif param.type.name == "Region":
+                binding[param.name] = basis
+            else:
+                raise KeyError(
+                    f"cannot bind parameter {param.name!r} of type "
+                    f"{param.type.name!r} in property {property_name!r}"
+                )
+        return binding
+
+    def _select_program(self, name: Optional[str]):
+        programs = self.repository.programs
+        if not programs:
+            raise ValueError("the repository contains no programs")
+        if name is None:
+            return programs[0]
+        return self.repository.program(name)
+
+    @staticmethod
+    def _select_version(program, label: Optional[str]) -> ProgVersion:
+        if label is None:
+            return program.latest_version()
+        return program.version_by_label(label)
+
+    @staticmethod
+    def _select_run(version: ProgVersion, pes: Optional[int]) -> TestRun:
+        if not version.Runs:
+            raise ValueError("the selected program version has no test runs")
+        if pes is None:
+            return max(version.Runs, key=lambda run: (run.NoPe, run.uid))
+        return version.run_with_pes(pes)

@@ -1,0 +1,134 @@
+"""Command-line interface of the COSY cost analyzer.
+
+Example::
+
+    cosy --workload mixed --pes 1 2 4 8 16 32 --analyze-pes 32 --strategy pushdown
+
+simulates the ``mixed`` synthetic workload, loads the resulting performance
+data, evaluates the COSY properties with the chosen strategy and prints the
+ranked report.  ``--show-sql`` additionally prints the SQL queries generated
+for every property (the output of the ASL→SQL compiler).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.apprentice import SimulationConfig, ExecutionSimulator, synthetic_workload
+from repro.asl.specs import cosy_specification
+from repro.compiler import PropertyCompiler, generate_schema, load_repository
+from repro.cosy.analyzer import CosyAnalyzer, DEFAULT_THRESHOLD
+from repro.cosy.report import render_report
+from repro.cosy.strategies import ClientSideStrategy, PushdownStrategy
+from repro.relalg import NativeClient, backend
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``cosy`` command."""
+    parser = argparse.ArgumentParser(
+        prog="cosy",
+        description="KOJAK Cost Analyzer — automatic performance analysis of "
+        "simulated parallel applications",
+    )
+    parser.add_argument(
+        "--workload",
+        default="mixed",
+        help="synthetic workload to simulate (stencil, imbalanced, io_bound, "
+        "comm_bound, mixed, scalable)",
+    )
+    parser.add_argument(
+        "--pes",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8, 16, 32],
+        help="processor counts of the simulated test runs",
+    )
+    parser.add_argument(
+        "--analyze-pes",
+        type=int,
+        default=None,
+        help="processor count of the run to analyse (default: the largest)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="severity threshold above which a property is a problem",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("client", "pushdown"),
+        default="client",
+        help="property evaluation strategy",
+    )
+    parser.add_argument(
+        "--db-backend",
+        choices=("oracle7", "ms_sql_server", "postgres", "ms_access"),
+        default="ms_access",
+        help="simulated database backend used by the pushdown strategy",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="number of ranked property instances to print",
+    )
+    parser.add_argument(
+        "--show-sql",
+        action="store_true",
+        help="print the SQL generated for every property and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``cosy`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    specification = cosy_specification()
+
+    if args.show_sql:
+        mapping = generate_schema(specification)
+        compiler = PropertyCompiler(specification, mapping)
+        for name, compiled in sorted(compiler.compile_all().items()):
+            print(f"-- property {name}")
+            for key, query in compiled.conditions:
+                print(f"--   condition ({key}): params {query.param_slots}")
+                print(f"     {query.sql}")
+            for guard, query in compiled.severity:
+                label = f"guard {guard}" if guard else "unguarded"
+                print(f"--   severity ({label}): params {query.param_slots}")
+                print(f"     {query.sql}")
+            print()
+        return 0
+
+    workload = synthetic_workload(args.workload)
+    simulator = ExecutionSimulator(
+        workload, SimulationConfig(pe_counts=tuple(args.pes))
+    )
+    repository = simulator.run()
+
+    analyzer = CosyAnalyzer(
+        repository, specification=specification, threshold=args.threshold
+    )
+
+    if args.strategy == "pushdown":
+        mapping = generate_schema(specification)
+        client = NativeClient(backend(args.db_backend))
+        ids = load_repository(repository, mapping, client)
+        strategy = PushdownStrategy(specification, mapping, client, ids)
+    else:
+        strategy = ClientSideStrategy(specification)
+
+    result = analyzer.analyze(pes=args.analyze_pes, strategy=strategy)
+    print(render_report(result, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The COSY performance data model (paper, Section 4.1) as runtime objects.
+
+The classes mirror the ASL data model one to one; the
+:class:`PerformanceDatabase` repository enforces the invariants stated in the
+paper (one ``TotalTiming`` per region and run, one ``TypedTiming`` per region,
+run and type, one ``CallTiming`` per call site and run).
+"""
+
+from repro.datamodel.entities import (
+    CallTiming,
+    DataModelError,
+    Function,
+    FunctionCall,
+    Program,
+    ProgVersion,
+    Region,
+    RegionKind,
+    SourceCode,
+    TestRun,
+    TotalTiming,
+    TypedTiming,
+)
+from repro.datamodel.repository import PerformanceDatabase, RepositoryStats
+from repro.datamodel.timing_types import (
+    COMMUNICATION_TYPES,
+    IO_TYPES,
+    NUM_TIMING_TYPES,
+    SYNCHRONIZATION_TYPES,
+    TimingCategory,
+    TimingType,
+)
+
+__all__ = [
+    "CallTiming",
+    "COMMUNICATION_TYPES",
+    "DataModelError",
+    "Function",
+    "FunctionCall",
+    "IO_TYPES",
+    "NUM_TIMING_TYPES",
+    "PerformanceDatabase",
+    "Program",
+    "ProgVersion",
+    "Region",
+    "RegionKind",
+    "RepositoryStats",
+    "SourceCode",
+    "SYNCHRONIZATION_TYPES",
+    "TestRun",
+    "TimingCategory",
+    "TimingType",
+    "TotalTiming",
+    "TypedTiming",
+]

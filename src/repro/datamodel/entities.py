@@ -1,0 +1,600 @@
+"""Runtime entity classes for the COSY performance data model.
+
+These classes mirror, one to one, the ASL data model printed in Section 4.1 of
+the paper (``Program``, ``ProgVersion``, ``TestRun``, ``Function``, ``Region``,
+``TotalTiming``, ``TypedTiming``, ``FunctionCall`` and ``CallTiming``).  The
+attribute names follow the paper exactly (``NoPe``, ``Excl``, ``Incl``,
+``Ovhd``, ``TotTimes``, ``TypTimes`` …) so that
+
+* the ASL reference evaluator (:mod:`repro.asl.evaluator`) can resolve
+  attribute accesses such as ``r.TotTimes`` or ``sum.Run.NoPe`` directly
+  against these Python objects, and
+* the ASL→SQL compiler (:mod:`repro.compiler`) can map attributes to relational
+  columns without a separate name-mapping table.
+
+A small number of bookkeeping attributes that the paper leaves implicit (object
+identifiers, region names and kinds, source line ranges) are added because the
+relational representation and the report output need them; they are all
+lower-case to keep them visually distinct from the paper's attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.datamodel.timing_types import TimingType
+
+__all__ = [
+    "RegionKind",
+    "SourceCode",
+    "Program",
+    "ProgVersion",
+    "TestRun",
+    "Function",
+    "Region",
+    "TotalTiming",
+    "TypedTiming",
+    "FunctionCall",
+    "CallTiming",
+    "DataModelError",
+]
+
+
+class DataModelError(ValueError):
+    """Raised when an entity or a repository violates a data-model invariant."""
+
+
+_id_counter = itertools.count(1)
+
+
+def _next_id() -> int:
+    """Return a process-wide unique positive integer identifier."""
+    return next(_id_counter)
+
+
+class RegionKind(enum.Enum):
+    """Kinds of program regions COSY identifies (paper, Section 3).
+
+    COSY "identifies program regions, i.e. subprograms, loops, if-blocks,
+    subroutine calls, and arbitrary basic blocks".
+    """
+
+    PROGRAM = "program"
+    SUBPROGRAM = "subprogram"
+    LOOP = "loop"
+    IF_BLOCK = "if_block"
+    CALL = "call"
+    BASIC_BLOCK = "basic_block"
+
+
+@dataclass
+class SourceCode:
+    """Program source text stored with a program version.
+
+    The paper's ``ProgVersion`` class has a ``SourceCode Code`` attribute; COSY
+    stores the source so that reports can point at the offending lines.
+    """
+
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def add_file(self, path: str, text: str) -> None:
+        """Register (or replace) a source file."""
+        self.files[path] = text
+
+    def line(self, path: str, lineno: int) -> str:
+        """Return one source line (1-based); raises ``KeyError``/``IndexError``."""
+        lines = self.files[path].splitlines()
+        return lines[lineno - 1]
+
+    @property
+    def total_lines(self) -> int:
+        """Total number of source lines across all files."""
+        return sum(len(text.splitlines()) for text in self.files.values())
+
+
+@dataclass
+class TestRun:
+    """One execution of a program version on a processor configuration.
+
+    ASL::
+
+        class TestRun {
+            DateTime Start;
+            int NoPe;
+            int Clockspeed;
+        }
+    """
+
+    Start: _dt.datetime
+    NoPe: int
+    Clockspeed: int
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if self.NoPe <= 0:
+            raise DataModelError(f"TestRun.NoPe must be positive, got {self.NoPe}")
+        if self.Clockspeed <= 0:
+            raise DataModelError(
+                f"TestRun.Clockspeed must be positive, got {self.Clockspeed}"
+            )
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TestRun) and other.uid == self.uid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TestRun(uid={self.uid}, NoPe={self.NoPe}, Clockspeed={self.Clockspeed})"
+
+
+@dataclass
+class TotalTiming:
+    """Summed-up exclusive/inclusive/overhead time of a region in one run.
+
+    ASL::
+
+        class TotalTiming {
+            TestRun Run;
+            float Excl;
+            float Incl;
+            float Ovhd;
+        }
+
+    All timings in the database are sums over all processes of the run.
+    """
+
+    Run: TestRun
+    Excl: float
+    Incl: float
+    Ovhd: float
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        for name in ("Excl", "Incl", "Ovhd"):
+            value = getattr(self, name)
+            if value < 0:
+                raise DataModelError(f"TotalTiming.{name} must be >= 0, got {value}")
+        if self.Incl + 1e-9 < self.Excl:
+            raise DataModelError(
+                "TotalTiming.Incl must be >= TotalTiming.Excl "
+                f"(Incl={self.Incl}, Excl={self.Excl})"
+            )
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+
+@dataclass
+class TypedTiming:
+    """Time a region spent in one of the 25 Apprentice work/overhead types.
+
+    ASL::
+
+        class TypedTiming {
+            TestRun Run;
+            TimingType Type;
+            float Time;
+        }
+
+    For each region there is *at most one* object per (run, type) pair; the
+    repository enforces this invariant.
+    """
+
+    Run: TestRun
+    Type: TimingType
+    Time: float
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.Type, TimingType):
+            raise DataModelError(
+                f"TypedTiming.Type must be a TimingType, got {self.Type!r}"
+            )
+        if self.Time < 0:
+            raise DataModelError(f"TypedTiming.Time must be >= 0, got {self.Time}")
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+
+@dataclass
+class CallTiming:
+    """Across-process statistics of one call site in one test run.
+
+    ASL (described in prose in the paper): a ``CallTiming`` stores, for the
+    test run it belongs to, minimum / maximum / mean / standard deviation over
+
+    a) the number of calls executed per process, and
+    b) the time spent in the called function per process.
+
+    For the four extremal values the processor that was first or last in the
+    respective category is memorised (the ``*Pe`` attributes).
+    """
+
+    Run: TestRun
+    MinCalls: float
+    MaxCalls: float
+    MeanCalls: float
+    StdevCalls: float
+    MinTime: float
+    MaxTime: float
+    MeanTime: float
+    StdevTime: float
+    MinCallsPe: int = 0
+    MaxCallsPe: int = 0
+    MinTimePe: int = 0
+    MaxTimePe: int = 0
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if self.MinCalls > self.MaxCalls + 1e-9:
+            raise DataModelError(
+                f"CallTiming.MinCalls ({self.MinCalls}) > MaxCalls ({self.MaxCalls})"
+            )
+        if self.MinTime > self.MaxTime + 1e-9:
+            raise DataModelError(
+                f"CallTiming.MinTime ({self.MinTime}) > MaxTime ({self.MaxTime})"
+            )
+        for name in ("StdevCalls", "StdevTime", "MeanCalls", "MeanTime"):
+            if getattr(self, name) < 0:
+                raise DataModelError(f"CallTiming.{name} must be >= 0")
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Standard deviation of per-process time relative to the mean.
+
+        This is the quantity the ``LoadImbalance`` property compares against
+        the imbalance threshold.  Zero when the mean time is zero.
+        """
+        if self.MeanTime <= 0:
+            return 0.0
+        return self.StdevTime / self.MeanTime
+
+
+@dataclass
+class Region:
+    """A program region with its parent and its measured performance data.
+
+    ASL::
+
+        class Region {
+            Region ParentRegion;
+            setof TotalTiming TotTimes;
+            setof TypedTiming TypTimes;
+        }
+
+    The additional ``name`` / ``kind`` / ``source_file`` / ``first_line`` /
+    ``last_line`` attributes identify the region in reports and exports.
+    """
+
+    name: str
+    kind: RegionKind = RegionKind.BASIC_BLOCK
+    ParentRegion: Optional["Region"] = None
+    TotTimes: List[TotalTiming] = field(default_factory=list)
+    TypTimes: List[TypedTiming] = field(default_factory=list)
+    source_file: str = ""
+    first_line: int = 0
+    last_line: int = 0
+    uid: int = field(default_factory=_next_id)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Region) and other.uid == self.uid
+
+    # -- structural helpers -------------------------------------------------
+
+    @property
+    def children(self) -> List["Region"]:
+        """Direct sub-regions (computed lazily by the repository)."""
+        return getattr(self, "_children", [])
+
+    def _register_child(self, child: "Region") -> None:
+        if not hasattr(self, "_children"):
+            self._children: List[Region] = []
+        self._children.append(child)
+
+    def ancestors(self) -> Iterator["Region"]:
+        """Yield the parent chain from the immediate parent to the root."""
+        current = self.ParentRegion
+        seen = set()
+        while current is not None:
+            if current.uid in seen:
+                raise DataModelError(
+                    f"cycle in region parent chain at region {current.name!r}"
+                )
+            seen.add(current.uid)
+            yield current
+            current = current.ParentRegion
+
+    def depth(self) -> int:
+        """Nesting depth of the region (root regions have depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    # -- timing accessors ----------------------------------------------------
+
+    def add_total_timing(self, timing: TotalTiming) -> None:
+        """Attach summary timing for one test run (at most one per run)."""
+        if any(t.Run == timing.Run for t in self.TotTimes):
+            raise DataModelError(
+                f"region {self.name!r} already has a TotalTiming for run "
+                f"{timing.Run.uid}"
+            )
+        self.TotTimes.append(timing)
+
+    def add_typed_timing(self, timing: TypedTiming) -> None:
+        """Attach a typed timing (at most one per run and timing type)."""
+        if any(
+            t.Run == timing.Run and t.Type is timing.Type for t in self.TypTimes
+        ):
+            raise DataModelError(
+                f"region {self.name!r} already has a TypedTiming of type "
+                f"{timing.Type.value} for run {timing.Run.uid}"
+            )
+        self.TypTimes.append(timing)
+
+    def summary(self, run: TestRun) -> TotalTiming:
+        """Return the unique :class:`TotalTiming` for ``run``.
+
+        This is the Python counterpart of the ASL helper function
+        ``Summary(Region r, TestRun t)`` in Section 4.2.
+        """
+        matches = [t for t in self.TotTimes if t.Run == run]
+        if len(matches) != 1:
+            raise DataModelError(
+                f"region {self.name!r} has {len(matches)} TotalTiming objects "
+                f"for run {run.uid}; expected exactly one"
+            )
+        return matches[0]
+
+    def duration(self, run: TestRun) -> float:
+        """Inclusive execution time of the region in ``run`` (ASL ``Duration``)."""
+        return self.summary(run).Incl
+
+    def typed_time(self, run: TestRun, timing_type: TimingType) -> float:
+        """Summed time of ``timing_type`` in ``run``; zero when not recorded."""
+        return sum(
+            t.Time
+            for t in self.TypTimes
+            if t.Run == run and t.Type is timing_type
+        )
+
+    def overhead(self, run: TestRun) -> float:
+        """Measured overhead of the region in ``run`` (``Summary(r,t).Ovhd``)."""
+        return self.summary(run).Ovhd
+
+    def runs(self) -> List[TestRun]:
+        """All test runs for which the region has summary data."""
+        return [t.Run for t in self.TotTimes]
+
+
+@dataclass
+class FunctionCall:
+    """A call site of a function with per-process call statistics.
+
+    ASL::
+
+        class FunctionCall {
+            Function Caller;
+            Region CallingReg;
+            setof CallTiming Sums;
+        }
+    """
+
+    Caller: "Function"
+    CallingReg: Region
+    Sums: List[CallTiming] = field(default_factory=list)
+    callee_name: str = ""
+    uid: int = field(default_factory=_next_id)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def add_call_timing(self, timing: CallTiming) -> None:
+        """Attach statistics for one test run (at most one per run)."""
+        if any(t.Run == timing.Run for t in self.Sums):
+            raise DataModelError(
+                f"call site {self.uid} already has a CallTiming for run "
+                f"{timing.Run.uid}"
+            )
+        self.Sums.append(timing)
+
+    def timing_for(self, run: TestRun) -> CallTiming:
+        """Return the unique :class:`CallTiming` for ``run``."""
+        matches = [t for t in self.Sums if t.Run == run]
+        if len(matches) != 1:
+            raise DataModelError(
+                f"call site {self.uid} has {len(matches)} CallTiming objects "
+                f"for run {run.uid}; expected exactly one"
+            )
+        return matches[0]
+
+
+@dataclass
+class Function:
+    """A subprogram with its call sites and regions.
+
+    ASL::
+
+        class Function {
+            String Name;
+            setof FunctionCall Calls;
+            setof Region Regions;
+        }
+    """
+
+    Name: str
+    Calls: List[FunctionCall] = field(default_factory=list)
+    Regions: List[Region] = field(default_factory=list)
+    uid: int = field(default_factory=_next_id)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Function) and other.uid == self.uid
+
+    def add_region(self, region: Region) -> Region:
+        """Register ``region`` as belonging to this function."""
+        self.Regions.append(region)
+        if region.ParentRegion is not None:
+            region.ParentRegion._register_child(region)
+        return region
+
+    def add_call(self, call: FunctionCall) -> FunctionCall:
+        """Register a call site located in this function."""
+        self.Calls.append(call)
+        return call
+
+    def region_by_name(self, name: str) -> Region:
+        """Look up a region of this function by name; raises ``KeyError``."""
+        for region in self.Regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"function {self.Name!r} has no region named {name!r}")
+
+    @property
+    def body_region(self) -> Region:
+        """The outermost (function body) region of this function."""
+        roots = [r for r in self.Regions if r.ParentRegion is None]
+        if not roots:
+            raise DataModelError(f"function {self.Name!r} has no root region")
+        return roots[0]
+
+
+@dataclass
+class ProgVersion:
+    """One compiled version of a program with its runs and static structure.
+
+    ASL::
+
+        class ProgVersion {
+            DateTime Compilation;
+            setof Function Functions;
+            setof TestRun Runs;
+            SourceCode Code;
+        }
+    """
+
+    Compilation: _dt.datetime
+    Functions: List[Function] = field(default_factory=list)
+    Runs: List[TestRun] = field(default_factory=list)
+    Code: SourceCode = field(default_factory=SourceCode)
+    label: str = ""
+    uid: int = field(default_factory=_next_id)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def add_function(self, function: Function) -> Function:
+        """Register a function of this program version."""
+        if any(f.Name == function.Name for f in self.Functions):
+            raise DataModelError(
+                f"program version already has a function named {function.Name!r}"
+            )
+        self.Functions.append(function)
+        return function
+
+    def add_run(self, run: TestRun) -> TestRun:
+        """Register a test run executed with this program version."""
+        self.Runs.append(run)
+        return run
+
+    def function_by_name(self, name: str) -> Function:
+        """Look up a function by name; raises ``KeyError`` when unknown."""
+        for function in self.Functions:
+            if function.Name == name:
+                return function
+        raise KeyError(f"no function named {name!r} in this program version")
+
+    def run_with_pes(self, nope: int) -> TestRun:
+        """Return the (first) test run executed with ``nope`` processors."""
+        for run in self.Runs:
+            if run.NoPe == nope:
+                return run
+        raise KeyError(f"no test run with {nope} processors")
+
+    def smallest_run(self) -> TestRun:
+        """The test run with the minimal number of processors.
+
+        COSY uses this run as the reference for the total-cost computation
+        (paper, Section 3).
+        """
+        if not self.Runs:
+            raise DataModelError("program version has no test runs")
+        return min(self.Runs, key=lambda run: (run.NoPe, run.uid))
+
+    def all_regions(self) -> Iterator[Region]:
+        """Iterate over every region of every function."""
+        for function in self.Functions:
+            yield from function.Regions
+
+    def all_calls(self) -> Iterator[FunctionCall]:
+        """Iterate over every call site of every function."""
+        for function in self.Functions:
+            yield from function.Calls
+
+    @property
+    def main_region(self) -> Region:
+        """The whole-program region used as the default ranking basis."""
+        for function in self.Functions:
+            for region in function.Regions:
+                if region.kind is RegionKind.PROGRAM:
+                    return region
+        # Fall back to the body region of the first function.
+        if self.Functions:
+            return self.Functions[0].body_region
+        raise DataModelError("program version has no regions")
+
+
+@dataclass
+class Program:
+    """A single application identified by its name.
+
+    ASL::
+
+        class Program {
+            String Name;
+            setof ProgVersion Versions;
+        }
+    """
+
+    Name: str
+    Versions: List[ProgVersion] = field(default_factory=list)
+    uid: int = field(default_factory=_next_id)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def add_version(self, version: ProgVersion) -> ProgVersion:
+        """Register a new program version."""
+        self.Versions.append(version)
+        return version
+
+    def latest_version(self) -> ProgVersion:
+        """The most recently compiled version."""
+        if not self.Versions:
+            raise DataModelError(f"program {self.Name!r} has no versions")
+        return max(self.Versions, key=lambda v: (v.Compilation, v.uid))
+
+    def version_by_label(self, label: str) -> ProgVersion:
+        """Look up a version by its label; raises ``KeyError`` when unknown."""
+        for version in self.Versions:
+            if version.label == label:
+                return version
+        raise KeyError(f"program {self.Name!r} has no version labelled {label!r}")
+
+
+def entity_fields(entity: object) -> Sequence[str]:
+    """Return the dataclass field names of ``entity`` (helper for exporters)."""
+    return [f.name for f in dataclasses.fields(entity)]

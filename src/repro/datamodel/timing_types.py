@@ -1,0 +1,172 @@
+"""The Apprentice overhead/work categories used by the COSY data model.
+
+The paper states that *"The TypedTiming class determines the execution time for
+special types of overhead such as I/O, message passing and barrier
+synchronization -- Apprentice knows 25 such types."*  The exact list of the 25
+categories is not given in the paper, so this module defines a faithful
+substitute: 25 named timing types grouped into the overhead families that the
+Cray MPP Apprentice manual and the paper mention (message passing, collective
+communication, barrier synchronisation, I/O, shared-memory traffic and
+instrumentation overhead) plus pure computation categories.
+
+Only the *structure* matters for reproducing the paper: every region may carry
+at most one :class:`~repro.datamodel.entities.TypedTiming` per (test run,
+timing type) pair, and properties such as ``SyncCost`` select particular types
+(e.g. ``Barrier``) and relate their accumulated time to the duration of a
+ranking basis region.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Mapping, Tuple
+
+
+class TimingCategory(enum.Enum):
+    """Coarse grouping of the 25 Apprentice timing types."""
+
+    COMPUTATION = "computation"
+    MESSAGE_PASSING = "message_passing"
+    COLLECTIVE = "collective"
+    SYNCHRONIZATION = "synchronization"
+    IO = "io"
+    MEMORY = "memory"
+    INSTRUMENTATION = "instrumentation"
+
+
+class TimingType(enum.Enum):
+    """The 25 work/overhead types recorded per region and test run.
+
+    The enum *value* is the stable name used in Apprentice-style export files
+    and in the relational database (column ``TypedTiming.Type``).
+    """
+
+    # -- computation ------------------------------------------------------
+    FloatingPoint = "FloatingPoint"
+    IntegerOps = "IntegerOps"
+    LoadStore = "LoadStore"
+    # -- point-to-point message passing ------------------------------------
+    SendOverhead = "SendOverhead"
+    ReceiveOverhead = "ReceiveOverhead"
+    MessageWait = "MessageWait"
+    MessagePacking = "MessagePacking"
+    # -- collective communication ------------------------------------------
+    Broadcast = "Broadcast"
+    Reduce = "Reduce"
+    Gather = "Gather"
+    Scatter = "Scatter"
+    AllToAll = "AllToAll"
+    # -- synchronization ----------------------------------------------------
+    Barrier = "Barrier"
+    LockWait = "LockWait"
+    CriticalSection = "CriticalSection"
+    EventWait = "EventWait"
+    # -- input / output -----------------------------------------------------
+    IORead = "IORead"
+    IOWrite = "IOWrite"
+    IOOpenClose = "IOOpenClose"
+    IOSeek = "IOSeek"
+    # -- memory system -------------------------------------------------------
+    CacheMiss = "CacheMiss"
+    RemoteMemAccess = "RemoteMemAccess"
+    PageFault = "PageFault"
+    # -- tool overhead --------------------------------------------------------
+    Instrumentation = "Instrumentation"
+    Sampling = "Sampling"
+
+    @property
+    def category(self) -> TimingCategory:
+        """Return the coarse :class:`TimingCategory` of this timing type."""
+        return _CATEGORY_OF[self]
+
+    @property
+    def is_overhead(self) -> bool:
+        """True when time of this type counts as parallelization overhead.
+
+        Pure computation (floating point, integer, load/store) is useful work;
+        everything else is overhead that the COSY properties try to explain.
+        """
+        return self.category is not TimingCategory.COMPUTATION
+
+    @classmethod
+    def overhead_types(cls) -> Tuple["TimingType", ...]:
+        """All types that count as parallelization overhead."""
+        return tuple(t for t in cls if t.is_overhead)
+
+    @classmethod
+    def computation_types(cls) -> Tuple["TimingType", ...]:
+        """All types that count as useful computation."""
+        return tuple(t for t in cls if not t.is_overhead)
+
+    @classmethod
+    def from_name(cls, name: str) -> "TimingType":
+        """Look up a timing type by its export-file name.
+
+        Raises :class:`KeyError` with a helpful message for unknown names.
+        """
+        try:
+            return cls(name)
+        except ValueError:
+            known = ", ".join(sorted(t.value for t in cls))
+            raise KeyError(
+                f"unknown timing type {name!r}; known types: {known}"
+            ) from None
+
+
+_CATEGORY_OF: Mapping[TimingType, TimingCategory] = {
+    TimingType.FloatingPoint: TimingCategory.COMPUTATION,
+    TimingType.IntegerOps: TimingCategory.COMPUTATION,
+    TimingType.LoadStore: TimingCategory.COMPUTATION,
+    TimingType.SendOverhead: TimingCategory.MESSAGE_PASSING,
+    TimingType.ReceiveOverhead: TimingCategory.MESSAGE_PASSING,
+    TimingType.MessageWait: TimingCategory.MESSAGE_PASSING,
+    TimingType.MessagePacking: TimingCategory.MESSAGE_PASSING,
+    TimingType.Broadcast: TimingCategory.COLLECTIVE,
+    TimingType.Reduce: TimingCategory.COLLECTIVE,
+    TimingType.Gather: TimingCategory.COLLECTIVE,
+    TimingType.Scatter: TimingCategory.COLLECTIVE,
+    TimingType.AllToAll: TimingCategory.COLLECTIVE,
+    TimingType.Barrier: TimingCategory.SYNCHRONIZATION,
+    TimingType.LockWait: TimingCategory.SYNCHRONIZATION,
+    TimingType.CriticalSection: TimingCategory.SYNCHRONIZATION,
+    TimingType.EventWait: TimingCategory.SYNCHRONIZATION,
+    TimingType.IORead: TimingCategory.IO,
+    TimingType.IOWrite: TimingCategory.IO,
+    TimingType.IOOpenClose: TimingCategory.IO,
+    TimingType.IOSeek: TimingCategory.IO,
+    TimingType.CacheMiss: TimingCategory.MEMORY,
+    TimingType.RemoteMemAccess: TimingCategory.MEMORY,
+    TimingType.PageFault: TimingCategory.MEMORY,
+    TimingType.Instrumentation: TimingCategory.INSTRUMENTATION,
+    TimingType.Sampling: TimingCategory.INSTRUMENTATION,
+}
+
+#: Number of timing types known to the (simulated) Apprentice tool.  The paper
+#: states Apprentice knows 25 such types; this constant is asserted in tests.
+NUM_TIMING_TYPES: int = len(TimingType)
+
+#: Types whose time COSY attributes to communication cost.
+COMMUNICATION_TYPES: FrozenSet[TimingType] = frozenset(
+    t
+    for t in TimingType
+    if t.category in (TimingCategory.MESSAGE_PASSING, TimingCategory.COLLECTIVE)
+)
+
+#: Types whose time COSY attributes to synchronization cost.
+SYNCHRONIZATION_TYPES: FrozenSet[TimingType] = frozenset(
+    t for t in TimingType if t.category is TimingCategory.SYNCHRONIZATION
+)
+
+#: Types whose time COSY attributes to I/O cost.
+IO_TYPES: FrozenSet[TimingType] = frozenset(
+    t for t in TimingType if t.category is TimingCategory.IO
+)
+
+__all__ = [
+    "TimingCategory",
+    "TimingType",
+    "NUM_TIMING_TYPES",
+    "COMMUNICATION_TYPES",
+    "SYNCHRONIZATION_TYPES",
+    "IO_TYPES",
+]

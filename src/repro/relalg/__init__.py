@@ -1,0 +1,73 @@
+"""A from-scratch in-memory relational database engine with simulated backends.
+
+This package is the substrate replacing the relational databases used by the
+paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
+
+* :mod:`repro.relalg.schema`, :mod:`repro.relalg.storage` — tables, column
+  types, rows and hash indexes;
+* :mod:`repro.relalg.sqlparser`, :mod:`repro.relalg.sqlast` — the SQL subset
+  (DDL, INSERT, parametrised SELECT with joins, grouping, aggregates, ordering
+  and scalar subqueries);
+* :mod:`repro.relalg.executor`, :mod:`repro.relalg.database` — query execution
+  and the database facade;
+* :mod:`repro.relalg.backends` — virtual cost models of the four backends the
+  paper compares (Section 5);
+* :mod:`repro.relalg.client` — native (C-like) vs. bridged (JDBC-like) client
+  API layers.
+"""
+
+from repro.relalg.backends import (
+    BACKEND_PROFILES,
+    BackendProfile,
+    SimulatedBackend,
+    VirtualClock,
+    backend,
+)
+from repro.relalg.client import (
+    BridgedClient,
+    ClientCosts,
+    DatabaseClient,
+    NativeClient,
+)
+from repro.relalg.database import Database, ExecutionSummary
+from repro.relalg.errors import (
+    ExecutionError,
+    IntegrityError,
+    RelalgError,
+    SchemaError,
+    SqlSyntaxError,
+)
+from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
+from repro.relalg.schema import Column, ColumnType, TableSchema
+from repro.relalg.sqlparser import SqlParser, parse_sql, tokenize_sql
+from repro.relalg.storage import HashIndex, Table
+
+__all__ = [
+    "BACKEND_PROFILES",
+    "BackendProfile",
+    "BridgedClient",
+    "ClientCosts",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseClient",
+    "ExecutionError",
+    "ExecutionSummary",
+    "HashIndex",
+    "IntegrityError",
+    "NativeClient",
+    "QueryStats",
+    "RelalgError",
+    "ResultSet",
+    "SchemaError",
+    "SelectExecutor",
+    "SimulatedBackend",
+    "SqlParser",
+    "SqlSyntaxError",
+    "Table",
+    "TableSchema",
+    "VirtualClock",
+    "backend",
+    "parse_sql",
+    "tokenize_sql",
+]

@@ -1,0 +1,278 @@
+"""The database facade: statement execution over an in-memory catalog.
+
+:class:`Database` is the entry point of the relational substrate.  It keeps the
+table catalog, parses and executes SQL statements (optionally with positional
+``?`` parameters) and accumulates execution statistics.  The interface mirrors
+the small subset of the Python DB-API that COSY needs (``execute``,
+``executemany``, result sets), so the analyzer code reads like ordinary
+database client code even though everything runs in process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.relalg.errors import ExecutionError, SchemaError
+from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
+from repro.relalg.schema import Column, ColumnType, TableSchema
+from repro.relalg.sqlast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    Literal,
+    Placeholder,
+    SelectStatement,
+    SqlExpr,
+    Statement,
+    UnaryOperation,
+)
+from repro.relalg.sqlparser import parse_sql
+from repro.relalg.storage import Table
+
+__all__ = ["Database", "ExecutionSummary"]
+
+
+@dataclass
+class ExecutionSummary:
+    """Cumulative statistics of every statement a database has executed."""
+
+    statements: int = 0
+    selects: int = 0
+    inserts: int = 0
+    rows_inserted: int = 0
+    rows_returned: int = 0
+    rows_scanned: int = 0
+    index_lookups: int = 0
+
+    def record_select(self, stats: QueryStats) -> None:
+        self.statements += 1
+        self.selects += 1
+        self.rows_returned += stats.rows_returned
+        self.rows_scanned += stats.rows_scanned
+        self.index_lookups += stats.index_lookups
+
+    def record_insert(self, rows: int) -> None:
+        self.statements += 1
+        self.inserts += 1
+        self.rows_inserted += rows
+
+    def record_other(self) -> None:
+        self.statements += 1
+
+
+class Database:
+    """An in-memory relational database with a SQL interface."""
+
+    def __init__(self, name: str = "cosy") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.summary = ExecutionSummary()
+        self._statement_cache: Dict[str, Statement] = {}
+
+    # ------------------------------------------------------------------ #
+    # schema management (programmatic)
+    # ------------------------------------------------------------------ #
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a programmatic schema definition."""
+        key = schema.name.lower()
+        if key in self.tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Remove a table (and its data and indexes)."""
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise SchemaError(f"unknown table {name!r}")
+        del self.tables[key]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (case-insensitive)."""
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown table {name!r}; known tables: {sorted(self.tables)}"
+            ) from None
+
+    def table_names(self) -> List[str]:
+        """Names of all tables in creation order."""
+        return [table.name for table in self.tables.values()]
+
+    # ------------------------------------------------------------------ #
+    # statement execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> Union[ResultSet, int]:
+        """Execute one SQL statement.
+
+        Returns a :class:`ResultSet` for SELECT statements and the number of
+        affected rows for every other statement.
+        """
+        statement = self._parse_cached(sql)
+        return self.execute_statement(statement, params)
+
+    def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
+        """Execute one parametrised statement for every parameter row."""
+        statement = self._parse_cached(sql)
+        affected = 0
+        for params in param_rows:
+            result = self.execute_statement(statement, params)
+            affected += result if isinstance(result, int) else len(result)
+        return affected
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Execute a statement that must be a SELECT."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() requires a SELECT statement")
+        return result
+
+    def execute_statement(
+        self, statement: Statement, params: Sequence[Any] = ()
+    ) -> Union[ResultSet, int]:
+        """Execute an already parsed statement."""
+        if isinstance(statement, SelectStatement):
+            executor = SelectExecutor(self.tables, params)
+            result = executor.execute(statement)
+            self.summary.record_select(result.stats)
+            return result
+        if isinstance(statement, CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            self.table(statement.table).create_index(statement.name, statement.column)
+            self.summary.record_other()
+            return 0
+        if isinstance(statement, DropTableStatement):
+            self.drop_table(statement.table, if_exists=statement.if_exists)
+            self.summary.record_other()
+            return 0
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement, params)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # statement handlers
+    # ------------------------------------------------------------------ #
+
+    def _execute_create_table(self, statement: CreateTableStatement) -> int:
+        key = statement.table.lower()
+        if key in self.tables:
+            if statement.if_not_exists:
+                self.summary.record_other()
+                return 0
+            raise SchemaError(f"table {statement.table!r} already exists")
+        columns = [
+            Column(
+                name=c.name,
+                type=ColumnType.from_sql(c.type_name),
+                nullable=c.nullable,
+                primary_key=c.primary_key,
+            )
+            for c in statement.columns
+        ]
+        self.create_table(TableSchema(name=statement.table, columns=columns))
+        self.summary.record_other()
+        return 0
+
+    def _execute_insert(
+        self, statement: InsertStatement, params: Sequence[Any]
+    ) -> int:
+        table = self.table(statement.table)
+        inserted = 0
+        for row_exprs in statement.rows:
+            values = [self._constant_value(e, params) for e in row_exprs]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError(
+                        f"INSERT specifies {len(statement.columns)} column(s) "
+                        f"but {len(values)} value(s)"
+                    )
+                table.insert_mapping(dict(zip(statement.columns, values)))
+            else:
+                table.insert(values)
+            inserted += 1
+        self.summary.record_insert(inserted)
+        return inserted
+
+    def _execute_delete(
+        self, statement: DeleteStatement, params: Sequence[Any]
+    ) -> int:
+        table = self.table(statement.table)
+        if statement.where is None:
+            deleted = table.delete_where(lambda row: True)
+        else:
+            executor = SelectExecutor(self.tables, params)
+            binding = table.name.lower()
+
+            def predicate(row: Tuple[Any, ...]) -> bool:
+                env = {
+                    binding: {
+                        column.name.lower(): value
+                        for column, value in zip(table.schema.columns, row)
+                    }
+                }
+                value = executor._eval(statement.where, env)
+                return bool(value) and value is not None
+
+            deleted = table.delete_where(predicate)
+        self.summary.record_other()
+        return deleted
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _parse_cached(self, sql: str) -> Statement:
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse_sql(sql)
+            # Only cache read-only/immutable statement kinds; SELECTs are
+            # mutable dataclasses but are never modified by the executor.
+            self._statement_cache[sql] = statement
+        return statement
+
+    def _constant_value(self, expr: SqlExpr, params: Sequence[Any]) -> Any:
+        """Evaluate an INSERT value expression (literals, parameters, negation)."""
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Placeholder):
+            if expr.index >= len(params):
+                raise ExecutionError(
+                    f"INSERT uses parameter {expr.index + 1} but only "
+                    f"{len(params)} parameter(s) were supplied"
+                )
+            return params[expr.index]
+        if isinstance(expr, UnaryOperation) and expr.op == "-":
+            value = self._constant_value(expr.operand, params)
+            return None if value is None else -value
+        raise ExecutionError(
+            "INSERT values must be literals or '?' parameters"
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def row_counts(self) -> Dict[str, int]:
+        """Live row count per table."""
+        return {table.name: table.row_count for table in self.tables.values()}
+
+    def total_rows(self) -> int:
+        """Total number of live rows across all tables."""
+        return sum(table.row_count for table in self.tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, tables={len(self.tables)})"

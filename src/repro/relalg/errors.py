@@ -1,0 +1,39 @@
+"""Error types of the relational engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "RelalgError",
+    "SqlSyntaxError",
+    "SchemaError",
+    "IntegrityError",
+    "ExecutionError",
+]
+
+
+class RelalgError(Exception):
+    """Base class of every error raised by :mod:`repro.relalg`."""
+
+
+class SqlSyntaxError(RelalgError):
+    """Raised by the SQL lexer/parser on malformed statements."""
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(RelalgError):
+    """Raised for unknown tables/columns, duplicate definitions and type issues."""
+
+
+class IntegrityError(RelalgError):
+    """Raised when an insert violates a NOT NULL or primary-key constraint."""
+
+
+class ExecutionError(RelalgError):
+    """Raised when a statement fails during execution (e.g. type mismatch)."""

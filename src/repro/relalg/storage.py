@@ -1,0 +1,170 @@
+"""Row storage and secondary indexes.
+
+Tables store rows as immutable tuples in insertion order.  Secondary hash
+indexes map a column value to the positions of the rows carrying that value;
+the executor uses them for equality lookups (index nested-loop joins and
+point selections), which is what the A1 ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relalg.errors import IntegrityError, SchemaError
+from repro.relalg.schema import TableSchema
+
+__all__ = ["HashIndex", "Table"]
+
+
+class HashIndex:
+    """A hash index over one column of a table."""
+
+    def __init__(self, name: str, column: str) -> None:
+        self.name = name
+        self.column = column
+        self._buckets: Dict[Any, List[int]] = defaultdict(list)
+
+    def add(self, value: Any, position: int) -> None:
+        """Register that the row at ``position`` has ``value`` in the column."""
+        self._buckets[value].append(position)
+
+    def remove(self, value: Any, position: int) -> None:
+        """Remove one (value, position) entry; missing entries are ignored."""
+        positions = self._buckets.get(value)
+        if positions and position in positions:
+            positions.remove(position)
+            if not positions:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> List[int]:
+        """Row positions whose indexed column equals ``value``."""
+        return list(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(positions) for positions in self._buckets.values())
+
+
+class Table:
+    """One table: a schema, its rows and its secondary indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: List[Optional[Tuple[Any, ...]]] = []
+        self.indexes: Dict[str, HashIndex] = {}
+        self._live_count = 0
+        self._primary_index: Optional[HashIndex] = None
+        pk = schema.primary_key_columns()
+        if len(pk) == 1:
+            self._primary_index = HashIndex(
+                name=f"{schema.name}_pk", column=pk[0].name
+            )
+            self.indexes[pk[0].name.lower()] = self._primary_index
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        """Number of live (not deleted) rows."""
+        return self._live_count
+
+    # -- modification -----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Validate and insert one positional row; returns its position."""
+        row = self.schema.validate_row(values)
+        if self._primary_index is not None:
+            key_index = self.schema.column_index(self._primary_index.column)
+            if self._primary_index.lookup(row[key_index]):
+                raise IntegrityError(
+                    f"duplicate primary key {row[key_index]!r} in table "
+                    f"{self.name!r}"
+                )
+        position = len(self.rows)
+        self.rows.append(row)
+        self._live_count += 1
+        for index in self.indexes.values():
+            column_index = self.schema.column_index(index.column)
+            index.add(row[column_index], position)
+        return position
+
+    def insert_mapping(self, mapping: Dict[str, Any]) -> int:
+        """Insert a row given as a column→value mapping."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def delete_where(self, predicate) -> int:
+        """Delete all live rows for which ``predicate(row_tuple)`` is true."""
+        deleted = 0
+        for position, row in enumerate(self.rows):
+            if row is None:
+                continue
+            if predicate(row):
+                self._delete_at(position, row)
+                deleted += 1
+        return deleted
+
+    def _delete_at(self, position: int, row: Tuple[Any, ...]) -> None:
+        self.rows[position] = None
+        self._live_count -= 1
+        for index in self.indexes.values():
+            column_index = self.schema.column_index(index.column)
+            index.remove(row[column_index], position)
+
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(self, name: str, column: str) -> HashIndex:
+        """Create (and backfill) a hash index on ``column``."""
+        column_name = self.schema.column(column).name
+        key = column_name.lower()
+        if key in self.indexes:
+            raise SchemaError(
+                f"table {self.name!r} already has an index on column "
+                f"{column_name!r}"
+            )
+        index = HashIndex(name=name, column=column_name)
+        column_index = self.schema.column_index(column_name)
+        for position, row in enumerate(self.rows):
+            if row is not None:
+                index.add(row[column_index], position)
+        self.indexes[key] = index
+        return index
+
+    def drop_index(self, column: str) -> None:
+        """Remove the index on ``column`` (missing indexes are ignored)."""
+        self.indexes.pop(column.lower(), None)
+
+    def index_for(self, column: str) -> Optional[HashIndex]:
+        """The index on ``column`` if one exists."""
+        return self.indexes.get(column.lower())
+
+    # -- access -----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over all live rows in insertion order."""
+        for row in self.rows:
+            if row is not None:
+                yield row
+
+    def lookup(self, column: str, value: Any) -> Iterator[Tuple[Any, ...]]:
+        """Rows whose ``column`` equals ``value`` (uses the index when present)."""
+        index = self.index_for(column)
+        if index is not None:
+            for position in index.lookup(value):
+                row = self.rows[position]
+                if row is not None:
+                    yield row
+            return
+        column_index = self.schema.column_index(column)
+        for row in self.scan():
+            if row[column_index] == value:
+                yield row
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={self._live_count})"

@@ -1,0 +1,6 @@
+"""Event-trace substrate used by the related-work baseline analyzers."""
+
+from repro.traces.events import Event, EventKind, Trace
+from repro.traces.tracegen import TraceGenerator, generate_trace
+
+__all__ = ["Event", "EventKind", "Trace", "TraceGenerator", "generate_trace"]

@@ -1,0 +1,250 @@
+"""Tests of the ASL reference evaluator against hand-built performance data."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asl import AslEvaluationError, AslNameError, check_asl, parse_asl
+from repro.asl.evaluator import AslEvaluator
+from repro.asl.specs import COSY_DATA_MODEL
+from repro.datamodel import (
+    CallTiming,
+    Function,
+    FunctionCall,
+    Region,
+    RegionKind,
+    TestRun,
+    TimingType,
+    TotalTiming,
+    TypedTiming,
+)
+
+PROPERTIES = """
+constant float ImbalanceThreshold = 0.25;
+
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes WITH s.Run == t});
+float Duration(Region r, TestRun t) = Summary(r, t).Incl;
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+        float TotalCost = Duration(r, t) - Duration(r, MinPeSum.Run)
+    IN
+    CONDITION: TotalCost > 0;
+    CONFIDENCE: 1;
+    SEVERITY: TotalCost / Duration(Basis, t);
+}
+
+Property SyncCost(Region r, TestRun t, Region Basis) {
+    LET float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND tt.Type == Barrier);
+    IN
+    CONDITION: Barrier > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Barrier / Duration(Basis, t);
+}
+
+Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+        float Dev = ct.StdevTime;
+        float Mean = ct.MeanTime
+    IN
+    CONDITION: Dev > ImbalanceThreshold * Mean;
+    CONFIDENCE: 1;
+    SEVERITY: Mean / Duration(Basis, t);
+}
+
+Property Guarded(Region r, TestRun t) {
+    CONDITION: (big) Duration(r, t) > 100 OR (small) Duration(r, t) > 1;
+    CONFIDENCE: MAX((big) -> 0.9, (small) -> 0.4);
+    SEVERITY: MAX((big) -> 2.0, (small) -> 0.5);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def checked_spec():
+    model = parse_asl(COSY_DATA_MODEL)
+    props = parse_asl(PROPERTIES)
+    return check_asl(model.merge(props))
+
+
+@pytest.fixture()
+def scenario():
+    """Two runs (2 and 8 PEs) of a single region with barrier overhead."""
+    run_small = TestRun(Start=dt.datetime(2000, 1, 1), NoPe=2, Clockspeed=300)
+    run_large = TestRun(Start=dt.datetime(2000, 1, 1), NoPe=8, Clockspeed=300)
+    function = Function(Name="main")
+    basis = function.add_region(Region(name="main", kind=RegionKind.PROGRAM))
+    basis.add_total_timing(TotalTiming(Run=run_small, Excl=10.0, Incl=10.0, Ovhd=1.0))
+    basis.add_total_timing(TotalTiming(Run=run_large, Excl=16.0, Incl=16.0, Ovhd=6.0))
+    basis.add_typed_timing(TypedTiming(Run=run_large, Type=TimingType.Barrier, Time=4.0))
+    call = FunctionCall(Caller=function, CallingReg=basis, callee_name="barrier")
+    call.add_call_timing(
+        CallTiming(
+            Run=run_large,
+            MinCalls=10, MaxCalls=10, MeanCalls=10, StdevCalls=0,
+            MinTime=0.1, MaxTime=1.9, MeanTime=1.0, StdevTime=0.6,
+        )
+    )
+    call.add_call_timing(
+        CallTiming(
+            Run=run_small,
+            MinCalls=10, MaxCalls=10, MeanCalls=10, StdevCalls=0,
+            MinTime=0.49, MaxTime=0.51, MeanTime=0.5, StdevTime=0.01,
+        )
+    )
+    function.add_call(call)
+    return {
+        "run_small": run_small,
+        "run_large": run_large,
+        "basis": basis,
+        "call": call,
+    }
+
+
+class TestSpecificationFunctions:
+    def test_summary_selects_the_right_total_timing(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        summary = evaluator.evaluate_function(
+            "Summary", scenario["basis"], scenario["run_large"]
+        )
+        assert summary.Incl == 16.0
+
+    def test_duration(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        assert evaluator.evaluate_function(
+            "Duration", scenario["basis"], scenario["run_small"]
+        ) == 10.0
+
+    def test_unknown_function(self, checked_spec):
+        with pytest.raises(AslNameError, match="unknown function"):
+            AslEvaluator(checked_spec).evaluate_function("Nope")
+
+
+class TestSublinearSpeedup:
+    def test_severity_matches_the_hand_computed_value(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "SublinearSpeedup",
+            {"r": scenario["basis"], "t": scenario["run_large"],
+             "Basis": scenario["basis"]},
+        )
+        assert result.holds
+        # TotalCost = 16 - 10 = 6; severity = 6 / 16
+        assert result.severity == pytest.approx(6.0 / 16.0)
+        assert result.confidence == 1.0
+        assert result.let_values["TotalCost"] == pytest.approx(6.0)
+
+    def test_reference_run_does_not_have_the_property(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "SublinearSpeedup",
+            {"r": scenario["basis"], "t": scenario["run_small"],
+             "Basis": scenario["basis"]},
+        )
+        assert not result.holds
+        assert result.severity == 0.0
+
+
+class TestSyncCost:
+    def test_sync_cost_severity(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "SyncCost",
+            {"r": scenario["basis"], "t": scenario["run_large"],
+             "Basis": scenario["basis"]},
+        )
+        assert result.holds
+        assert result.severity == pytest.approx(4.0 / 16.0)
+
+    def test_sync_cost_without_barrier_time_does_not_hold(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "SyncCost",
+            {"r": scenario["basis"], "t": scenario["run_small"],
+             "Basis": scenario["basis"]},
+        )
+        assert not result.holds
+
+
+class TestLoadImbalance:
+    def test_imbalanced_call_site_is_detected(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "LoadImbalance",
+            {"Call": scenario["call"], "t": scenario["run_large"],
+             "Basis": scenario["basis"]},
+        )
+        # Dev (0.6) > 0.25 * Mean (1.0)
+        assert result.holds
+        assert result.severity == pytest.approx(1.0 / 16.0)
+
+    def test_balanced_run_is_not_flagged(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "LoadImbalance",
+            {"Call": scenario["call"], "t": scenario["run_small"],
+             "Basis": scenario["basis"]},
+        )
+        assert not result.holds
+
+    def test_constant_override_changes_the_threshold(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec, constants={"ImbalanceThreshold": 0.9})
+        result = evaluator.evaluate_property(
+            "LoadImbalance",
+            {"Call": scenario["call"], "t": scenario["run_large"],
+             "Basis": scenario["basis"]},
+        )
+        assert not result.holds
+
+
+class TestGuardedConfidenceAndSeverity:
+    def test_only_the_satisfied_guard_contributes(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "Guarded",
+            {"r": scenario["basis"], "t": scenario["run_large"]},
+        )
+        # Duration is 16: only the (small) condition holds.
+        assert result.conditions == {"big": False, "small": True}
+        assert result.confidence == pytest.approx(0.4)
+        assert result.severity == pytest.approx(0.5)
+
+    def test_condition_values_are_recorded_per_identifier(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "Guarded", {"r": scenario["basis"], "t": scenario["run_small"]}
+        )
+        assert set(result.conditions) == {"big", "small"}
+
+
+class TestEvaluationErrors:
+    def test_missing_parameter_is_reported(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        with pytest.raises(AslEvaluationError, match="missing parameter"):
+            evaluator.evaluate_property("SyncCost", {"r": scenario["basis"]})
+
+    def test_unknown_property_is_reported(self, checked_spec):
+        with pytest.raises(AslNameError, match="unknown property"):
+            AslEvaluator(checked_spec).evaluate_property("Nope", {})
+
+    def test_unique_on_empty_set_is_an_error(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        empty_region = Region(name="empty")
+        with pytest.raises(AslEvaluationError, match="UNIQUE"):
+            evaluator.evaluate_property(
+                "SublinearSpeedup",
+                {"r": empty_region, "t": scenario["run_large"],
+                 "Basis": scenario["basis"]},
+            )
+
+    def test_is_problem_uses_the_threshold(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        result = evaluator.evaluate_property(
+            "SyncCost",
+            {"r": scenario["basis"], "t": scenario["run_large"],
+             "Basis": scenario["basis"]},
+        )
+        assert result.is_problem(0.1)
+        assert not result.is_problem(0.5)

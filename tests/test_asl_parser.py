@@ -1,0 +1,274 @@
+"""Tests of the ASL parser against the grammar of Figure 1 and Section 4.1."""
+
+import pytest
+
+from repro.asl import (
+    AggregateExpr,
+    AslParseError,
+    AttributeAccess,
+    BinaryExpr,
+    BinaryOp,
+    ClassDecl,
+    ConstantDecl,
+    EnumDecl,
+    FunctionCall,
+    FunctionDecl,
+    Identifier,
+    IntLiteral,
+    PropertyDecl,
+    SetComprehension,
+    UnaryExpr,
+    parse_asl,
+    parse_expression,
+)
+
+
+class TestClassDeclarations:
+    def test_paper_program_class(self):
+        program = parse_asl(
+            "class Program { String Name; setof ProgVersion Versions; }"
+        )
+        decl = program.classes[0]
+        assert decl.name == "Program"
+        assert [a.name for a in decl.attributes] == ["Name", "Versions"]
+        assert decl.attributes[1].type.is_set
+        assert decl.attributes[1].type.name == "ProgVersion"
+
+    def test_inheritance(self):
+        program = parse_asl("class Base { int X; } class Derived extends Base { float Y; }")
+        assert program.classes[1].base == "Base"
+
+    def test_optional_trailing_semicolon(self):
+        program = parse_asl("class A { int X; };")
+        assert program.classes[0].name == "A"
+
+    def test_missing_semicolon_after_attribute(self):
+        with pytest.raises(AslParseError, match="';'"):
+            parse_asl("class A { int X }")
+
+    def test_enum_declaration(self):
+        program = parse_asl("enum TimingType { Barrier, IORead, IOWrite };")
+        enum = program.enums[0]
+        assert enum.members == ["Barrier", "IORead", "IOWrite"]
+
+    def test_constant_declaration(self):
+        program = parse_asl("constant float ImbalanceThreshold = 0.25;")
+        constant = program.constants[0]
+        assert isinstance(constant, ConstantDecl)
+        assert constant.name == "ImbalanceThreshold"
+
+
+class TestFunctionDeclarations:
+    def test_summary_function_from_the_paper(self):
+        program = parse_asl(
+            "TotalTiming Summary(Region r, TestRun t) = "
+            "UNIQUE({s IN r.TotTimes WITH s.Run==t});"
+        )
+        function = program.functions[0]
+        assert function.name == "Summary"
+        assert [p.name for p in function.params] == ["r", "t"]
+        assert isinstance(function.body, AggregateExpr)
+        assert function.body.is_unique
+        comprehension = function.body.value
+        assert isinstance(comprehension, SetComprehension)
+        assert comprehension.var == "s"
+
+    def test_duration_function_from_the_paper(self):
+        program = parse_asl("float Duration(Region r, TestRun t) = Summary(r,t).Incl;")
+        body = program.functions[0].body
+        assert isinstance(body, AttributeAccess)
+        assert body.attribute == "Incl"
+        assert isinstance(body.obj, FunctionCall)
+
+    def test_empty_parameter_list(self):
+        program = parse_asl("int Answer() = 42;")
+        assert program.functions[0].params == []
+
+
+class TestPropertyDeclarations:
+    SUBLINEAR = """
+    Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+        LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+                MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+            float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+        IN
+        CONDITION: TotalCost>0; CONFIDENCE: 1;
+        SEVERITY: TotalCost/Duration(Basis,t);
+    }
+    """
+
+    def test_sublinear_speedup_parses_exactly_as_printed(self):
+        program = parse_asl(self.SUBLINEAR)
+        prop = program.properties[0]
+        assert prop.name == "SublinearSpeedup"
+        assert [p.name for p in prop.params] == ["r", "t", "Basis"]
+        assert [d.name for d in prop.let_defs] == ["MinPeSum", "TotalCost"]
+        assert len(prop.conditions) == 1
+        assert not prop.confidence.is_max
+        assert not prop.severity.is_max
+
+    def test_load_imbalance_from_the_paper(self):
+        source = """
+        Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+            LET CallTiming ct = UNIQUE ({c IN Call.Sums WITH c.Run == t});
+                float Dev = ct.StdevTime;
+                float Mean = ct.MeanTime;
+            IN CONDITION: Dev > ImbalanceThreshold * Mean; CONFIDENCE: 1;
+            SEVERITY: Mean / Duration(Basis,t);
+        }
+        """
+        prop = parse_asl(source).properties[0]
+        assert prop.params[0].type.name == "FunctionCall"
+        assert len(prop.let_defs) == 3
+
+    def test_condition_identifiers_and_guards(self):
+        source = """
+        PROPERTY Guarded(Region r, TestRun t) {
+            CONDITION: (c1) Duration(r,t) > 10 OR (c2) Duration(r,t) > 100;
+            CONFIDENCE: MAX((c1) -> 0.5, (c2) -> 0.9);
+            SEVERITY: MAX((c1) -> 1, (c2) -> 2);
+        };
+        """
+        prop = parse_asl(source).properties[0]
+        assert prop.condition_ids() == ["c1", "c2"]
+        assert prop.confidence.is_max
+        assert [e.guard for e in prop.confidence.entries] == ["c1", "c2"]
+        assert [e.guard for e in prop.severity.entries] == ["c1", "c2"]
+
+    def test_property_without_let_block(self):
+        source = """
+        Property Simple(Region r, TestRun t) {
+            CONDITION: Duration(r,t) > 0;
+            CONFIDENCE: 1;
+            SEVERITY: 0.5;
+        }
+        """
+        prop = parse_asl(source).properties[0]
+        assert prop.let_defs == []
+
+    def test_empty_let_block_is_rejected(self):
+        source = """
+        Property Bad(Region r) {
+            LET IN
+            CONDITION: 1 > 0; CONFIDENCE: 1; SEVERITY: 1;
+        }
+        """
+        with pytest.raises(AslParseError, match="at least one definition"):
+            parse_asl(source)
+
+    def test_clause_order_is_enforced(self):
+        source = """
+        Property Bad(Region r) {
+            CONFIDENCE: 1;
+            CONDITION: 1 > 0;
+            SEVERITY: 1;
+        }
+        """
+        with pytest.raises(AslParseError, match="CONDITION"):
+            parse_asl(source)
+
+    def test_scalar_max_in_severity_still_parses(self):
+        source = """
+        Property ScalarMax(Region r, TestRun t) {
+            CONDITION: Duration(r,t) > 0;
+            CONFIDENCE: 1;
+            SEVERITY: MAX(Duration(r,t), 1);
+        }
+        """
+        prop = parse_asl(source).properties[0]
+        # Either reading (combinator of two unguarded entries or scalar MAX)
+        # computes the same value; the parser normalises to the MAX form.
+        assert len(prop.severity.entries) == 2
+
+
+class TestExpressions:
+    def test_operator_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryExpr)
+        assert expr.op is BinaryOp.ADD
+        assert isinstance(expr.right, BinaryExpr)
+        assert expr.right.op is BinaryOp.MUL
+
+    def test_comparison_binds_weaker_than_arithmetic(self):
+        expr = parse_expression("a + b > c * d")
+        assert expr.op is BinaryOp.GT
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a > 1 AND b > 2 OR c > 3")
+        assert expr.op is BinaryOp.OR
+        assert expr.left.op is BinaryOp.AND
+
+    def test_unary_minus_and_not(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, UnaryExpr)
+        expr = parse_expression("NOT a > 1")
+        assert isinstance(expr, UnaryExpr)
+
+    def test_parenthesised_expression(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op is BinaryOp.MUL
+        assert isinstance(expr.left, BinaryExpr)
+
+    def test_aggregate_with_where_and_conjuncts(self):
+        expr = parse_expression(
+            "SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t AND tt.Type == Barrier)"
+        )
+        assert isinstance(expr, AggregateExpr)
+        assert expr.func == "SUM"
+        assert expr.var == "tt"
+        assert isinstance(expr.predicate, BinaryExpr)
+        assert expr.predicate.op is BinaryOp.AND
+
+    def test_min_aggregate(self):
+        expr = parse_expression("MIN(s.Run.NoPe WHERE s IN r.TotTimes)")
+        assert isinstance(expr, AggregateExpr)
+        assert expr.func == "MIN"
+
+    def test_scalar_max_without_where_is_a_call(self):
+        expr = parse_expression("MAX(a, b)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "MAX"
+
+    def test_attribute_access_on_unique_result(self):
+        expr = parse_expression("UNIQUE({s IN r.TotTimes WITH s.Run==t}).Incl")
+        assert isinstance(expr, AttributeAccess)
+        assert isinstance(expr.obj, AggregateExpr)
+
+    def test_set_comprehension_without_predicate(self):
+        expr = parse_expression("{s IN r.TotTimes}")
+        assert isinstance(expr, SetComprehension)
+        assert expr.predicate is None
+
+    def test_trailing_input_is_rejected(self):
+        with pytest.raises(AslParseError, match="trailing"):
+            parse_expression("1 + 2 extra")
+
+    def test_unknown_declaration_start(self):
+        with pytest.raises(AslParseError, match="expected a declaration"):
+            parse_asl("42;")
+
+    def test_missing_expression(self):
+        with pytest.raises(AslParseError, match="expected an expression"):
+            parse_expression("1 + ;")
+
+
+class TestMergedDocuments:
+    def test_merge_combines_declarations(self):
+        model = parse_asl("class Region { setof TotalTiming TotTimes; }")
+        props = parse_asl(
+            "Property P(Region r) { CONDITION: 1 > 0; CONFIDENCE: 1; SEVERITY: 1; }"
+        )
+        merged = model.merge(props)
+        assert len(merged.classes) == 1
+        assert len(merged.properties) == 1
+
+    def test_lookup_helpers(self):
+        program = parse_asl(
+            "class A { int X; } enum E { M } int F() = 1; "
+            "Property P(A a) { CONDITION: a.X > 0; CONFIDENCE: 1; SEVERITY: 1; }"
+        )
+        assert isinstance(program.class_decl("A"), ClassDecl)
+        assert isinstance(program.function_decl("F"), FunctionDecl)
+        assert isinstance(program.property_decl("P"), PropertyDecl)
+        with pytest.raises(KeyError):
+            program.class_decl("missing")

@@ -1,0 +1,112 @@
+"""Tests of the ASL scope, symbol index and type-system helpers."""
+
+import pytest
+
+from repro.asl import Scope, SpecificationIndex
+from repro.asl.ast_nodes import EnumDecl
+from repro.asl.errors import AslNameError
+from repro.asl.types import (
+    ANY,
+    BOOL,
+    DATETIME,
+    FLOAT,
+    INT,
+    STRING,
+    ClassType,
+    EnumType,
+    ScalarKind,
+    ScalarType,
+    SetType,
+    common_numeric,
+    is_assignable,
+    is_numeric,
+)
+
+
+class TestScope:
+    def test_define_and_lookup(self):
+        scope = Scope()
+        scope.define("x", 1)
+        assert scope.lookup("x") == 1
+        assert "x" in scope
+        assert scope.lookup("y") is None
+
+    def test_redefinition_in_same_scope_fails(self):
+        scope = Scope()
+        scope.define("x", 1)
+        with pytest.raises(AslNameError, match="already defined"):
+            scope.define("x", 2)
+
+    def test_child_scopes_shadow_but_do_not_leak(self):
+        outer = Scope()
+        outer.define("x", "outer")
+        inner = outer.child()
+        inner.define("x", "inner")
+        assert inner.lookup("x") == "inner"
+        assert outer.lookup("x") == "outer"
+        inner.define("y", 2)
+        assert outer.lookup("y") is None
+
+    def test_assign_rebinds_nearest_definition(self):
+        outer = Scope()
+        outer.define("x", 1)
+        inner = outer.child()
+        inner.assign("x", 5)
+        assert outer.lookup("x") == 5
+        inner.assign("fresh", 7)
+        assert inner.lookup("fresh") == 7
+
+    def test_names_lists_visible_bindings(self):
+        outer = Scope()
+        outer.define("a", 1)
+        inner = outer.child()
+        inner.define("b", 2)
+        assert set(inner.names()) == {"a", "b"}
+
+
+class TestSpecificationIndex:
+    def test_enum_members_map_to_their_enum_type(self):
+        index = SpecificationIndex()
+        index.add_enum(EnumDecl(name="Colour", members=["Red", "Green"]))
+        assert index.enum_members["Red"] == EnumType("Colour", ("Red", "Green"))
+
+    def test_unknown_class_lookup(self):
+        index = SpecificationIndex()
+        with pytest.raises(AslNameError, match="unknown class"):
+            index.class_info("Nope")
+
+
+class TestTypePredicates:
+    def test_numeric_types(self):
+        assert is_numeric(INT) and is_numeric(FLOAT) and is_numeric(ANY)
+        assert not is_numeric(BOOL) and not is_numeric(STRING)
+
+    def test_common_numeric_widens_to_float(self):
+        assert common_numeric(INT, INT) == INT
+        assert common_numeric(INT, FLOAT) == FLOAT
+        assert common_numeric(ANY, INT) == ANY
+
+    def test_int_assignable_to_float_but_not_reverse(self):
+        assert is_assignable(INT, FLOAT)
+        assert not is_assignable(FLOAT, INT)
+
+    def test_any_is_assignable_in_both_directions(self):
+        assert is_assignable(ANY, STRING)
+        assert is_assignable(STRING, ANY)
+
+    def test_set_assignability_is_elementwise(self):
+        assert is_assignable(SetType(INT), SetType(FLOAT))
+        assert not is_assignable(SetType(FLOAT), SetType(INT))
+
+    def test_class_assignability_follows_single_inheritance(self):
+        subclasses = {"Derived": "Base", "Base": None}
+        assert is_assignable(ClassType("Derived"), ClassType("Base"), subclasses)
+        assert not is_assignable(ClassType("Base"), ClassType("Derived"), subclasses)
+        assert not is_assignable(ClassType("Other"), ClassType("Base"), subclasses)
+
+    def test_type_str_representations(self):
+        assert str(SetType(ClassType("Region"))) == "setof Region"
+        assert str(ScalarType(ScalarKind.DATETIME)) == "DateTime"
+        assert str(EnumType("TimingType")) == "TimingType"
+        assert str(ANY) == "<any>"
+        assert str(DATETIME) == "DateTime"

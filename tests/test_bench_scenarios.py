@@ -1,0 +1,67 @@
+"""Tests of the shared scenario builders used by the benchmarks and examples."""
+
+import pytest
+
+from repro.bench import build_scenario, load_into_backend, speedup_series
+from repro.relalg import BridgedClient, NativeClient
+
+
+class TestBuildScenario:
+    def test_scenario_contains_everything_the_experiments_need(self, cosy_spec):
+        scenario = build_scenario("stencil", pe_counts=(1, 4), specification=cosy_spec)
+        assert scenario.workload_kind == "stencil"
+        assert scenario.pe_counts == (1, 4)
+        assert scenario.repository.stats()["runs"] == 2
+        assert scenario.specification is cosy_spec
+        assert scenario.run_with_pes(4).NoPe == 4
+        assert scenario.version.main_region.name == "stencil_main"
+
+    def test_workload_kwargs_are_forwarded(self, cosy_spec):
+        scenario = build_scenario(
+            "scalable", pe_counts=(1,), specification=cosy_spec,
+            functions=3, regions_per_function=2,
+        )
+        assert scenario.repository.stats()["functions"] == 3
+
+    def test_threshold_is_applied_to_the_analyzer(self, cosy_spec):
+        scenario = build_scenario(
+            "stencil", pe_counts=(1, 4), specification=cosy_spec, threshold=0.5
+        )
+        assert scenario.analyzer.threshold == 0.5
+
+
+class TestLoadIntoBackend:
+    def test_backend_contains_all_rows(self, cosy_spec):
+        scenario = build_scenario("stencil", pe_counts=(1, 4), specification=cosy_spec)
+        client, ids = load_into_backend(scenario, "ms_access")
+        assert isinstance(client, NativeClient)
+        assert client.backend.database.total_rows() == ids.total() + 1  # + dual
+
+    def test_client_factory_is_respected(self, cosy_spec):
+        scenario = build_scenario("stencil", pe_counts=(1, 4), specification=cosy_spec)
+        client, _ = load_into_backend(
+            scenario, "postgres", client_factory=BridgedClient
+        )
+        assert isinstance(client, BridgedClient)
+        assert client.backend.profile.name == "postgres"
+
+    def test_without_indexes_no_secondary_indexes_exist(self, cosy_spec):
+        scenario = build_scenario("stencil", pe_counts=(1,), specification=cosy_spec)
+        client, _ = load_into_backend(scenario, "ms_access", with_indexes=False)
+        table = client.backend.database.table("TotalTiming")
+        assert table.index_for("owner_Region_TotTimes_id") is None
+
+
+class TestSpeedupSeries:
+    def test_series_has_one_row_per_run(self, cosy_spec):
+        scenario = build_scenario(
+            "mixed", pe_counts=(1, 2, 8), specification=cosy_spec
+        )
+        series = speedup_series(scenario)
+        assert [row["pes"] for row in series] == [1.0, 2.0, 8.0]
+        assert series[0]["severity"] == pytest.approx(0.0)
+        assert series[-1]["total_cost"] > series[1]["total_cost"] > 0
+        for row in series:
+            assert row["severity"] == pytest.approx(
+                row["total_cost"] / row["duration"] if row["duration"] else 0.0
+            )

@@ -1,0 +1,238 @@
+"""Tests of the ASL→SQL compiler: schema generation, loading, query generation."""
+
+import pytest
+
+from repro.asl import parse_asl, check_asl
+from repro.compiler import (
+    DUAL_TABLE,
+    PRIMARY_KEY,
+    DatabaseLoader,
+    PropertyCompiler,
+    PushdownError,
+    generate_schema,
+    load_repository,
+)
+from repro.relalg import Database
+from repro.relalg.sqlparser import parse_sql
+
+
+class TestSchemaGeneration:
+    def test_one_table_per_class_plus_dual(self, cosy_spec, schema_mapping):
+        tables = {schema.name for schema in schema_mapping.table_schemas()}
+        assert tables == set(cosy_spec.index.classes) | {DUAL_TABLE}
+
+    def test_every_table_has_a_primary_key(self, schema_mapping):
+        for schema in schema_mapping.table_schemas():
+            if schema.name == DUAL_TABLE:
+                continue
+            assert schema.columns[0].name == PRIMARY_KEY
+            assert schema.columns[0].primary_key
+
+    def test_scalar_attributes_become_columns(self, schema_mapping):
+        total = schema_mapping.schemas["TotalTiming"]
+        names = set(total.column_names)
+        assert {"Excl", "Incl", "Ovhd", "Run_id"} <= names
+
+    def test_reference_attribute_becomes_fk_column(self, schema_mapping):
+        attribute = schema_mapping.attribute("TotalTiming", "Run")
+        assert attribute.kind == "reference"
+        assert attribute.column == "Run_id"
+        assert attribute.target_class == "TestRun"
+
+    def test_collection_attribute_becomes_owner_fk_on_element_table(self, schema_mapping):
+        attribute = schema_mapping.attribute("Region", "TotTimes")
+        assert attribute.kind == "collection"
+        assert attribute.table == "TotalTiming"
+        assert attribute.column == "owner_Region_TotTimes_id"
+        assert "owner_Region_TotTimes_id" in schema_mapping.schemas["TotalTiming"].column_names
+
+    def test_enum_attribute_becomes_varchar(self, schema_mapping):
+        attribute = schema_mapping.attribute("TypedTiming", "Type")
+        assert attribute.kind == "enum"
+        column = schema_mapping.schemas["TypedTiming"].column("Type")
+        assert column.type.value == "VARCHAR"
+
+    def test_generated_ddl_parses(self, schema_mapping):
+        for statement in schema_mapping.create_statements():
+            parse_sql(statement)
+        for statement in schema_mapping.index_statements():
+            parse_sql(statement)
+
+    def test_index_statements_cover_foreign_keys(self, schema_mapping):
+        statements = "\n".join(schema_mapping.index_statements())
+        assert "owner_Region_TotTimes_id" in statements
+        assert "Run_id" in statements
+
+    def test_unknown_class_or_attribute_lookup(self, schema_mapping):
+        with pytest.raises(Exception):
+            schema_mapping.table_for("Widget")
+        with pytest.raises(Exception):
+            schema_mapping.attribute("Region", "Widget")
+
+    def test_collections_of_scalars_are_rejected(self):
+        spec = check_asl(parse_asl("class Weird { setof int Values; }"))
+        with pytest.raises(Exception, match="collection attribute"):
+            generate_schema(spec)
+
+
+class TestLoader:
+    def test_row_counts_match_repository_stats(self, cosy_spec, schema_mapping,
+                                               mixed_repository):
+        database = Database()
+        ids = load_repository(mixed_repository, schema_mapping, database)
+        stats = mixed_repository.stats()
+        counts = database.row_counts()
+        assert counts["Program"] == stats["programs"]
+        assert counts["ProgVersion"] == stats["versions"]
+        assert counts["TestRun"] == stats["runs"]
+        assert counts["Region"] == stats["regions"]
+        assert counts["TotalTiming"] == stats["total_timings"]
+        assert counts["TypedTiming"] == stats["typed_timings"]
+        assert counts["FunctionCall"] == stats["calls"]
+        assert counts["CallTiming"] == stats["call_timings"]
+        assert counts[DUAL_TABLE] == 1
+        assert ids.total() == sum(
+            stats[key] for key in (
+                "programs", "versions", "runs", "functions", "regions",
+                "total_timings", "typed_timings", "calls", "call_timings",
+            )
+        )
+
+    def test_loaded_values_can_be_queried_back(self, schema_mapping, mixed_repository,
+                                               mixed_run):
+        database = Database()
+        ids = load_repository(mixed_repository, schema_mapping, database)
+        region = mixed_repository.region_by_name("app_main")
+        region_id = ids.id_for(region)
+        run_id = ids.id_for(mixed_run)
+        incl = database.query(
+            "SELECT Incl FROM TotalTiming WHERE owner_Region_TotTimes_id = ? AND Run_id = ?",
+            [region_id, run_id],
+        ).scalar()
+        assert incl == pytest.approx(region.duration(mixed_run))
+
+    def test_parent_region_foreign_keys_resolved(self, schema_mapping, mixed_repository):
+        database = Database()
+        ids = load_repository(mixed_repository, schema_mapping, database)
+        child = mixed_repository.region_by_name("assemble_matrix")
+        parent = mixed_repository.region_by_name("app_main")
+        parent_id = database.query(
+            "SELECT ParentRegion_id FROM Region WHERE id = ?", [ids.id_for(child)]
+        ).scalar()
+        assert parent_id == ids.id_for(parent)
+
+    def test_id_lookup_errors(self, schema_mapping, mixed_repository):
+        database = Database()
+        ids = load_repository(mixed_repository, schema_mapping, database)
+        with pytest.raises(KeyError):
+            ids.id_of("Region", 10**9)
+
+    def test_loading_without_indexes(self, schema_mapping, mixed_repository):
+        database = Database()
+        load_repository(
+            mixed_repository, schema_mapping, database, with_indexes=False
+        )
+        assert database.table("TotalTiming").index_for("owner_Region_TotTimes_id") is None
+
+
+class TestPropertyCompilation:
+    def test_all_bundled_properties_compile(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_all()
+        assert set(compiled) == set(cosy_spec.index.properties)
+        for name, prop in compiled.items():
+            assert prop.conditions, name
+            assert prop.severity, name
+
+    def test_generated_queries_parse(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        for prop in compiler.compile_all().values():
+            for query in prop.all_queries():
+                statement = parse_sql(query.sql)
+                placeholder_count = query.sql.count("?")
+                assert placeholder_count == len(query.param_slots)
+
+    def test_sync_cost_condition_query_shape(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_property("SyncCost")
+        sql = compiled.conditions[0][1].sql
+        assert "SUM(" in sql
+        assert "TypedTiming" in sql
+        assert "'Barrier'" in sql
+        assert compiled.conditions[0][1].param_slots == ["r", "t"]
+
+    def test_sublinear_speedup_uses_a_join_for_nope(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_property("SublinearSpeedup")
+        sql = compiled.severity[0][1].sql
+        assert "JOIN TestRun" in sql
+        assert "MIN(" in sql
+
+    def test_load_imbalance_parameters(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_property("LoadImbalance")
+        slots = compiled.conditions[0][1].param_slots
+        assert set(slots) == {"Call", "t"}
+
+    def test_bind_orders_parameters_by_slot(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_property("MeasuredCost")
+        query = compiled.conditions[0][1]
+        values = query.bind({"r": 7, "t": 3, "Basis": 1})
+        assert values == [7, 3] or values == [3, 7]
+        with pytest.raises(KeyError, match="missing value"):
+            query.bind({"r": 7})
+
+    def test_unknown_property_is_reported(self, cosy_spec, schema_mapping):
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        with pytest.raises(Exception, match="unknown property"):
+            compiler.compile_property("Nope")
+
+    def test_unsupported_constructs_raise_pushdown_error(self):
+        source = """
+        class Region { setof TotalTiming TotTimes; }
+        class TotalTiming { float Incl; }
+        Property Weird(Region r) {
+            LET float X = AVG(s.Incl WHERE s IN r.TotTimes)
+            IN
+            CONDITION: MAX(X, 1) > 0;
+            CONFIDENCE: 1;
+            SEVERITY: X;
+        }
+        """
+        spec = check_asl(parse_asl(source))
+        mapping = generate_schema(spec)
+        compiler = PropertyCompiler(spec, mapping)
+        # The scalar MAX(a, b) builtin is outside the SQL subset; the compiler
+        # must refuse rather than emit wrong SQL (COSY then falls back to
+        # client-side evaluation for this property).
+        with pytest.raises(PushdownError):
+            compiler.compile_property("Weird")
+
+
+class TestCompiledQueriesAgainstTheEngine:
+    def test_compiled_sync_cost_matches_reference_value(
+        self, cosy_spec, schema_mapping, mixed_repository, mixed_run
+    ):
+        from repro.asl.evaluator import AslEvaluator
+
+        database = Database()
+        ids = load_repository(mixed_repository, schema_mapping, database)
+        compiler = PropertyCompiler(cosy_spec, schema_mapping)
+        compiled = compiler.compile_property("SyncCost")
+        region = mixed_repository.region_by_name("assemble_matrix")
+        basis = mixed_repository.region_by_name("app_main")
+        binding = {
+            "r": ids.id_for(region),
+            "t": ids.id_for(mixed_run),
+            "Basis": ids.id_for(basis),
+        }
+        guard, severity_query = compiled.severity[0]
+        sql_value = database.query(
+            severity_query.sql, severity_query.bind(binding)
+        ).scalar()
+        evaluator = AslEvaluator(cosy_spec)
+        reference = evaluator.evaluate_property(
+            "SyncCost", {"r": region, "t": mixed_run, "Basis": basis}
+        )
+        assert sql_value == pytest.approx(reference.severity, rel=1e-9)

@@ -1,0 +1,226 @@
+"""Tests of the COSY analyzer: ranking, bottleneck, registry, strategies."""
+
+import pytest
+
+from repro.bench import build_scenario, load_into_backend
+from repro.cosy import (
+    ClientSideStrategy,
+    CosyAnalyzer,
+    PropertyRegistration,
+    PropertyRegistry,
+    PushdownStrategy,
+    SubjectKind,
+    default_registry,
+    render_report,
+)
+from repro.cosy.report import format_table, render_speedup_table
+from repro.datamodel import PerformanceDatabase
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario("mixed", pe_counts=(1, 2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def analysis(scenario):
+    return scenario.analyzer.analyze()
+
+
+class TestRegistry:
+    def test_default_registry_contains_the_paper_properties(self):
+        registry = default_registry()
+        assert {"SublinearSpeedup", "MeasuredCost", "SyncCost", "LoadImbalance"} <= set(
+            registry.names()
+        )
+
+    def test_load_imbalance_is_restricted_to_barrier_calls(self):
+        registry = default_registry()
+        registration = registry.get("LoadImbalance")
+        assert registration.subject == SubjectKind.CALL
+        assert registration.accepts_callee("barrier")
+        assert not registration.accepts_callee("mpi_send")
+
+    def test_register_and_unregister(self):
+        registry = PropertyRegistry()
+        registry.register(PropertyRegistration(name="Custom"))
+        assert "Custom" in registry
+        registry.unregister("Custom")
+        assert "Custom" not in registry
+        with pytest.raises(KeyError):
+            registry.get("Custom")
+
+    def test_region_and_call_partitions(self):
+        registry = default_registry()
+        region_names = {r.name for r in registry.region_properties()}
+        call_names = {r.name for r in registry.call_properties()}
+        assert "SublinearSpeedup" in region_names
+        assert "LoadImbalance" in call_names
+        assert not region_names & call_names
+
+
+class TestAnalysisResult:
+    def test_instances_cover_regions_and_barrier_calls(self, analysis, scenario):
+        region_count = sum(1 for _ in scenario.repository.regions())
+        region_properties = len(default_registry().region_properties())
+        region_instances = [
+            i for i in analysis.instances if i.subject_kind == SubjectKind.REGION
+        ]
+        assert len(region_instances) == region_count * region_properties
+
+    def test_ranking_is_sorted_by_severity(self, analysis):
+        ranked = analysis.ranked()
+        severities = [i.severity for i in ranked]
+        assert severities == sorted(severities, reverse=True)
+        assert all(i.holds for i in ranked)
+
+    def test_bottleneck_is_the_most_severe_property(self, analysis):
+        bottleneck = analysis.bottleneck()
+        assert bottleneck is analysis.ranked()[0]
+        assert bottleneck.property_name == "SublinearSpeedup"
+        assert bottleneck.subject == "app_main"
+
+    def test_the_injected_bottlenecks_are_detected(self, analysis):
+        # The mixed workload injects load imbalance into assemble_matrix and
+        # serialized I/O into write_results.
+        assert analysis.severity_of("SyncCost", "assemble_matrix") > 0.05
+        assert analysis.severity_of("IOCost", "write_results") > 0.005
+        load_imbalance = analysis.by_property("LoadImbalance")
+        assert any("assemble_matrix" in i.subject for i in load_imbalance)
+
+    def test_problems_respect_the_threshold(self, analysis):
+        for instance in analysis.problems():
+            assert instance.severity > analysis.threshold
+        assert analysis.needs_tuning()
+
+    def test_total_cost_severity_matches_sublinear_speedup_on_the_basis(self, analysis):
+        assert analysis.total_cost_severity() == pytest.approx(
+            analysis.severity_of("SublinearSpeedup", "app_main")
+        )
+
+    def test_severity_of_unknown_instance_is_zero(self, analysis):
+        assert analysis.severity_of("SyncCost", "no_such_region") == 0.0
+
+
+class TestAnalyzerSelection:
+    def test_default_selection_uses_the_largest_run(self, analysis):
+        assert analysis.run_pes == 8
+
+    def test_explicit_run_selection(self, scenario):
+        result = scenario.analyzer.analyze(pes=2)
+        assert result.run_pes == 2
+        assert result.total_cost_severity() < scenario.analyzer.analyze(pes=8).total_cost_severity()
+
+    def test_reference_run_has_no_sublinear_speedup(self, scenario):
+        result = scenario.analyzer.analyze(pes=1)
+        assert result.severity_of("SublinearSpeedup", "app_main") == 0.0
+
+    def test_property_subset_selection(self, scenario):
+        result = scenario.analyzer.analyze(properties=["SyncCost"])
+        assert {i.property_name for i in result.instances} == {"SyncCost"}
+
+    def test_unknown_registered_property_is_reported(self, scenario):
+        registry = default_registry()
+        registry.register(PropertyRegistration(name="NotInTheSpec"))
+        analyzer = CosyAnalyzer(
+            scenario.repository,
+            specification=scenario.specification,
+            registry=registry,
+        )
+        with pytest.raises(KeyError, match="NotInTheSpec"):
+            analyzer.analyze()
+
+    def test_empty_repository_is_rejected(self, scenario):
+        analyzer = CosyAnalyzer(
+            PerformanceDatabase(), specification=scenario.specification
+        )
+        with pytest.raises(ValueError, match="no programs"):
+            analyzer.analyze()
+
+    def test_threshold_controls_problem_classification(self, scenario):
+        strict = CosyAnalyzer(
+            scenario.repository, specification=scenario.specification, threshold=0.9
+        ).analyze()
+        assert strict.problems() == []
+        assert not strict.needs_tuning()
+
+
+class TestStrategyEquivalence:
+    def test_pushdown_matches_client_side_evaluation(self, scenario):
+        client, ids = load_into_backend(scenario, "ms_access")
+        pushdown = PushdownStrategy(
+            scenario.specification, scenario.mapping, client, ids
+        )
+        result_push = scenario.analyzer.analyze(strategy=pushdown)
+        result_client = scenario.analyzer.analyze(
+            strategy=ClientSideStrategy(scenario.specification)
+        )
+        assert pushdown.fallbacks == 0
+        by_key_push = {
+            (i.property_name, i.subject): i for i in result_push.instances
+        }
+        by_key_client = {
+            (i.property_name, i.subject): i for i in result_client.instances
+        }
+        assert set(by_key_push) == set(by_key_client)
+        for key, push_instance in by_key_push.items():
+            client_instance = by_key_client[key]
+            assert push_instance.holds == client_instance.holds, key
+            assert push_instance.severity == pytest.approx(
+                client_instance.severity, rel=1e-9, abs=1e-12
+            ), key
+
+    def test_client_strategy_with_database_charges_fetches(self, scenario):
+        client, ids = load_into_backend(scenario, "oracle7")
+        client.backend.reset_clock()
+        strategy = ClientSideStrategy(
+            scenario.specification, client=client, ids=ids
+        )
+        scenario.analyzer.analyze(strategy=strategy)
+        assert strategy.statements_issued > 0
+        assert client.backend.elapsed > 0
+
+    def test_pushdown_issues_one_statement_per_expression(self, scenario):
+        client, ids = load_into_backend(scenario, "ms_access")
+        pushdown = PushdownStrategy(
+            scenario.specification, scenario.mapping, client, ids
+        )
+        evaluation = pushdown.evaluate(
+            "SyncCost",
+            {
+                "r": scenario.repository.region_by_name("assemble_matrix"),
+                "t": scenario.run_with_pes(8),
+                "Basis": scenario.repository.region_by_name("app_main"),
+            },
+        )
+        assert evaluation.holds
+        # one condition + one confidence + one severity query
+        assert pushdown.statements_issued == 3
+
+
+class TestReports:
+    def test_report_mentions_the_bottleneck_and_problems(self, analysis):
+        report = render_report(analysis)
+        assert "Bottleneck" in report
+        assert "SublinearSpeedup" in report
+        assert "needs tuning" in report
+        assert "app_main" in report
+
+    def test_report_top_limits_the_ranking(self, analysis):
+        report = render_report(analysis, top=3)
+        assert report.count("\n") < render_report(analysis).count("\n")
+
+    def test_report_for_empty_result(self, scenario):
+        result = scenario.analyzer.analyze(pes=1, properties=["SublinearSpeedup"])
+        report = render_report(result)
+        assert "nothing to tune" in report or "does not need" in report
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_speedup_table(self):
+        text = render_speedup_table([(1, 10.0, 1.0, 0.0), (8, 16.0, 5.0, 0.4)])
+        assert "PEs" in text and "speedup" in text

@@ -1,0 +1,253 @@
+"""Tests of the COSY data-model entity classes."""
+
+import datetime as dt
+
+import pytest
+
+from repro.datamodel import (
+    CallTiming,
+    DataModelError,
+    Function,
+    FunctionCall,
+    Program,
+    ProgVersion,
+    Region,
+    RegionKind,
+    SourceCode,
+    TestRun,
+    TimingType,
+    TotalTiming,
+    TypedTiming,
+)
+
+
+def make_run(nope=4, clock=300):
+    return TestRun(Start=dt.datetime(2000, 1, 17, 9, 0), NoPe=nope, Clockspeed=clock)
+
+
+class TestTestRun:
+    def test_valid_run(self):
+        run = make_run(8)
+        assert run.NoPe == 8
+        assert run.Clockspeed == 300
+
+    def test_rejects_non_positive_pe_count(self):
+        with pytest.raises(DataModelError, match="NoPe"):
+            make_run(0)
+
+    def test_rejects_non_positive_clockspeed(self):
+        with pytest.raises(DataModelError, match="Clockspeed"):
+            make_run(4, clock=0)
+
+    def test_runs_are_identified_by_uid(self):
+        a, b = make_run(4), make_run(4)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+
+class TestTotalTiming:
+    def test_inclusive_must_cover_exclusive(self):
+        run = make_run()
+        with pytest.raises(DataModelError, match="Incl"):
+            TotalTiming(Run=run, Excl=5.0, Incl=4.0, Ovhd=0.0)
+
+    def test_negative_times_rejected(self):
+        run = make_run()
+        with pytest.raises(DataModelError):
+            TotalTiming(Run=run, Excl=-1.0, Incl=1.0, Ovhd=0.0)
+
+    def test_valid_timing(self):
+        run = make_run()
+        timing = TotalTiming(Run=run, Excl=2.0, Incl=3.0, Ovhd=0.5)
+        assert timing.Incl == 3.0
+
+
+class TestTypedTiming:
+    def test_requires_timing_type(self):
+        run = make_run()
+        with pytest.raises(DataModelError, match="TimingType"):
+            TypedTiming(Run=run, Type="Barrier", Time=1.0)  # type: ignore[arg-type]
+
+    def test_negative_time_rejected(self):
+        run = make_run()
+        with pytest.raises(DataModelError):
+            TypedTiming(Run=run, Type=TimingType.Barrier, Time=-0.1)
+
+
+class TestCallTiming:
+    def test_min_must_not_exceed_max(self):
+        run = make_run()
+        with pytest.raises(DataModelError, match="MinTime"):
+            CallTiming(
+                Run=run,
+                MinCalls=1, MaxCalls=2, MeanCalls=1.5, StdevCalls=0.1,
+                MinTime=2.0, MaxTime=1.0, MeanTime=1.5, StdevTime=0.1,
+            )
+
+    def test_imbalance_ratio(self):
+        run = make_run()
+        timing = CallTiming(
+            Run=run,
+            MinCalls=1, MaxCalls=1, MeanCalls=1, StdevCalls=0,
+            MinTime=0.5, MaxTime=1.5, MeanTime=1.0, StdevTime=0.5,
+        )
+        assert timing.imbalance_ratio == pytest.approx(0.5)
+
+    def test_imbalance_ratio_is_zero_for_zero_mean(self):
+        run = make_run()
+        timing = CallTiming(
+            Run=run,
+            MinCalls=0, MaxCalls=0, MeanCalls=0, StdevCalls=0,
+            MinTime=0, MaxTime=0, MeanTime=0, StdevTime=0,
+        )
+        assert timing.imbalance_ratio == 0.0
+
+
+class TestRegion:
+    def test_duplicate_total_timing_for_same_run_rejected(self):
+        region = Region(name="loop")
+        run = make_run()
+        region.add_total_timing(TotalTiming(Run=run, Excl=1, Incl=1, Ovhd=0))
+        with pytest.raises(DataModelError, match="already has a TotalTiming"):
+            region.add_total_timing(TotalTiming(Run=run, Excl=2, Incl=2, Ovhd=0))
+
+    def test_duplicate_typed_timing_for_same_run_and_type_rejected(self):
+        region = Region(name="loop")
+        run = make_run()
+        region.add_typed_timing(TypedTiming(Run=run, Type=TimingType.Barrier, Time=1))
+        with pytest.raises(DataModelError, match="already has a TypedTiming"):
+            region.add_typed_timing(
+                TypedTiming(Run=run, Type=TimingType.Barrier, Time=2)
+            )
+
+    def test_same_type_different_runs_is_allowed(self):
+        region = Region(name="loop")
+        run_a, run_b = make_run(2), make_run(4)
+        region.add_typed_timing(TypedTiming(Run=run_a, Type=TimingType.Barrier, Time=1))
+        region.add_typed_timing(TypedTiming(Run=run_b, Type=TimingType.Barrier, Time=2))
+        assert region.typed_time(run_b, TimingType.Barrier) == 2
+
+    def test_summary_returns_the_unique_total_timing(self):
+        region = Region(name="loop")
+        run = make_run()
+        timing = TotalTiming(Run=run, Excl=1, Incl=4, Ovhd=0.5)
+        region.add_total_timing(timing)
+        assert region.summary(run) is timing
+        assert region.duration(run) == 4
+        assert region.overhead(run) == 0.5
+
+    def test_summary_of_unknown_run_raises(self):
+        region = Region(name="loop")
+        with pytest.raises(DataModelError, match="expected exactly one"):
+            region.summary(make_run())
+
+    def test_typed_time_defaults_to_zero(self):
+        region = Region(name="loop")
+        assert region.typed_time(make_run(), TimingType.IOWrite) == 0.0
+
+    def test_ancestors_and_depth(self):
+        root = Region(name="main", kind=RegionKind.PROGRAM)
+        loop = Region(name="loop", ParentRegion=root)
+        block = Region(name="block", ParentRegion=loop)
+        assert [r.name for r in block.ancestors()] == ["loop", "main"]
+        assert block.depth() == 2
+        assert root.depth() == 0
+
+    def test_ancestor_cycle_detection(self):
+        a = Region(name="a")
+        b = Region(name="b", ParentRegion=a)
+        a.ParentRegion = b
+        with pytest.raises(DataModelError, match="cycle"):
+            list(a.ancestors())
+
+
+class TestFunctionAndCalls:
+    def test_add_region_registers_children(self):
+        function = Function(Name="solve")
+        body = function.add_region(Region(name="body", kind=RegionKind.SUBPROGRAM))
+        loop = function.add_region(Region(name="loop", ParentRegion=body))
+        assert loop in body.children
+        assert function.body_region is body
+
+    def test_region_by_name(self):
+        function = Function(Name="solve")
+        function.add_region(Region(name="body"))
+        assert function.region_by_name("body").name == "body"
+        with pytest.raises(KeyError):
+            function.region_by_name("missing")
+
+    def test_body_region_requires_a_root(self):
+        function = Function(Name="empty")
+        with pytest.raises(DataModelError, match="no root region"):
+            _ = function.body_region
+
+    def test_call_timing_uniqueness_per_run(self):
+        function = Function(Name="solve")
+        region = function.add_region(Region(name="body"))
+        call = FunctionCall(Caller=function, CallingReg=region, callee_name="barrier")
+        run = make_run()
+        timing = CallTiming(
+            Run=run, MinCalls=1, MaxCalls=1, MeanCalls=1, StdevCalls=0,
+            MinTime=0.1, MaxTime=0.2, MeanTime=0.15, StdevTime=0.05,
+        )
+        call.add_call_timing(timing)
+        with pytest.raises(DataModelError, match="already has a CallTiming"):
+            call.add_call_timing(timing)
+        assert call.timing_for(run) is timing
+
+
+class TestProgramAndVersion:
+    def test_duplicate_function_names_rejected(self):
+        version = ProgVersion(Compilation=dt.datetime(2000, 1, 1))
+        version.add_function(Function(Name="main"))
+        with pytest.raises(DataModelError, match="already has a function"):
+            version.add_function(Function(Name="main"))
+
+    def test_smallest_run_is_the_reference(self):
+        version = ProgVersion(Compilation=dt.datetime(2000, 1, 1))
+        version.add_run(make_run(8))
+        version.add_run(make_run(2))
+        version.add_run(make_run(16))
+        assert version.smallest_run().NoPe == 2
+
+    def test_smallest_run_requires_runs(self):
+        version = ProgVersion(Compilation=dt.datetime(2000, 1, 1))
+        with pytest.raises(DataModelError, match="no test runs"):
+            version.smallest_run()
+
+    def test_run_with_pes(self):
+        version = ProgVersion(Compilation=dt.datetime(2000, 1, 1))
+        version.add_run(make_run(4))
+        assert version.run_with_pes(4).NoPe == 4
+        with pytest.raises(KeyError):
+            version.run_with_pes(64)
+
+    def test_main_region_prefers_program_kind(self):
+        version = ProgVersion(Compilation=dt.datetime(2000, 1, 1))
+        helper = version.add_function(Function(Name="helper"))
+        helper.add_region(Region(name="helper_body", kind=RegionKind.SUBPROGRAM))
+        main = version.add_function(Function(Name="main"))
+        program_region = main.add_region(Region(name="main_body", kind=RegionKind.PROGRAM))
+        assert version.main_region is program_region
+
+    def test_latest_version_by_compilation_time(self):
+        program = Program(Name="app")
+        old = program.add_version(ProgVersion(Compilation=dt.datetime(1999, 1, 1), label="v1"))
+        new = program.add_version(ProgVersion(Compilation=dt.datetime(2000, 1, 1), label="v2"))
+        assert program.latest_version() is new
+        assert program.version_by_label("v1") is old
+        with pytest.raises(KeyError):
+            program.version_by_label("v9")
+
+    def test_latest_version_requires_versions(self):
+        with pytest.raises(DataModelError):
+            Program(Name="empty").latest_version()
+
+
+class TestSourceCode:
+    def test_line_lookup(self):
+        code = SourceCode()
+        code.add_file("a.f90", "line one\nline two\n")
+        assert code.line("a.f90", 2) == "line two"
+        assert code.total_lines == 2

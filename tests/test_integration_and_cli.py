@@ -1,0 +1,122 @@
+"""End-to-end integration tests: the full COSY data flow and the CLI."""
+
+import pytest
+
+from repro.apprentice import (
+    ApprenticeExport,
+    ApprenticeParser,
+    ExecutionSimulator,
+    SimulationConfig,
+    synthetic_workload,
+)
+from repro.asl import parse_asl, unparse
+from repro.asl.specs import COSY_DATA_MODEL, COSY_PROPERTIES
+from repro.bench import build_scenario, load_into_backend, speedup_series
+from repro.cosy import ClientSideStrategy, CosyAnalyzer, PushdownStrategy
+from repro.cosy.cli import build_parser, main
+
+
+class TestFullPipeline:
+    """Simulate → export summary file → parse → database → analyse (the paper's
+    complete data flow from Section 3)."""
+
+    def test_summary_file_to_ranked_report(self, cosy_spec, tmp_path):
+        # 1. "Measurement": simulate the application on several PE counts.
+        workload = synthetic_workload("imbalanced", imbalance=0.7)
+        repository = ExecutionSimulator(
+            workload, SimulationConfig(pe_counts=(1, 4, 16))
+        ).run()
+        # 2. Apprentice writes its summary file ...
+        summary_path = tmp_path / "apprentice.sum"
+        ApprenticeExport(repository).dump_path(str(summary_path))
+        # 3. ... which is transferred into the (object) database ...
+        reloaded = ApprenticeParser().load_path(str(summary_path))
+        # 4. ... and analysed by COSY.
+        analyzer = CosyAnalyzer(reloaded, specification=cosy_spec)
+        result = analyzer.analyze()
+        assert result.run_pes == 16
+        bottleneck = result.bottleneck()
+        assert bottleneck is not None
+        assert bottleneck.property_name == "SublinearSpeedup"
+        # The injected load imbalance must surface through the refinement chain.
+        assert result.severity_of("SyncCost", "particle_push") > 0.05
+        assert any(
+            "particle_push" in i.subject for i in result.by_property("LoadImbalance")
+        )
+
+    def test_pushdown_and_client_agree_on_every_workload(self, cosy_spec):
+        for kind in ("stencil", "io_bound", "comm_bound"):
+            scenario = build_scenario(kind, pe_counts=(1, 4), specification=cosy_spec)
+            client, ids = load_into_backend(scenario, "ms_access")
+            push_result = scenario.analyzer.analyze(
+                strategy=PushdownStrategy(
+                    scenario.specification, scenario.mapping, client, ids
+                )
+            )
+            client_result = scenario.analyzer.analyze(
+                strategy=ClientSideStrategy(scenario.specification)
+            )
+            push = {
+                (i.property_name, i.subject): round(i.severity, 9)
+                for i in push_result.instances
+            }
+            ref = {
+                (i.property_name, i.subject): round(i.severity, 9)
+                for i in client_result.instances
+            }
+            assert push == ref, kind
+
+    def test_speedup_series_is_monotone_in_cost(self):
+        scenario = build_scenario("mixed", pe_counts=(1, 2, 4, 8))
+        series = speedup_series(scenario)
+        assert [row["pes"] for row in series] == [1.0, 2.0, 4.0, 8.0]
+        costs = [row["total_cost"] for row in series]
+        assert costs == sorted(costs)
+        assert series[0]["total_cost"] == pytest.approx(0.0)
+        assert all(row["speedup"] >= 0.99 for row in series)
+
+    def test_bundled_documents_round_trip_through_the_pretty_printer(self, cosy_spec):
+        merged_source = COSY_DATA_MODEL + "\n" + COSY_PROPERTIES
+        reparsed = parse_asl(unparse(parse_asl(merged_source)))
+        assert {d.name for d in reparsed.properties} == set(
+            cosy_spec.index.properties
+        )
+
+
+class TestCommandLineInterface:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "mixed"
+        assert args.strategy == "client"
+
+    def test_client_strategy_run(self, capsys):
+        exit_code = main(
+            ["--workload", "imbalanced", "--pes", "1", "4", "--threshold", "0.05"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "KOJAK Cost Analyzer" in output
+        assert "Bottleneck" in output
+        assert "SublinearSpeedup" in output
+
+    def test_pushdown_strategy_run(self, capsys):
+        exit_code = main(
+            [
+                "--workload", "stencil",
+                "--pes", "1", "4",
+                "--strategy", "pushdown",
+                "--db-backend", "ms_access",
+                "--top", "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "strategy       : pushdown" in output
+
+    def test_show_sql(self, capsys):
+        exit_code = main(["--show-sql"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "-- property SublinearSpeedup" in output
+        assert "SELECT" in output
+        assert "FROM dual" in output

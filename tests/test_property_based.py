@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apprentice import ApprenticeExport, ApprenticeParser, simulate, synthetic_workload
+from repro.asl import parse_expression, unparse_expr
+from repro.datamodel import PerformanceDatabase, TimingType
+from repro.relalg import Database
+
+
+# --------------------------------------------------------------------------- #
+# ASL expression round trips over generated expressions
+# --------------------------------------------------------------------------- #
+
+_identifiers = st.sampled_from(["r", "t", "Basis", "Cost", "sum", "tt", "NoPe"])
+
+
+def _expression_strategy() -> st.SearchStrategy:
+    atoms = st.one_of(
+        st.integers(min_value=0, max_value=10_000).map(str),
+        st.floats(min_value=0.001, max_value=1000, allow_nan=False).map(
+            lambda v: format(v, ".4g")
+        ),
+        _identifiers,
+        _identifiers.map(lambda name: f"{name}.Incl"),
+        _identifiers.map(lambda name: f"Duration({name}, t)"),
+    )
+
+    def compound(children):
+        return st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*", "/"]), children).map(
+                lambda parts: f"({parts[0]} {parts[1]} {parts[2]})"
+            ),
+            st.tuples(children, st.sampled_from([">", ">=", "==", "<"]), children).map(
+                lambda parts: f"{parts[0]} {parts[1]} {parts[2]}"
+            ),
+            children.map(lambda inner: f"SUM({inner} WHERE s IN r.TotTimes)"),
+            children.map(lambda inner: f"UNIQUE({{s IN r.TotTimes WITH s.Incl == {inner}}}).Incl"),
+        )
+
+    return st.recursive(atoms, compound, max_leaves=12)
+
+
+class TestAslExpressionRoundTrip:
+    @given(source=_expression_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_unparse_parse_is_a_fixed_point(self, source):
+        """For any generated expression, unparse(parse(x)) is stable."""
+        try:
+            expr = parse_expression(source)
+        except Exception:
+            # The generator may produce sources that are not valid ASL
+            # (e.g. comparison chains); those are not round-trip subjects.
+            return
+        once = unparse_expr(expr)
+        twice = unparse_expr(parse_expression(once))
+        assert once == twice
+
+
+# --------------------------------------------------------------------------- #
+# simulator invariants over random workload parameters
+# --------------------------------------------------------------------------- #
+
+
+class TestSimulatorInvariants:
+    @given(
+        pes=st.sampled_from([1, 2, 3, 5, 8, 16]),
+        imbalance=st.floats(min_value=0.0, max_value=1.0),
+        kind=st.sampled_from(["imbalanced", "stencil"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_repository_invariants_hold_for_random_configurations(
+        self, pes, imbalance, kind
+    ):
+        if kind == "imbalanced":
+            workload = synthetic_workload(kind, imbalance=imbalance)
+        else:
+            workload = synthetic_workload(kind)
+        repository = simulate(workload, pe_counts=(1, pes) if pes > 1 else (1,))
+        repository.validate()
+        for region in repository.regions():
+            for timing in region.TotTimes:
+                assert timing.Incl + 1e-9 >= timing.Excl >= 0
+                assert timing.Ovhd >= 0
+                # Measured overhead never exceeds the inclusive time.
+                assert timing.Ovhd <= timing.Incl + 1e-9
+            for typed in region.TypTimes:
+                assert typed.Time >= 0
+        main = repository.programs[0].latest_version().main_region
+        for run in repository.runs():
+            assert PerformanceDatabase.total_cost(main, run) >= -1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Apprentice summary round trip over random small workloads
+# --------------------------------------------------------------------------- #
+
+
+class TestSummaryRoundTrip:
+    @given(
+        functions=st.integers(min_value=1, max_value=3),
+        regions=st.integers(min_value=1, max_value=3),
+        pes=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_preserves_counts_and_totals(self, functions, regions, pes):
+        workload = synthetic_workload(
+            "scalable", functions=functions, regions_per_function=regions,
+            name=f"rt_{functions}_{regions}",
+        )
+        repository = simulate(workload, pe_counts=(1, pes) if pes > 1 else (1,))
+        text = ApprenticeExport(repository).dumps()
+        parsed = ApprenticeParser().loads(text)
+        assert parsed.stats().counts == repository.stats().counts
+        original_total = sum(
+            t.Incl for region in repository.regions() for t in region.TotTimes
+        )
+        parsed_total = sum(
+            t.Incl for region in parsed.regions() for t in region.TotTimes
+        )
+        assert parsed_total == pytest.approx(original_total, rel=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# SQL engine: WHERE filters match Python filters
+# --------------------------------------------------------------------------- #
+
+
+class TestSqlFilterEquivalence:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=40,
+        ),
+        threshold=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        group=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_where_clause_matches_python_filter(self, rows, threshold, group):
+        database = Database()
+        database.execute(
+            "CREATE TABLE v (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)"
+        )
+        database.executemany(
+            "INSERT INTO v (id, g, x) VALUES (?, ?, ?)",
+            [(i + 1, g, x) for i, (g, x) in enumerate(rows)],
+        )
+        result = database.query(
+            "SELECT id FROM v WHERE g = ? AND x > ? ORDER BY id", [group, threshold]
+        )
+        expected = [
+            i + 1 for i, (g, x) in enumerate(rows) if g == group and x > threshold
+        ]
+        assert [row[0] for row in result] == expected

@@ -1,0 +1,157 @@
+"""Tests of the simulated backend cost models and the client API layers."""
+
+import pytest
+
+from repro.relalg import (
+    BACKEND_PROFILES,
+    BridgedClient,
+    NativeClient,
+    SimulatedBackend,
+    VirtualClock,
+    backend,
+)
+
+
+def prepare(simulated: SimulatedBackend, rows: int = 50) -> None:
+    simulated.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT)")
+    simulated.executemany(
+        "INSERT INTO t (id, x) VALUES (?, ?)", [(i + 1, float(i)) for i in range(rows)]
+    )
+
+
+class TestVirtualClock:
+    def test_advance_and_reset(self):
+        clock = VirtualClock()
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.elapsed == pytest.approx(0.75)
+        clock.reset()
+        assert clock.elapsed == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestBackendProfiles:
+    def test_the_four_paper_backends_exist(self):
+        assert set(BACKEND_PROFILES) == {
+            "oracle7", "ms_sql_server", "postgres", "ms_access",
+        }
+
+    def test_only_ms_access_is_local(self):
+        assert not BACKEND_PROFILES["ms_access"].remote
+        assert BACKEND_PROFILES["oracle7"].remote
+
+    def test_single_record_fetch_from_oracle_is_about_one_millisecond(self):
+        # Paper: "fetching a record from the Oracle server takes about 1 ms".
+        cost = BACKEND_PROFILES["oracle7"].statement_cost(rows_returned=1)
+        assert 0.5e-3 <= cost <= 1.5e-3
+
+    def test_oracle_queries_are_about_twice_as_slow_as_sql_server_and_postgres(self):
+        oracle = BACKEND_PROFILES["oracle7"].statement_cost(rows_returned=1)
+        mssql = BACKEND_PROFILES["ms_sql_server"].statement_cost(rows_returned=1)
+        postgres = BACKEND_PROFILES["postgres"].statement_cost(rows_returned=1)
+        assert 1.5 <= oracle / mssql <= 2.5
+        assert 1.5 <= oracle / postgres <= 2.5
+
+    def test_ms_access_outperforms_the_server_backends(self):
+        access = BACKEND_PROFILES["ms_access"].statement_cost(rows_returned=1)
+        for name in ("oracle7", "ms_sql_server", "postgres"):
+            assert access < BACKEND_PROFILES[name].statement_cost(rows_returned=1)
+
+    def test_insertion_into_access_is_about_twenty_times_faster_than_oracle(self):
+        oracle = BACKEND_PROFILES["oracle7"].statement_cost(rows_inserted=1)
+        access = BACKEND_PROFILES["ms_access"].statement_cost(rows_inserted=1)
+        assert 10 <= oracle / access <= 30
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            backend("db2")
+
+
+class TestSimulatedBackend:
+    def test_statements_advance_the_virtual_clock(self):
+        simulated = backend("oracle7")
+        prepare(simulated, rows=10)
+        elapsed_after_insert = simulated.elapsed
+        assert elapsed_after_insert > 0
+        simulated.query("SELECT * FROM t")
+        assert simulated.elapsed > elapsed_after_insert
+
+    def test_connection_latency_charged_once(self):
+        simulated = backend("oracle7")
+        simulated.connect()
+        first = simulated.elapsed
+        simulated.connect()
+        assert simulated.elapsed == first
+
+    def test_bulk_insert_is_cheaper_on_access_than_on_oracle(self):
+        oracle = backend("oracle7")
+        access = backend("ms_access")
+        prepare(oracle, rows=200)
+        prepare(access, rows=200)
+        # Subtract the one-time connection latencies before comparing.
+        oracle_time = oracle.elapsed - oracle.profile.connect_latency
+        access_time = access.elapsed - access.profile.connect_latency
+        assert 10 <= oracle_time / access_time <= 30
+
+    def test_counters(self):
+        simulated = backend("postgres")
+        prepare(simulated, rows=5)
+        simulated.query("SELECT * FROM t")
+        assert simulated.rows_inserted == 5
+        assert simulated.rows_fetched == 5
+        assert simulated.statements_executed == 7  # create + 5 inserts + select
+        simulated.reset_clock()
+        assert simulated.elapsed == 0.0
+        assert simulated.statements_executed == 0
+
+    def test_results_are_identical_across_backends(self):
+        results = {}
+        for name in BACKEND_PROFILES:
+            simulated = backend(name)
+            prepare(simulated, rows=20)
+            results[name] = simulated.query("SELECT SUM(x) FROM t").scalar()
+        assert len(set(results.values())) == 1
+
+
+class TestClientLayers:
+    def test_bridged_client_is_two_to_four_times_slower(self):
+        # Paper: JDBC access is a factor of two to four slower than C.
+        native = NativeClient(backend("oracle7"))
+        bridged = BridgedClient(backend("oracle7"))
+        for client in (native, bridged):
+            prepare(client.backend, rows=1)
+            client.backend.reset_clock()
+            for i in range(100):
+                client.fetch_record("SELECT x FROM t WHERE id = ?", [1])
+        assert bridged.client_time / native.client_time == pytest.approx(3.0, rel=0.01)
+        assert 2.0 <= bridged.slowdown <= 4.0
+
+    def test_fetch_record_requires_a_row(self):
+        client = NativeClient(backend("ms_access"))
+        prepare(client.backend, rows=1)
+        with pytest.raises(LookupError):
+            client.fetch_record("SELECT x FROM t WHERE id = ?", [999])
+
+    def test_client_overhead_is_added_to_the_backend_clock(self):
+        client = NativeClient(backend("ms_access"))
+        prepare(client.backend, rows=1)
+        before = client.backend.elapsed
+        client.query("SELECT * FROM t")
+        assert client.backend.elapsed > before
+        assert client.calls == 1
+        assert client.rows_fetched == 1
+
+    def test_executemany_counts_affected_rows(self):
+        client = NativeClient(backend("ms_access"))
+        client.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT)")
+        affected = client.executemany(
+            "INSERT INTO t (id, x) VALUES (?, ?)", [(1, 1.0), (2, 2.0)]
+        )
+        assert affected == 2
+
+    def test_bridged_slowdown_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            BridgedClient(backend("ms_access"), slowdown=0.5)

@@ -1,0 +1,167 @@
+"""Additional executor edge cases: ordering, NULLs, joins, result shapes."""
+
+import pytest
+
+from repro.relalg import Database, ExecutionError
+from repro.relalg.executor import QueryStats
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE measurements (id INTEGER PRIMARY KEY, region VARCHAR, "
+        "run_id INTEGER, value FLOAT)"
+    )
+    rows = [
+        (1, "main", 1, 10.0),
+        (2, "main", 2, None),
+        (3, "loop", 1, 4.0),
+        (4, "loop", 2, 8.0),
+        (5, "io", 1, 1.0),
+    ]
+    database.executemany(
+        "INSERT INTO measurements (id, region, run_id, value) VALUES (?, ?, ?, ?)",
+        rows,
+    )
+    database.execute("CREATE TABLE runs (id INTEGER PRIMARY KEY, pes INTEGER)")
+    database.executemany("INSERT INTO runs (id, pes) VALUES (?, ?)", [(1, 2), (2, 8)])
+    return database
+
+
+class TestOrderingAndNulls:
+    def test_order_by_ascending_puts_nulls_last(self, db):
+        result = db.query("SELECT id, value FROM measurements ORDER BY value")
+        assert [row[0] for row in result] == [5, 3, 4, 1, 2]
+
+    def test_order_by_descending_treats_nulls_as_largest(self, db):
+        # NULL sorts as the largest value: last in ASC, first in DESC.
+        result = db.query("SELECT id, value FROM measurements ORDER BY value DESC")
+        ids = [row[0] for row in result]
+        assert ids[0] == 2
+        assert ids[1] == 1
+        assert ids[-1] == 5
+
+    def test_order_by_multiple_keys(self, db):
+        result = db.query(
+            "SELECT region, run_id FROM measurements ORDER BY region, run_id DESC"
+        )
+        assert result.rows[0] == ("io", 1)
+        assert result.rows[1] == ("loop", 2)
+
+    def test_order_by_expression_over_source_rows(self, db):
+        result = db.query(
+            "SELECT id FROM measurements WHERE value IS NOT NULL ORDER BY value * -1"
+        )
+        assert [row[0] for row in result] == [1, 4, 3, 5]
+
+    def test_order_by_output_alias_in_aggregate_query(self, db):
+        result = db.query(
+            "SELECT region, COUNT(*) AS n FROM measurements GROUP BY region ORDER BY n DESC, region"
+        )
+        assert result.rows[0][1] == 2
+
+    def test_order_by_arbitrary_expression_in_aggregate_query_is_rejected(self, db):
+        with pytest.raises(ExecutionError, match="ORDER BY"):
+            db.query(
+                "SELECT region, COUNT(*) FROM measurements GROUP BY region "
+                "ORDER BY value"
+            )
+
+    def test_aggregates_skip_nulls(self, db):
+        result = db.query(
+            "SELECT COUNT(value), COUNT(*), AVG(value) FROM measurements WHERE region = 'main'"
+        )
+        count_value, count_star, average = result.rows[0]
+        assert count_value == 1
+        assert count_star == 2
+        assert average == pytest.approx(10.0)
+
+    def test_sum_of_only_nulls_is_null(self, db):
+        result = db.query(
+            "SELECT SUM(value) FROM measurements WHERE region = 'main' AND run_id = 2"
+        )
+        assert result.scalar() is None
+
+    def test_limit_zero_returns_nothing(self, db):
+        assert len(db.query("SELECT * FROM measurements LIMIT 0")) == 0
+
+    def test_distinct_after_order_preserves_sortedness(self, db):
+        result = db.query(
+            "SELECT DISTINCT region FROM measurements ORDER BY region DESC"
+        )
+        assert [row[0] for row in result] == ["main", "loop", "io"]
+
+
+class TestJoinsAndStats:
+    def test_join_statistics_count_scans_and_joins(self, db):
+        result = db.query(
+            "SELECT m.id FROM measurements m JOIN runs r ON m.run_id = r.id "
+            "WHERE r.pes = 8"
+        )
+        assert sorted(row[0] for row in result) == [2, 4]
+        assert result.stats.rows_joined == 2
+        assert result.stats.rows_scanned > 0
+
+    def test_three_way_cross_join_filtering(self, db):
+        db.execute("CREATE TABLE labels (id INTEGER PRIMARY KEY, name VARCHAR)")
+        db.executemany(
+            "INSERT INTO labels (id, name) VALUES (?, ?)", [(1, "first"), (2, "second")]
+        )
+        result = db.query(
+            "SELECT m.id, l.name FROM measurements m, runs r, labels l "
+            "WHERE m.run_id = r.id AND l.id = r.id AND m.region = 'loop' "
+            "ORDER BY m.id"
+        )
+        assert result.rows == [(3, "first"), (4, "second")]
+
+    def test_qualified_star_selects_one_table(self, db):
+        result = db.query(
+            "SELECT r.* FROM measurements m JOIN runs r ON m.run_id = r.id "
+            "WHERE m.id = 1"
+        )
+        assert result.columns == ["id", "pes"]
+        assert result.rows == [(1, 2)]
+
+    def test_duplicate_binding_is_rejected(self, db):
+        with pytest.raises(ExecutionError, match="duplicate table binding"):
+            db.query("SELECT * FROM runs a, runs a")
+
+    def test_join_without_on_is_a_cross_product(self, db):
+        result = db.query("SELECT COUNT(*) FROM measurements JOIN runs")
+        assert result.scalar() == 10
+
+    def test_query_stats_merge(self):
+        a = QueryStats(rows_scanned=5, index_lookups=1, rows_joined=2, subqueries=1)
+        b = QueryStats(rows_scanned=3, index_lookups=2, rows_joined=1, subqueries=0)
+        a.merge(b)
+        assert a.rows_scanned == 8
+        assert a.index_lookups == 3
+        assert a.subqueries == 1
+
+    def test_scalar_subquery_with_multiple_rows_is_an_error(self, db):
+        with pytest.raises(ExecutionError, match="scalar subquery"):
+            db.query(
+                "SELECT id FROM runs WHERE pes = (SELECT run_id FROM measurements)"
+            )
+
+    def test_scalar_subquery_with_no_rows_yields_null(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM runs WHERE pes = (SELECT value FROM measurements WHERE id = 999)"
+        )
+        assert result.scalar() == 0
+
+    def test_scalar_functions(self, db):
+        result = db.query(
+            "SELECT ABS(value * -1), UPPER(region), LOWER(region), LENGTH(region), "
+            "COALESCE(NULL, value, 0) FROM measurements WHERE id = 1"
+        )
+        assert result.rows[0] == (10.0, "MAIN", "main", 4, 10.0)
+
+    def test_unknown_scalar_function(self, db):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            db.query("SELECT SOUNDEX(region) FROM measurements")
+
+    def test_aggregate_outside_aggregate_context_is_rejected(self, db):
+        with pytest.raises(ExecutionError, match="not allowed here"):
+            db.query("SELECT id FROM measurements WHERE SUM(value) > 1")

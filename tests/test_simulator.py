@@ -1,0 +1,189 @@
+"""Tests of the parallel-execution simulator (the Apprentice substitute)."""
+
+import pytest
+
+from repro.apprentice import (
+    ExecutionSimulator,
+    SimulationConfig,
+    simulate,
+    synthetic_workload,
+)
+from repro.datamodel import RegionKind, TimingType
+
+
+class TestSimulationConfig:
+    def test_rejects_empty_pe_counts(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(pe_counts=())
+
+    def test_rejects_non_positive_pe_counts(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(pe_counts=(4, 0))
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(pe_counts=(1,), measurement_jitter=-0.1)
+
+
+class TestSimulatedRepositoryStructure:
+    def test_one_run_per_pe_count(self, mixed_repository):
+        runs = sorted(run.NoPe for run in mixed_repository.runs())
+        assert runs == [1, 2, 4, 8]
+
+    def test_repository_validates(self, mixed_repository):
+        mixed_repository.validate()
+
+    def test_every_region_has_a_summary_for_every_run(self, mixed_repository):
+        runs = list(mixed_repository.runs())
+        for region in mixed_repository.regions():
+            for run in runs:
+                summary = region.summary(run)
+                assert summary.Incl >= summary.Excl >= 0
+
+    def test_program_region_exists(self, mixed_version):
+        assert mixed_version.main_region.kind is RegionKind.PROGRAM
+
+    def test_region_structure_matches_workload(self, mixed_repository):
+        names = {region.name for region in mixed_repository.regions()}
+        assert {"app_main", "assemble_matrix", "solve_system", "write_results"} <= names
+
+    def test_call_sites_materialised(self, mixed_version):
+        callees = {call.callee_name for call in mixed_version.all_calls()}
+        assert "barrier" in callees
+        assert "io" in callees
+
+    def test_source_code_attached(self, mixed_version):
+        assert mixed_version.Code.total_lines > 0
+
+
+class TestSimulatedTimings:
+    def test_simulation_is_deterministic(self):
+        workload = synthetic_workload("stencil")
+        a = simulate(workload, pe_counts=(1, 4))
+        b = simulate(synthetic_workload("stencil"), pe_counts=(1, 4))
+        region_a = a.region_by_name("stencil_main")
+        region_b = b.region_by_name("stencil_main")
+        for run_a, run_b in zip(sorted(a.runs(), key=lambda r: r.NoPe),
+                                sorted(b.runs(), key=lambda r: r.NoPe)):
+            assert region_a.duration(run_a) == pytest.approx(region_b.duration(run_b))
+
+    def test_summed_duration_grows_with_processor_count(self, mixed_repository):
+        """With a serial fraction and overheads the summed time must grow."""
+        main = mixed_repository.region_by_name("app_main")
+        durations = [
+            main.duration(run)
+            for run in sorted(mixed_repository.runs(), key=lambda r: r.NoPe)
+        ]
+        assert durations == sorted(durations)
+        assert durations[-1] > durations[0]
+
+    def test_total_cost_is_positive_for_larger_runs(self, mixed_repository, mixed_run):
+        main = mixed_repository.region_by_name("app_main")
+        assert mixed_repository.total_cost(main, mixed_run) > 0
+
+    def test_speedup_is_sublinear_but_above_one(self, mixed_repository, mixed_run):
+        main = mixed_repository.region_by_name("app_main")
+        speedup = mixed_repository.speedup(main, mixed_run)
+        assert 1.0 < speedup < mixed_run.NoPe
+
+    def test_single_pe_run_has_no_comm_and_only_barrier_latency(self, mixed_repository):
+        run1 = next(run for run in mixed_repository.runs() if run.NoPe == 1)
+        run8 = next(run for run in mixed_repository.runs() if run.NoPe == 8)
+        assemble = mixed_repository.region_by_name("assemble_matrix")
+        # No communication partners on one processor.
+        assert assemble.typed_time(run1, TimingType.SendOverhead) == pytest.approx(0.0)
+        # Barriers degenerate to their latency: negligible next to the 8-PE wait.
+        assert assemble.typed_time(run1, TimingType.Barrier) < 1e-2
+        assert assemble.typed_time(run8, TimingType.Barrier) > 100 * assemble.typed_time(
+            run1, TimingType.Barrier
+        )
+
+    def test_imbalanced_region_accumulates_barrier_time(self, mixed_repository, mixed_run):
+        assemble = mixed_repository.region_by_name("assemble_matrix")
+        solve = mixed_repository.region_by_name("solve_system")
+        # assemble_matrix has imbalance 0.5, solve_system only 0.08: the barrier
+        # waiting time of the imbalanced region must be clearly higher.
+        assert assemble.typed_time(mixed_run, TimingType.Barrier) > 2 * solve.typed_time(
+            mixed_run, TimingType.Barrier
+        )
+
+    def test_serialized_io_region_has_io_and_wait_time(self, mixed_repository, mixed_run):
+        output = mixed_repository.region_by_name("write_results")
+        io_time = output.typed_time(mixed_run, TimingType.IOWrite) + output.typed_time(
+            mixed_run, TimingType.IORead
+        )
+        assert io_time > 0
+        assert output.typed_time(mixed_run, TimingType.EventWait) > 0
+
+    def test_alltoall_region_scales_with_pes(self, mixed_repository):
+        exchange = mixed_repository.region_by_name("field_exchange")
+        runs = sorted(mixed_repository.runs(), key=lambda r: r.NoPe)
+        alltoall = [exchange.typed_time(run, TimingType.AllToAll) for run in runs]
+        assert alltoall[-1] > alltoall[1] > 0
+
+    def test_inclusive_time_covers_children(self, mixed_repository, mixed_run):
+        main = mixed_repository.region_by_name("app_main")
+        child_incl = sum(child.duration(mixed_run) for child in main.children)
+        assert main.duration(mixed_run) >= child_incl
+
+    def test_overhead_is_consistent_with_typed_timings(self, mixed_repository, mixed_run):
+        for region in mixed_repository.regions():
+            summary = region.summary(mixed_run)
+            typed_overhead = sum(
+                t.Time for t in region.TypTimes if t.Run == mixed_run and t.Type.is_overhead
+            )
+            assert summary.Ovhd == pytest.approx(typed_overhead, rel=1e-9)
+
+    def test_computation_breakdown_matches_compute_time(self):
+        workload = synthetic_workload("stencil")
+        repo = simulate(workload, pe_counts=(4,), measurement_jitter=0.0)
+        run = next(iter(repo.runs()))
+        region = repo.region_by_name("stencil_update")
+        summary = region.summary(run)
+        computation = sum(
+            t.Time
+            for t in region.TypTimes
+            if t.Run == run and not t.Type.is_overhead
+        )
+        overhead = sum(
+            t.Time for t in region.TypTimes if t.Run == run and t.Type.is_overhead
+        )
+        # Without jitter the exclusive time is exactly useful computation (the
+        # FloatingPoint/IntegerOps/LoadStore breakdown) plus measured overhead.
+        assert summary.Excl == pytest.approx(computation + overhead, rel=1e-9)
+
+    def test_barrier_call_site_reflects_imbalance(self, imbalanced_repository):
+        version = imbalanced_repository.programs[0].latest_version()
+        run = version.run_with_pes(16)
+        barrier_calls = [
+            call for call in version.all_calls()
+            if call.callee_name == "barrier" and call.CallingReg.name == "particle_push"
+        ]
+        assert barrier_calls
+        timing = barrier_calls[0].timing_for(run)
+        assert timing.StdevTime > 0.25 * timing.MeanTime
+
+    def test_clock_speed_scales_computation(self):
+        workload = synthetic_workload("stencil")
+        slow = simulate(workload, pe_counts=(4,), clock_mhz=150, measurement_jitter=0.0)
+        fast = simulate(synthetic_workload("stencil"), pe_counts=(4,), clock_mhz=600,
+                        measurement_jitter=0.0)
+        slow_run = next(iter(slow.runs()))
+        fast_run = next(iter(fast.runs()))
+        slow_time = slow.region_by_name("stencil_update").duration(slow_run)
+        fast_time = fast.region_by_name("stencil_update").duration(fast_run)
+        assert slow_time > fast_time
+
+
+class TestMultipleVersions:
+    def test_two_versions_in_one_repository(self):
+        workload = synthetic_workload("stencil")
+        simulator = ExecutionSimulator(workload, SimulationConfig(pe_counts=(1, 2)))
+        repo = simulator.run(version_label="v1")
+        # A second simulation of the same program is stored as a new version.
+        ExecutionSimulator(
+            synthetic_workload("stencil"), SimulationConfig(pe_counts=(1, 4))
+        ).run(database=repo, version_label="v2")
+        program = repo.program("stencil")
+        assert [v.label for v in program.Versions] == ["v1", "v2"]
+        repo.validate()

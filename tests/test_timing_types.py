@@ -1,0 +1,89 @@
+"""Tests of the Apprentice timing-type enumeration."""
+
+import pytest
+
+from repro.datamodel import (
+    COMMUNICATION_TYPES,
+    IO_TYPES,
+    NUM_TIMING_TYPES,
+    SYNCHRONIZATION_TYPES,
+    TimingCategory,
+    TimingType,
+)
+
+
+class TestTimingTypeCount:
+    def test_there_are_exactly_25_types(self):
+        # The paper: "Apprentice knows 25 such types."
+        assert NUM_TIMING_TYPES == 25
+        assert len(list(TimingType)) == 25
+
+    def test_values_are_unique(self):
+        values = [t.value for t in TimingType]
+        assert len(values) == len(set(values))
+
+    def test_every_type_has_a_category(self):
+        for timing_type in TimingType:
+            assert isinstance(timing_type.category, TimingCategory)
+
+
+class TestOverheadClassification:
+    def test_computation_types_are_not_overhead(self):
+        assert not TimingType.FloatingPoint.is_overhead
+        assert not TimingType.IntegerOps.is_overhead
+        assert not TimingType.LoadStore.is_overhead
+
+    def test_barrier_is_overhead(self):
+        assert TimingType.Barrier.is_overhead
+
+    def test_io_is_overhead(self):
+        assert TimingType.IOWrite.is_overhead
+        assert TimingType.IORead.is_overhead
+
+    def test_overhead_and_computation_partition_the_types(self):
+        overhead = set(TimingType.overhead_types())
+        computation = set(TimingType.computation_types())
+        assert overhead | computation == set(TimingType)
+        assert not (overhead & computation)
+
+    def test_computation_types_are_exactly_three(self):
+        assert len(TimingType.computation_types()) == 3
+
+
+class TestCategoryGroups:
+    def test_communication_types_include_point_to_point_and_collectives(self):
+        assert TimingType.SendOverhead in COMMUNICATION_TYPES
+        assert TimingType.AllToAll in COMMUNICATION_TYPES
+        assert TimingType.Barrier not in COMMUNICATION_TYPES
+
+    def test_synchronization_types(self):
+        assert TimingType.Barrier in SYNCHRONIZATION_TYPES
+        assert TimingType.LockWait in SYNCHRONIZATION_TYPES
+        assert TimingType.IORead not in SYNCHRONIZATION_TYPES
+
+    def test_io_types(self):
+        assert IO_TYPES == {
+            TimingType.IORead,
+            TimingType.IOWrite,
+            TimingType.IOOpenClose,
+            TimingType.IOSeek,
+        }
+
+    def test_groups_are_disjoint(self):
+        assert not (COMMUNICATION_TYPES & SYNCHRONIZATION_TYPES)
+        assert not (COMMUNICATION_TYPES & IO_TYPES)
+        assert not (SYNCHRONIZATION_TYPES & IO_TYPES)
+
+
+class TestLookup:
+    def test_from_name_finds_every_type(self):
+        for timing_type in TimingType:
+            assert TimingType.from_name(timing_type.value) is timing_type
+
+    def test_from_name_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown timing type"):
+            TimingType.from_name("NotATimingType")
+
+    def test_from_name_error_lists_known_types(self):
+        with pytest.raises(KeyError, match="Barrier"):
+            TimingType.from_name("nope")

@@ -1,0 +1,227 @@
+"""Tests of the event-trace substrate and the related-work baseline analyzers."""
+
+import pytest
+
+from repro.apprentice import synthetic_workload
+from repro.baselines import (
+    EarlAnalyzer,
+    EdlAnalyzer,
+    Finding,
+    ParadynSearch,
+    RuleEngine,
+    default_rule_base,
+    match_stream,
+    prim,
+    rank_findings,
+    seq,
+    star,
+    alt,
+    plus,
+)
+from repro.traces import Event, EventKind, Trace, generate_trace
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return generate_trace(synthetic_workload("mixed"), pes=8)
+
+
+@pytest.fixture(scope="module")
+def imbalanced_version_and_run(imbalanced_repository):
+    version = imbalanced_repository.programs[0].latest_version()
+    return version, version.run_with_pes(16)
+
+
+class TestTraceModel:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, pe=0, kind=EventKind.ENTER)
+        with pytest.raises(ValueError):
+            Event(time=0.0, pe=-1, kind=EventKind.ENTER)
+
+    def test_trace_requires_processes(self):
+        with pytest.raises(ValueError):
+            Trace(pes=0)
+
+    def test_events_are_sorted_by_time(self, mixed_trace):
+        times = [event.time for event in mixed_trace]
+        assert times == sorted(times)
+
+    def test_per_pe_and_kind_filters(self, mixed_trace):
+        pe0 = mixed_trace.for_pe(0)
+        assert pe0 and all(event.pe == 0 for event in pe0)
+        barriers = mixed_trace.of_kind(EventKind.BARRIER_ENTER)
+        assert barriers and all(
+            event.kind is EventKind.BARRIER_ENTER for event in barriers
+        )
+
+    def test_enter_exit_pairs_balance(self, mixed_trace):
+        enters = len(mixed_trace.of_kind(EventKind.ENTER))
+        exits = len(mixed_trace.of_kind(EventKind.EXIT))
+        assert enters == exits > 0
+
+    def test_region_times_include_the_injected_regions(self, mixed_trace):
+        times = mixed_trace.region_times()
+        assert times["app_main"] > 0
+        assert "assemble_matrix" in times
+
+    def test_barrier_wait_times_peak_in_the_imbalanced_region(self, mixed_trace):
+        waits = mixed_trace.barrier_wait_times()
+        assert waits
+        assert max(waits, key=waits.get) == "assemble_matrix"
+
+    def test_message_statistics(self, mixed_trace):
+        stats = mixed_trace.message_statistics()
+        assert stats["messages"] > 0
+        assert stats["bytes"] > 0
+        assert stats["mean_size"] > 0
+
+    def test_trace_generation_is_deterministic(self):
+        workload = synthetic_workload("stencil")
+        a = generate_trace(workload, 4)
+        b = generate_trace(synthetic_workload("stencil"), 4)
+        assert len(a) == len(b)
+        assert a.duration() == pytest.approx(b.duration())
+
+    def test_generator_rejects_invalid_pe_count(self):
+        with pytest.raises(ValueError):
+            generate_trace(synthetic_workload("stencil"), 0)
+
+
+class TestEdlPatterns:
+    def events(self):
+        return [
+            Event(time=float(i), pe=0, kind=kind, region="r")
+            for i, kind in enumerate(
+                [
+                    EventKind.ENTER,
+                    EventKind.SEND,
+                    EventKind.SEND,
+                    EventKind.RECV,
+                    EventKind.EXIT,
+                ]
+            )
+        ]
+
+    def test_prim_and_seq(self):
+        pattern = seq(
+            prim(lambda e: e.kind is EventKind.ENTER),
+            prim(lambda e: e.kind is EventKind.SEND),
+        )
+        matches = match_stream(pattern, self.events())
+        assert len(matches) == 1
+        assert matches[0].start == 0 and matches[0].end == 2
+
+    def test_star_matches_repetitions(self):
+        pattern = seq(
+            prim(lambda e: e.kind is EventKind.ENTER),
+            star(prim(lambda e: e.kind is EventKind.SEND)),
+            prim(lambda e: e.kind is EventKind.RECV),
+        )
+        matches = match_stream(pattern, self.events())
+        assert len(matches) == 1
+        assert matches[0].end == 4
+
+    def test_plus_requires_at_least_one(self):
+        pattern = plus(prim(lambda e: e.kind is EventKind.RECV))
+        assert not match_stream(pattern, self.events()[:3])
+        assert match_stream(pattern, self.events())
+
+    def test_alt_matches_either_branch(self):
+        pattern = alt(
+            prim(lambda e: e.kind is EventKind.RECV),
+            prim(lambda e: e.kind is EventKind.ENTER),
+        )
+        matches = match_stream(pattern, self.events())
+        assert len(matches) == 2
+
+    def test_match_duration(self):
+        pattern = seq(
+            prim(lambda e: e.kind is EventKind.ENTER),
+            star(prim(lambda e: True)),
+        )
+        matches = match_stream(pattern, self.events())
+        assert matches[0].duration == pytest.approx(4.0)
+
+
+class TestBaselineAnalyzers:
+    def test_paradyn_detects_sync_waiting_in_the_imbalanced_region(
+        self, mixed_repository, mixed_run
+    ):
+        version = mixed_repository.programs[0].latest_version()
+        findings = ParadynSearch(mixed_repository).search(version, mixed_run)
+        sync = [f for f in findings if f.problem == "ExcessiveSyncWaitingTime"]
+        assert any(f.location == "assemble_matrix" for f in sync)
+
+    def test_paradyn_refines_down_the_region_tree(self, mixed_repository, mixed_run):
+        version = mixed_repository.programs[0].latest_version()
+        findings = ParadynSearch(mixed_repository).search(version, mixed_run)
+        locations = {f.location for f in findings}
+        assert "app_main" in locations
+        assert len(locations) > 1
+
+    def test_paradyn_hypothesis_set_is_fixed(self, mixed_repository, mixed_run):
+        version = mixed_repository.programs[0].latest_version()
+        findings = ParadynSearch(mixed_repository).search(version, mixed_run)
+        assert {f.problem for f in findings} <= {
+            "CPUbound",
+            "ExcessiveSyncWaitingTime",
+            "ExcessiveIOBlockingTime",
+            "ExcessiveCommunication",
+        }
+
+    def test_opal_refinement_reaches_load_imbalance(
+        self, imbalanced_repository, imbalanced_version_and_run
+    ):
+        version, run = imbalanced_version_and_run
+        engine = RuleEngine(imbalanced_repository, default_rule_base())
+        findings = engine.analyze(version, run)
+        problems = {f.problem for f in findings}
+        assert "ParallelizationOverhead" in problems
+        assert "SyncProblem" in problems
+        assert "LoadImbalance" in problems
+        assert engine.evaluated > 3
+
+    def test_opal_findings_are_ranked(self, mixed_repository, mixed_run):
+        version = mixed_repository.programs[0].latest_version()
+        findings = RuleEngine(mixed_repository, default_rule_base()).analyze(
+            version, mixed_run
+        )
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_edl_detects_barrier_wait_and_serialized_io(self, mixed_trace):
+        findings = EdlAnalyzer().analyze(mixed_trace)
+        problems = {(f.problem, f.location) for f in findings}
+        assert ("BarrierWait", "assemble_matrix") in problems
+        assert any(p == "SerializedIO" for p, _ in problems)
+
+    def test_earl_scripts_find_the_dominant_region_and_barrier_wait(self, mixed_trace):
+        findings = EarlAnalyzer().analyze(mixed_trace)
+        problems = {f.problem for f in findings}
+        assert "DominantRegion" in problems
+        assert "BarrierWait" in problems
+
+    def test_rank_findings_orders_by_severity(self):
+        findings = [
+            Finding(problem="A", location="x", severity=0.1),
+            Finding(problem="B", location="y", severity=0.9),
+        ]
+        assert rank_findings(findings)[0].problem == "B"
+
+    def test_all_approaches_agree_on_the_injected_bottleneck(
+        self, mixed_repository, mixed_run, mixed_trace
+    ):
+        """COSY, Paradyn-, OPAL-, EDL- and EARL-like analyses all point at the
+        barrier / load-imbalance problem in assemble_matrix (E5's claim)."""
+        version = mixed_repository.programs[0].latest_version()
+        paradyn = ParadynSearch(mixed_repository).search(version, mixed_run)
+        opal = RuleEngine(mixed_repository, default_rule_base()).analyze(
+            version, mixed_run
+        )
+        edl = EdlAnalyzer().analyze(mixed_trace)
+        earl = EarlAnalyzer().analyze(mixed_trace)
+        for findings in (paradyn, opal, edl, earl):
+            assert any(
+                "assemble_matrix" in f.location for f in findings
+            ), findings[:3]
