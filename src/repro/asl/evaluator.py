@@ -19,6 +19,15 @@ The evaluation of a property proceeds exactly as described in Section 4:
    user- or tool-defined threshold, and the *bottleneck* is the property
    instance with the highest severity (this ranking is performed by
    :mod:`repro.cosy`).
+
+Properties are **compiled once per evaluator instance**
+(:mod:`repro.asl.compile`): the first :meth:`AslEvaluator.evaluate_property`
+call for a property turns its LET definitions, conditions and value
+specifications into Python closures; subsequent evaluations — the client-side
+analysis strategy evaluates every property for every region × run context —
+only re-bind the parameters.  :meth:`AslEvaluator.evaluate` remains the
+interpretive single-expression API (and the semantic reference the compiled
+closures are tested against).
 """
 
 from __future__ import annotations
@@ -46,9 +55,10 @@ from repro.asl.ast_nodes import (
     UnaryOp,
     ValueSpec,
 )
+from repro.asl.compile import AslExprCompiler, CompiledProperty
 from repro.asl.errors import AslEvaluationError, AslNameError
 from repro.asl.semantic import CheckedSpecification
-from repro.asl.symbols import Scope
+from repro.asl.symbols import MISSING, Scope
 
 __all__ = ["AslEvaluator", "PropertyEvaluation", "default_enum_binding"]
 
@@ -121,15 +131,74 @@ class AslEvaluator:
             else default_enum_binding(checked)
         )
         self._constant_cache: Dict[str, Any] = {}
+        self._compiler = AslExprCompiler(self)
+        #: Property name → compiled program (filled on first evaluation).
+        self.compiled_properties: Dict[str, CompiledProperty] = {}
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
 
+    def compile_property(self, name: str) -> CompiledProperty:
+        """The compiled (closure) form of a property; compiled on first use."""
+        program = self.compiled_properties.get(name)
+        if program is None:
+            try:
+                decl = self.index.properties[name]
+            except KeyError:
+                raise AslNameError(f"unknown property {name!r}") from None
+            program = self._compiler.compile_property(decl)
+            self.compiled_properties[name] = program
+        return program
+
     def evaluate_property(
         self, name: str, parameters: Mapping[str, Any]
     ) -> PropertyEvaluation:
         """Evaluate property ``name`` with the given parameter binding."""
+        program = self.compile_property(name)
+        decl = program.decl
+        missing = [p.name for p in decl.params if p.name not in parameters]
+        if missing:
+            raise AslEvaluationError(
+                f"property {name!r} is missing parameter(s) {missing}; expected "
+                f"{[p.name for p in decl.params]}"
+            )
+        env = {p: parameters[p] for p in program.param_names}
+        result = PropertyEvaluation(property_name=name, parameters=dict(env))
+        for let_name, let_fn in program.lets:
+            value = let_fn(env)
+            env[let_name] = value
+            result.let_values[let_name] = value
+
+        for key, condition_fn in program.conditions:
+            result.conditions[key] = bool(condition_fn(env))
+        result.holds = any(result.conditions.values())
+
+        result.confidence = program.value_of(
+            program.confidence_entries,
+            program.confidence_is_max,
+            result.conditions,
+            env,
+        )
+        if result.holds:
+            result.severity = program.value_of(
+                program.severity_entries,
+                program.severity_is_max,
+                result.conditions,
+                env,
+            )
+        else:
+            result.severity = 0.0
+        return result
+
+    def evaluate_property_interpreted(
+        self, name: str, parameters: Mapping[str, Any]
+    ) -> PropertyEvaluation:
+        """Evaluate a property by walking the AST (the reference semantics).
+
+        Kept for differential testing against the compiled path used by
+        :meth:`evaluate_property`.
+        """
         try:
             decl = self.index.properties[name]
         except KeyError:
@@ -250,8 +319,9 @@ class AslEvaluator:
     # -- helpers ------------------------------------------------------------
 
     def _evaluate_identifier(self, expr: Identifier, scope: Scope[Any]) -> Any:
-        value = scope.lookup(expr.name)
-        if value is not None or expr.name in scope:
+        # One walk up the scope chain resolves value and boundness at once.
+        value = scope.find(expr.name)
+        if value is not MISSING:
             return value
         if expr.name in self._constant_overrides or expr.name in self.index.constants:
             return self.constant_value(expr.name)

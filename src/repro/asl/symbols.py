@@ -27,9 +27,22 @@ from repro.asl.ast_nodes import (
 from repro.asl.errors import AslNameError, SourceLocation
 from repro.asl.types import ClassType, EnumType, Type
 
-__all__ = ["Scope", "ClassInfo", "SpecificationIndex"]
+__all__ = ["MISSING", "Scope", "ClassInfo", "SpecificationIndex"]
 
 T = TypeVar("T")
+
+
+class _Missing:
+    """Sentinel distinguishing 'unbound' from a binding whose value is None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<MISSING>"
+
+
+#: Returned by :meth:`Scope.find` when a name is unbound.
+MISSING = _Missing()
 
 
 class Scope(Generic[T]):
@@ -59,17 +72,28 @@ class Scope(Generic[T]):
             scope = scope.parent
         self._bindings[name] = value
 
-    def lookup(self, name: str) -> Optional[T]:
-        """Return the binding of ``name`` or ``None`` when it is unbound."""
+    def find(self, name: str):
+        """Return the binding of ``name`` or the :data:`MISSING` sentinel.
+
+        One walk up the scope chain resolves both the value *and* whether the
+        name is bound at all, so callers don't need a second ``in`` walk to
+        distinguish "unbound" from "bound to None".
+        """
         scope: Optional[Scope[T]] = self
         while scope is not None:
-            if name in scope._bindings:
-                return scope._bindings[name]
+            bindings = scope._bindings
+            if name in bindings:
+                return bindings[name]
             scope = scope.parent
-        return None
+        return MISSING
+
+    def lookup(self, name: str) -> Optional[T]:
+        """Return the binding of ``name`` or ``None`` when it is unbound."""
+        value = self.find(name)
+        return None if value is MISSING else value
 
     def __contains__(self, name: str) -> bool:
-        return self.lookup(name) is not None
+        return self.find(name) is not MISSING
 
     def names(self) -> Iterator[str]:
         """All names visible from this scope (inner shadowing outer)."""

@@ -80,9 +80,15 @@ def load_into_backend(
     backend_name: str = "ms_access",
     with_indexes: bool = True,
     client_factory=NativeClient,
+    engine: str = "compiled",
 ) -> Tuple[DatabaseClient, ObjectIds]:
-    """Load the scenario's repository into a freshly created simulated backend."""
-    client = client_factory(backend(backend_name))
+    """Load the scenario's repository into a freshly created simulated backend.
+
+    ``engine`` selects the relational execution engine: the default compiled
+    plan-then-execute engine or the seed ``"interpreted"`` AST walker (used by
+    ``benchmarks/run_bench.py`` as the speedup baseline).
+    """
+    client = client_factory(backend(backend_name, engine=engine))
     loader = DatabaseLoader(scenario.mapping, client)
     loader.create_schema(with_indexes=with_indexes)
     ids = loader.load(scenario.repository)

@@ -8,8 +8,13 @@ paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
 * :mod:`repro.relalg.sqlparser`, :mod:`repro.relalg.sqlast` — the SQL subset
   (DDL, INSERT, parametrised SELECT with joins, grouping, aggregates, ordering
   and scalar subqueries);
-* :mod:`repro.relalg.executor`, :mod:`repro.relalg.database` — query execution
-  and the database facade;
+* :mod:`repro.relalg.planner`, :mod:`repro.relalg.compile` — the
+  plan-then-execute layer: join ordering, index/hash-join access paths and
+  expression compilation into slot-addressed closures;
+* :mod:`repro.relalg.executor`, :mod:`repro.relalg.database` — plan-driven
+  query execution and the database facade (with its statement-level plan
+  cache); :mod:`repro.relalg.interp` keeps the seed AST-walking engine as the
+  differential-testing and benchmark baseline;
 * :mod:`repro.relalg.backends` — virtual cost models of the four backends the
   paper compares (Section 5);
 * :mod:`repro.relalg.client` — native (C-like) vs. bridged (JDBC-like) client
@@ -38,9 +43,11 @@ from repro.relalg.errors import (
     SqlSyntaxError,
 )
 from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
+from repro.relalg.interp import InterpretedSelectExecutor
+from repro.relalg.planner import QueryPlan, plan_select
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlparser import SqlParser, parse_sql, tokenize_sql
-from repro.relalg.storage import HashIndex, Table
+from repro.relalg.storage import HashIndex, PositionsView, Table
 
 __all__ = [
     "BACKEND_PROFILES",
@@ -55,7 +62,10 @@ __all__ = [
     "ExecutionSummary",
     "HashIndex",
     "IntegrityError",
+    "InterpretedSelectExecutor",
     "NativeClient",
+    "PositionsView",
+    "QueryPlan",
     "QueryStats",
     "RelalgError",
     "ResultSet",
@@ -69,5 +79,6 @@ __all__ = [
     "VirtualClock",
     "backend",
     "parse_sql",
+    "plan_select",
     "tokenize_sql",
 ]

@@ -151,10 +151,13 @@ class SimulatedBackend:
     """
 
     def __init__(
-        self, profile: BackendProfile, database: Optional[Database] = None
+        self,
+        profile: BackendProfile,
+        database: Optional[Database] = None,
+        engine: str = "compiled",
     ) -> None:
         self.profile = profile
-        self.database = database or Database(name=profile.name)
+        self.database = database or Database(name=profile.name, engine=engine)
         self.clock = VirtualClock()
         self.statements_executed = 0
         self.rows_inserted = 0
@@ -170,7 +173,14 @@ class SimulatedBackend:
             self._connected = True
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Union[ResultSet, int]:
-        """Execute one statement, charging the backend's virtual costs."""
+        """Execute one statement, charging the backend's virtual costs.
+
+        The engine's statement-level plan cache makes *client-side* repeated
+        execution cheap; the virtual cost model still charges the full
+        per-statement round trip and per-row work, because the simulated
+        server would perform it regardless of how the client prepared the
+        statement.
+        """
         self.connect()
         before = self.database.summary.rows_scanned
         result = self.database.execute(sql, params)
@@ -214,6 +224,10 @@ class SimulatedBackend:
         """Virtual elapsed time (seconds) of all statements so far."""
         return self.clock.elapsed
 
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Plan-cache counters of the underlying engine (see `Database`)."""
+        return self.database.plan_cache_info()
+
     def reset_clock(self) -> None:
         """Reset the virtual clock (keeps the data and the connection)."""
         self.clock.reset()
@@ -228,12 +242,20 @@ class SimulatedBackend:
         )
 
 
-def backend(name: str, database: Optional[Database] = None) -> SimulatedBackend:
-    """Create a simulated backend by profile name (e.g. ``'oracle7'``)."""
+def backend(
+    name: str,
+    database: Optional[Database] = None,
+    engine: str = "compiled",
+) -> SimulatedBackend:
+    """Create a simulated backend by profile name (e.g. ``'oracle7'``).
+
+    ``engine`` selects the in-process execution engine ("compiled" plans or
+    the seed "interpreted" AST walker) when no database is supplied.
+    """
     try:
         profile = BACKEND_PROFILES[name]
     except KeyError:
         raise KeyError(
             f"unknown backend {name!r}; available: {sorted(BACKEND_PROFILES)}"
         ) from None
-    return SimulatedBackend(profile, database)
+    return SimulatedBackend(profile, database, engine=engine)

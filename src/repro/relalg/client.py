@@ -97,6 +97,15 @@ class DatabaseClient:
         """Total virtual time including backend and client overhead."""
         return self.backend.elapsed
 
+    def plan_cache_info(self) -> dict:
+        """Plan-cache counters of the engine this client ultimately drives.
+
+        Repeated statements (the pushdown strategy re-runs every compiled
+        property query per analysis context) are parsed and planned once;
+        re-executions only bind fresh parameters.
+        """
+        return self.backend.plan_cache_info()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(backend={self.backend.profile.name!r})"
 

@@ -1,0 +1,411 @@
+"""Expression compilation: SQL expressions → Python closures over slot rows.
+
+The interpreted executor (:mod:`repro.relalg.interp`) re-walks the expression
+AST for every row it inspects and resolves every column reference through a
+per-row dict-of-dicts environment.  This module removes both per-row costs:
+
+* a :class:`SlotLayout` assigns every column of every table binding a fixed
+  *slot* (a tuple position) at plan time, so a joined row is one flat tuple
+  and a column reference compiles into a single indexed load;
+* :func:`compile_row_expr` turns an expression into a Python closure
+  ``fn(row, ctx) -> value`` — all dispatch on node types happens once, at
+  compile time;
+* :func:`compile_group_expr` does the same for expressions evaluated per
+  *group* of rows (aggregate queries), mirroring the reference semantics of
+  the interpreted engine exactly (NULL propagation, DISTINCT, empty groups).
+
+``ctx`` is an :class:`ExecContext` carrying the positional parameters, the
+:class:`~repro.relalg.rowset.QueryStats` counters and the table catalog (the
+latter is needed by scalar subqueries, which are planned at compile time and
+executed with fresh counters that are merged back).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.relalg.errors import ExecutionError
+from repro.relalg.rowset import QueryStats, _hashable, _is_true
+from repro.relalg.sqlast import (
+    BinaryOperation,
+    BinaryOperator,
+    ColumnRef,
+    FunctionExpr,
+    InList,
+    IsNull,
+    Literal,
+    Placeholder,
+    ScalarSubquery,
+    SqlExpr,
+    Star,
+    UnaryOperation,
+)
+from repro.relalg.storage import Table
+
+__all__ = [
+    "ExecContext",
+    "SlotLayout",
+    "RowFn",
+    "GroupFn",
+    "compile_row_expr",
+    "compile_group_expr",
+]
+
+#: A compiled per-row expression: ``fn(row, ctx) -> value``.
+RowFn = Callable[[Sequence[Any], "ExecContext"], Any]
+#: A compiled per-group expression: ``fn(group_rows, ctx) -> value``.
+GroupFn = Callable[[List[Tuple[Any, ...]], "ExecContext"], Any]
+
+
+class ExecContext:
+    """Per-execution state threaded through every compiled closure."""
+
+    __slots__ = ("tables", "params", "stats", "hash_tables")
+
+    def __init__(
+        self,
+        tables: Dict[str, Table],
+        params: Sequence[Any],
+        stats: QueryStats,
+    ) -> None:
+        self.tables = tables
+        self.params = params
+        self.stats = stats
+        #: Lazily built hash-join tables, keyed by plan level index.
+        self.hash_tables: Dict[int, Dict[Any, List[Tuple[Any, ...]]]] = {}
+
+
+class SlotLayout:
+    """Slot (flat tuple position) assignment for a list of table bindings.
+
+    Slots follow the *syntactic* binding order of the statement, regardless of
+    the join order the planner picks, so projections and ``SELECT *`` output
+    are stable under join reordering.
+    """
+
+    __slots__ = ("bindings", "offsets", "columns", "width")
+
+    def __init__(self, bindings: List[Tuple[str, Table]]) -> None:
+        self.bindings = bindings
+        self.offsets: Dict[str, int] = {}
+        self.columns: Dict[str, List[str]] = {}
+        offset = 0
+        for binding, table in bindings:
+            self.offsets[binding] = offset
+            names = [c.name.lower() for c in table.schema.columns]
+            self.columns[binding] = names
+            offset += len(names)
+        self.width = offset
+
+    def range_of(self, binding: str) -> Tuple[int, int]:
+        """``(offset, offset + n_columns)`` of one binding."""
+        offset = self.offsets[binding]
+        return offset, offset + len(self.columns[binding])
+
+    def resolve(self, ref: ColumnRef) -> int:
+        """The slot of a (possibly qualified) column reference.
+
+        Raises :class:`ExecutionError` for unknown and ambiguous references —
+        at plan time rather than per row, with the interpreter's messages.
+        """
+        name = ref.name.lower()
+        if ref.table is not None:
+            binding = ref.table.lower()
+            columns = self.columns.get(binding)
+            if columns is None or name not in columns:
+                raise ExecutionError(f"unknown column {ref}")
+            return self.offsets[binding] + columns.index(name)
+        matches = [
+            binding for binding, columns in self.columns.items() if name in columns
+        ]
+        if not matches:
+            raise ExecutionError(f"unknown column {ref}")
+        if len(matches) > 1:
+            raise ExecutionError(f"ambiguous column reference {ref.name!r}")
+        binding = matches[0]
+        return self.offsets[binding] + self.columns[binding].index(name)
+
+
+# --------------------------------------------------------------------------- #
+# shared operator semantics
+# --------------------------------------------------------------------------- #
+
+
+def _apply_binop(op: BinaryOperator, left: Any, right: Any) -> Any:
+    """Non-logical binary operators with the engine's NULL semantics."""
+    if left is None or right is None:
+        # Simplified NULL semantics: any comparison or arithmetic with NULL
+        # yields NULL (which is falsy in predicates).
+        return None
+    if op is BinaryOperator.ADD:
+        return left + right
+    if op is BinaryOperator.SUB:
+        return left - right
+    if op is BinaryOperator.MUL:
+        return left * right
+    if op is BinaryOperator.DIV:
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    try:
+        if op is BinaryOperator.EQ:
+            return left == right
+        if op is BinaryOperator.NE:
+            return left != right
+        if op is BinaryOperator.LT:
+            return left < right
+        if op is BinaryOperator.LE:
+            return left <= right
+        if op is BinaryOperator.GT:
+            return left > right
+        if op is BinaryOperator.GE:
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot compare {left!r} and {right!r}: {exc}"
+        ) from None
+    raise AssertionError(f"unhandled operator {op}")
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "ABS": lambda a: None if a is None else abs(a),
+    "LENGTH": lambda a: None if a is None else len(a),
+    "LOWER": lambda a: None if a is None else str(a).lower(),
+    "UPPER": lambda a: None if a is None else str(a).upper(),
+}
+
+
+# --------------------------------------------------------------------------- #
+# per-row compilation
+# --------------------------------------------------------------------------- #
+
+
+def compile_row_expr(
+    expr: SqlExpr, layout: SlotLayout, tables: Dict[str, Table]
+) -> RowFn:
+    """Compile ``expr`` into a closure evaluated against one slot row."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row, ctx: value
+    if isinstance(expr, Placeholder):
+        index = expr.index
+        needed = index + 1
+
+        def param_fn(row: Sequence[Any], ctx: ExecContext) -> Any:
+            params = ctx.params
+            if index >= len(params):
+                raise ExecutionError(
+                    f"statement uses {needed} parameter(s) but only "
+                    f"{len(params)} were supplied"
+                )
+            return params[index]
+
+        return param_fn
+    if isinstance(expr, ColumnRef):
+        slot = layout.resolve(expr)
+        return lambda row, ctx: row[slot]
+    if isinstance(expr, UnaryOperation):
+        operand = compile_row_expr(expr.operand, layout, tables)
+        if expr.op == "NOT":
+            return lambda row, ctx: (
+                None if (v := operand(row, ctx)) is None else not _is_true(v)
+            )
+        return lambda row, ctx: (
+            None if (v := operand(row, ctx)) is None else -v
+        )
+    if isinstance(expr, BinaryOperation):
+        op = expr.op
+        left = compile_row_expr(expr.left, layout, tables)
+        right = compile_row_expr(expr.right, layout, tables)
+        if op is BinaryOperator.AND:
+            return lambda row, ctx: (
+                _is_true(left(row, ctx)) and _is_true(right(row, ctx))
+            )
+        if op is BinaryOperator.OR:
+            return lambda row, ctx: (
+                _is_true(left(row, ctx)) or _is_true(right(row, ctx))
+            )
+        if op is BinaryOperator.EQ:
+            # The hottest predicate form; specialise it.
+            def eq_fn(row: Sequence[Any], ctx: ExecContext) -> Any:
+                a = left(row, ctx)
+                if a is None:
+                    return None
+                b = right(row, ctx)
+                if b is None:
+                    return None
+                return a == b
+
+            return eq_fn
+        return lambda row, ctx: _apply_binop(op, left(row, ctx), right(row, ctx))
+    if isinstance(expr, IsNull):
+        operand = compile_row_expr(expr.operand, layout, tables)
+        if expr.negated:
+            return lambda row, ctx: operand(row, ctx) is not None
+        return lambda row, ctx: operand(row, ctx) is None
+    if isinstance(expr, InList):
+        operand = compile_row_expr(expr.operand, layout, tables)
+        items = [compile_row_expr(item, layout, tables) for item in expr.items]
+        negated = expr.negated
+
+        def in_fn(row: Sequence[Any], ctx: ExecContext) -> Any:
+            value = operand(row, ctx)
+            # Evaluate every member (as the interpreter does) so side effects
+            # such as subquery statistics are identical.
+            members = [item(row, ctx) for item in items]
+            found = value in members
+            return (not found) if negated else found
+
+        return in_fn
+    if isinstance(expr, FunctionExpr):
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate function {expr.name} is not allowed here"
+            )
+        return _compile_scalar_function(expr, layout, tables)
+    if isinstance(expr, ScalarSubquery):
+        return _compile_subquery(expr, tables)
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is only valid in SELECT lists and COUNT(*)")
+    raise ExecutionError(f"unsupported expression {expr!r}")
+
+
+def _compile_scalar_function(
+    expr: FunctionExpr, layout: SlotLayout, tables: Dict[str, Table]
+) -> RowFn:
+    name = expr.name.upper()
+    args = [compile_row_expr(arg, layout, tables) for arg in expr.args]
+    if name == "COALESCE":
+        def coalesce_fn(row: Sequence[Any], ctx: ExecContext) -> Any:
+            for arg in args:
+                value = arg(row, ctx)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce_fn
+    fn = _SCALAR_FUNCTIONS.get(name)
+    if fn is not None and len(args) == 1:
+        arg = args[0]
+        return lambda row, ctx: fn(arg(row, ctx))
+    raise ExecutionError(f"unknown function {expr.name!r}")
+
+
+def _compile_subquery(expr: ScalarSubquery, tables: Dict[str, Table]) -> RowFn:
+    # Imported lazily: the planner imports this module at load time.
+    from repro.relalg.planner import plan_select
+
+    plan = plan_select(expr.select, tables)
+
+    def subquery_fn(row: Sequence[Any], ctx: ExecContext) -> Any:
+        result = plan.execute(ctx.params, QueryStats())
+        ctx.stats.merge(result.stats)
+        ctx.stats.subqueries += 1
+        if len(result.rows) == 0:
+            return None
+        if len(result.rows) != 1 or len(result.columns) != 1:
+            raise ExecutionError(
+                f"scalar subquery returned {len(result.rows)} row(s) × "
+                f"{len(result.columns)} column(s)"
+            )
+        return result.rows[0][0]
+
+    return subquery_fn
+
+
+# --------------------------------------------------------------------------- #
+# per-group compilation (aggregate queries)
+# --------------------------------------------------------------------------- #
+
+
+def compile_group_expr(
+    expr: SqlExpr, layout: SlotLayout, tables: Dict[str, Table]
+) -> GroupFn:
+    """Compile an expression that may contain aggregate functions.
+
+    The closure receives the materialised rows of one group.  Semantics follow
+    the reference interpreter: aggregates fold the group, plain column
+    references pick the first row (they are expected to be grouping keys), and
+    literals / parameters / scalar subqueries ignore the group entirely.
+    """
+    if isinstance(expr, FunctionExpr) and expr.is_aggregate:
+        return _compile_aggregate_function(expr, layout, tables)
+    if isinstance(expr, BinaryOperation):
+        op = expr.op
+        left = compile_group_expr(expr.left, layout, tables)
+        right = compile_group_expr(expr.right, layout, tables)
+        if op in (BinaryOperator.AND, BinaryOperator.OR):
+            # The interpreter evaluates both children before combining.
+            if op is BinaryOperator.AND:
+                return lambda group, ctx: (
+                    _is_true(left(group, ctx)) and _is_true(right(group, ctx))
+                )
+            return lambda group, ctx: (
+                _is_true(left(group, ctx)) or _is_true(right(group, ctx))
+            )
+        return lambda group, ctx: _apply_binop(
+            op, left(group, ctx), right(group, ctx)
+        )
+    if isinstance(expr, UnaryOperation):
+        operand = compile_group_expr(expr.operand, layout, tables)
+        if expr.op == "NOT":
+            return lambda group, ctx: (
+                None if (v := operand(group, ctx)) is None else not _is_true(v)
+            )
+        return lambda group, ctx: (
+            None if (v := operand(group, ctx)) is None else -v
+        )
+    if isinstance(expr, (Literal, Placeholder, ScalarSubquery)):
+        row_fn = compile_row_expr(expr, layout, tables)
+        return lambda group, ctx: row_fn((), ctx)
+    # Plain column references (and scalar functions over them) pick the value
+    # of the first row of the group.
+    row_fn = compile_row_expr(expr, layout, tables)
+    return lambda group, ctx: (row_fn(group[0], ctx) if group else None)
+
+
+def _compile_aggregate_function(
+    expr: FunctionExpr, layout: SlotLayout, tables: Dict[str, Table]
+) -> GroupFn:
+    name = expr.name.upper()
+    if name == "COUNT" and (not expr.args or isinstance(expr.args[0], Star)):
+        return lambda group, ctx: len(group)
+    if not expr.args:
+        raise ExecutionError(f"aggregate {name} requires an argument")
+    arg = compile_row_expr(expr.args[0], layout, tables)
+    distinct = expr.distinct
+
+    def values_of(group: List[Tuple[Any, ...]], ctx: ExecContext) -> List[Any]:
+        values = [v for row in group if (v := arg(row, ctx)) is not None]
+        if distinct:
+            seen = set()
+            unique = []
+            for value in values:
+                key = _hashable(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        return values
+
+    if name == "COUNT":
+        return lambda group, ctx: len(values_of(group, ctx))
+    if name == "SUM":
+        return lambda group, ctx: (
+            sum(values) if (values := values_of(group, ctx)) else None
+        )
+    if name == "AVG":
+        return lambda group, ctx: (
+            (sum(values) / len(values))
+            if (values := values_of(group, ctx))
+            else None
+        )
+    if name == "MIN":
+        return lambda group, ctx: (
+            min(values) if (values := values_of(group, ctx)) else None
+        )
+    if name == "MAX":
+        return lambda group, ctx: (
+            max(values) if (values := values_of(group, ctx)) else None
+        )
+    raise ExecutionError(f"unknown aggregate {name}")

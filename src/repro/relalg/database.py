@@ -6,6 +6,20 @@ table catalog, parses and executes SQL statements (optionally with positional
 the small subset of the Python DB-API that COSY needs (``execute``,
 ``executemany``, result sets), so the analyzer code reads like ordinary
 database client code even though everything runs in process.
+
+Two statement-level caches, both keyed by SQL text, make repeated execution
+cheap (the COSY pushdown strategy re-runs the same compiled property queries
+for every analysis context):
+
+* the **statement cache** skips re-parsing;
+* the **plan cache** skips re-planning SELECTs — the cached
+  :class:`~repro.relalg.planner.QueryPlan` carries compiled expression
+  closures and is reused across parameter bindings.  Any DDL (CREATE/DROP
+  TABLE, CREATE INDEX) bumps a schema epoch that invalidates cached plans.
+
+``engine="interpreted"`` routes SELECTs through the seed AST-walking engine
+(:mod:`repro.relalg.interp`) instead; the benchmarks use it as the baseline
+the compiled engine is measured against.
 """
 
 from __future__ import annotations
@@ -13,8 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.relalg.compile import ExecContext, SlotLayout, compile_row_expr
 from repro.relalg.errors import ExecutionError, SchemaError
-from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
+from repro.relalg.executor import QueryStats, ResultSet
+from repro.relalg.interp import InterpretedSelectExecutor
+from repro.relalg.planner import QueryPlan, plan_select
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlast import (
     CreateIndexStatement,
@@ -66,11 +83,24 @@ class ExecutionSummary:
 class Database:
     """An in-memory relational database with a SQL interface."""
 
-    def __init__(self, name: str = "cosy") -> None:
+    def __init__(self, name: str = "cosy", engine: str = "compiled") -> None:
+        if engine not in ("compiled", "interpreted"):
+            raise ValueError(
+                f"unknown engine {engine!r} (expected 'compiled' or 'interpreted')"
+            )
         self.name = name
+        self.engine = engine
         self.tables: Dict[str, Table] = {}
         self.summary = ExecutionSummary()
         self._statement_cache: Dict[str, Statement] = {}
+        #: SQL text → (schema epoch at plan time, plan).
+        self._plan_cache: Dict[str, Tuple[int, QueryPlan]] = {}
+        #: id(DeleteStatement) → (epoch, statement ref, compiled predicate).
+        #: The statement reference keeps the object alive so ids stay unique.
+        self._delete_predicate_cache: Dict[int, Tuple[int, Statement, Any]] = {}
+        self._schema_epoch = 0
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # ------------------------------------------------------------------ #
     # schema management (programmatic)
@@ -83,6 +113,7 @@ class Database:
             raise SchemaError(f"table {schema.name!r} already exists")
         table = Table(schema)
         self.tables[key] = table
+        self._bump_schema_epoch()
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -93,6 +124,7 @@ class Database:
                 return
             raise SchemaError(f"unknown table {name!r}")
         del self.tables[key]
+        self._bump_schema_epoch()
 
     def table(self, name: str) -> Table:
         """Look up a table by name (case-insensitive)."""
@@ -120,14 +152,22 @@ class Database:
         affected rows for every other statement.
         """
         statement = self._parse_cached(sql)
+        if isinstance(statement, SelectStatement) and self.engine == "compiled":
+            return self._execute_select(statement, params, sql)
         return self.execute_statement(statement, params)
 
     def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
         """Execute one parametrised statement for every parameter row."""
         statement = self._parse_cached(sql)
+        is_select = isinstance(statement, SelectStatement)
         affected = 0
         for params in param_rows:
-            result = self.execute_statement(statement, params)
+            if is_select and self.engine == "compiled":
+                result: Union[ResultSet, int] = self._execute_select(
+                    statement, params, sql
+                )
+            else:
+                result = self.execute_statement(statement, params)
             affected += result if isinstance(result, int) else len(result)
         return affected
 
@@ -141,16 +181,14 @@ class Database:
     def execute_statement(
         self, statement: Statement, params: Sequence[Any] = ()
     ) -> Union[ResultSet, int]:
-        """Execute an already parsed statement."""
+        """Execute an already parsed statement (no plan cache: no SQL key)."""
         if isinstance(statement, SelectStatement):
-            executor = SelectExecutor(self.tables, params)
-            result = executor.execute(statement)
-            self.summary.record_select(result.stats)
-            return result
+            return self._execute_select(statement, params, sql=None)
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, CreateIndexStatement):
             self.table(statement.table).create_index(statement.name, statement.column)
+            self._bump_schema_epoch()
             self.summary.record_other()
             return 0
         if isinstance(statement, DropTableStatement):
@@ -164,8 +202,52 @@ class Database:
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     # ------------------------------------------------------------------ #
+    # plan cache
+    # ------------------------------------------------------------------ #
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the statement-level plan cache."""
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "size": len(self._plan_cache),
+        }
+
+    def _plan_for(self, statement: SelectStatement, sql: Optional[str]) -> QueryPlan:
+        if sql is not None:
+            entry = self._plan_cache.get(sql)
+            if entry is not None and entry[0] == self._schema_epoch:
+                self._plan_hits += 1
+                return entry[1]
+        self._plan_misses += 1
+        plan = plan_select(statement, self.tables)
+        if sql is not None:
+            self._plan_cache[sql] = (self._schema_epoch, plan)
+        return plan
+
+    def _bump_schema_epoch(self) -> None:
+        self._schema_epoch += 1
+        self._plan_cache.clear()
+        self._delete_predicate_cache.clear()
+
+    # ------------------------------------------------------------------ #
     # statement handlers
     # ------------------------------------------------------------------ #
+
+    def _execute_select(
+        self,
+        statement: SelectStatement,
+        params: Sequence[Any],
+        sql: Optional[str],
+    ) -> ResultSet:
+        if self.engine == "interpreted":
+            executor = InterpretedSelectExecutor(self.tables, params)
+            result = executor.execute(statement)
+        else:
+            plan = self._plan_for(statement, sql)
+            result = plan.execute(params, QueryStats())
+        self.summary.record_select(result.stats)
+        return result
 
     def _execute_create_table(self, statement: CreateTableStatement) -> int:
         key = statement.table.lower()
@@ -214,17 +296,24 @@ class Database:
         if statement.where is None:
             deleted = table.delete_where(lambda row: True)
         else:
-            executor = SelectExecutor(self.tables, params)
-            binding = table.name.lower()
+            # Compile the predicate once per statement over a single-binding
+            # slot layout (the table's row tuples are the slot rows directly)
+            # and cache it, so executemany re-executions only re-bind params.
+            entry = self._delete_predicate_cache.get(id(statement))
+            if entry is not None and entry[0] == self._schema_epoch:
+                predicate_fn = entry[2]
+            else:
+                layout = SlotLayout([(table.name.lower(), table)])
+                predicate_fn = compile_row_expr(
+                    statement.where, layout, self.tables
+                )
+                self._delete_predicate_cache[id(statement)] = (
+                    self._schema_epoch, statement, predicate_fn
+                )
+            ctx = ExecContext(self.tables, list(params), QueryStats())
 
             def predicate(row: Tuple[Any, ...]) -> bool:
-                env = {
-                    binding: {
-                        column.name.lower(): value
-                        for column, value in zip(table.schema.columns, row)
-                    }
-                }
-                value = executor._eval(statement.where, env)
+                value = predicate_fn(row, ctx)
                 return bool(value) and value is not None
 
             deleted = table.delete_where(predicate)

@@ -1,700 +1,63 @@
-"""Query execution: expression evaluation, joins, grouping, ordering.
+"""Query execution: the plan-driven SELECT engine.
 
-The executor implements a straightforward evaluation strategy that is still
-representative of a real relational engine:
+Execution proceeds in two phases (see the module docstrings of
+:mod:`repro.relalg.planner` and :mod:`repro.relalg.compile`):
 
-* the FROM tables (and explicit JOINs) are combined left to right; for every
-  newly added table the executor looks for an equality join predicate whose
-  other side is already bound and uses a hash-index lookup when the joined
-  column is indexed, otherwise it falls back to a scan with a filter;
-* the remaining WHERE conjuncts are applied as filters;
-* aggregate queries group rows by the GROUP BY expressions and evaluate the
-  aggregate functions per group (a query with aggregates and no GROUP BY forms
-  a single group);
-* DISTINCT, ORDER BY and LIMIT are applied to the materialised result.
+1. **plan** — once per statement, :func:`~repro.relalg.planner.plan_select`
+   chooses a join order by bound-predicate availability, classifies the WHERE
+   conjuncts into index probes, hash-join build/probe pairs and residual
+   filters, and compiles every expression into a Python closure over a
+   slot-addressed row (tuple positions resolved at plan time);
+2. **execute** — per call, :meth:`QueryPlan.execute` runs the compiled plan,
+   counting the physical work in :class:`QueryStats` exactly as the seed
+   engine did on the index/scan paths (the simulated backends convert the
+   counters into virtual elapsed time, and the A1 ablation reports them
+   directly).
 
-The executor also counts the rows it scans, the index lookups it performs and
-the rows it returns (:class:`QueryStats`); the simulated database backends
-(:mod:`repro.relalg.backends`) convert those counters into virtual elapsed
-time, and the A1 ablation benchmark reports them directly.
+:class:`Database` caches plans per SQL text; :class:`SelectExecutor` is the
+uncached single-statement facade that keeps the original executor API.  The
+seed's AST-walking engine survives as
+:class:`repro.relalg.interp.InterpretedSelectExecutor` for differential
+testing and benchmark baselines.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence
 
-from repro.relalg.errors import ExecutionError, SchemaError
-from repro.relalg.sqlast import (
-    AGGREGATE_FUNCTIONS,
-    BinaryOperation,
-    BinaryOperator,
-    ColumnRef,
-    FunctionExpr,
-    InList,
-    IsNull,
-    Join,
-    Literal,
-    OrderItem,
-    Placeholder,
-    ScalarSubquery,
-    SelectItem,
-    SelectStatement,
-    SqlExpr,
-    Star,
-    TableRef,
-    UnaryOperation,
-)
+from repro.relalg.planner import QueryPlan, plan_select
+from repro.relalg.rowset import QueryStats, ResultSet
+from repro.relalg.sqlast import SelectStatement
 from repro.relalg.storage import Table
 
 __all__ = ["QueryStats", "ResultSet", "SelectExecutor"]
 
-#: A row environment: table binding name → column name (lower case) → value.
-RowEnv = Dict[str, Dict[str, Any]]
-
-
-@dataclass
-class QueryStats:
-    """Counters describing the work one query performed."""
-
-    rows_scanned: int = 0
-    index_lookups: int = 0
-    rows_joined: int = 0
-    rows_returned: int = 0
-    subqueries: int = 0
-
-    def merge(self, other: "QueryStats") -> None:
-        """Accumulate the counters of a nested (sub)query."""
-        self.rows_scanned += other.rows_scanned
-        self.index_lookups += other.index_lookups
-        self.rows_joined += other.rows_joined
-        self.subqueries += other.subqueries
-
-
-@dataclass
-class ResultSet:
-    """The materialised result of a SELECT."""
-
-    columns: List[str]
-    rows: List[Tuple[Any, ...]]
-    stats: QueryStats = field(default_factory=QueryStats)
-
-    def scalar(self) -> Any:
-        """The single value of a 1×1 result; raises otherwise."""
-        if len(self.rows) != 1 or len(self.columns) != 1:
-            raise ExecutionError(
-                f"expected a scalar result, got {len(self.rows)} row(s) × "
-                f"{len(self.columns)} column(s)"
-            )
-        return self.rows[0][0]
-
-    def column(self, name: str) -> List[Any]:
-        """All values of one result column."""
-        try:
-            index = [c.lower() for c in self.columns].index(name.lower())
-        except ValueError:
-            raise ExecutionError(
-                f"result has no column {name!r} (columns: {self.columns})"
-            ) from None
-        return [row[index] for row in self.rows]
-
-    def as_dicts(self) -> List[Dict[str, Any]]:
-        """Rows as column→value dictionaries."""
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
-        return iter(self.rows)
-
-
-class _Missing:
-    """Marker for 'column not found' distinct from NULL."""
-
-
-_MISSING = _Missing()
-
 
 class SelectExecutor:
-    """Executes SELECT statements against a table catalog."""
+    """Executes SELECT statements against a table catalog.
+
+    Each :meth:`execute` call plans the statement and runs the plan.  Callers
+    that execute the same statement repeatedly should go through
+    :class:`~repro.relalg.database.Database`, whose plan cache skips the
+    planning phase on re-execution; a pre-built plan can also be supplied
+    directly.
+    """
 
     def __init__(
         self,
         tables: Dict[str, Table],
         params: Sequence[Any] = (),
         stats: Optional[QueryStats] = None,
+        plan: Optional[QueryPlan] = None,
     ) -> None:
         self.tables = tables
         self.params = list(params)
         self.stats = stats or QueryStats()
-
-    # ------------------------------------------------------------------ #
-    # public API
-    # ------------------------------------------------------------------ #
+        self.plan = plan
 
     def execute(self, statement: SelectStatement) -> ResultSet:
         """Run the statement and return the materialised result."""
-        bindings = self._bindings(statement)
-        conjuncts = self._conjuncts(statement)
-        rows = list(self._enumerate_rows(bindings, conjuncts))
-
-        if statement.is_aggregate_query:
-            columns, result_rows = self._aggregate(statement, rows)
-        else:
-            columns, result_rows = self._project(statement, bindings, rows)
-
-        if statement.order_by:
-            result_rows = self._order(statement, rows, result_rows, columns)
-
-        if statement.distinct:
-            seen = set()
-            unique: List[Tuple[Any, ...]] = []
-            for row in result_rows:
-                key = tuple(_hashable(v) for v in row)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(row)
-            result_rows = unique
-
-        if statement.limit is not None:
-            result_rows = result_rows[: statement.limit]
-
-        self.stats.rows_returned += len(result_rows)
-        return ResultSet(columns=columns, rows=result_rows, stats=self.stats)
-
-    # ------------------------------------------------------------------ #
-    # FROM / WHERE
-    # ------------------------------------------------------------------ #
-
-    def _bindings(self, statement: SelectStatement) -> List[Tuple[str, Table]]:
-        refs: List[TableRef] = list(statement.from_tables) + [
-            join.table for join in statement.joins
-        ]
-        if not refs:
-            raise ExecutionError("SELECT requires at least one table")
-        bindings: List[Tuple[str, Table]] = []
-        seen = set()
-        for ref in refs:
-            table = self.tables.get(ref.name.lower())
-            if table is None:
-                raise SchemaError(f"unknown table {ref.name!r}")
-            binding = ref.binding.lower()
-            if binding in seen:
-                raise ExecutionError(f"duplicate table binding {ref.binding!r}")
-            seen.add(binding)
-            bindings.append((binding, table))
-        return bindings
-
-    def _conjuncts(self, statement: SelectStatement) -> List[SqlExpr]:
-        conjuncts: List[SqlExpr] = []
-        for join in statement.joins:
-            if join.on is not None:
-                conjuncts.extend(_split_and(join.on))
-        if statement.where is not None:
-            conjuncts.extend(_split_and(statement.where))
-        return conjuncts
-
-    def _enumerate_rows(
-        self, bindings: List[Tuple[str, Table]], conjuncts: List[SqlExpr]
-    ) -> Iterator[RowEnv]:
-        """Nested-loop join with index lookups and early predicate application."""
-        remaining = list(conjuncts)
-
-        def recurse(level: int, env: RowEnv, pending: List[SqlExpr]) -> Iterator[RowEnv]:
-            if level == len(bindings):
-                if all(_is_true(self._eval(p, env)) for p in pending):
-                    self.stats.rows_joined += 1
-                    yield env
-                return
-            binding, table = bindings[level]
-            bound = {name for name, _ in bindings[: level + 1]}
-            # Predicates that become fully evaluable once this table is bound.
-            applicable = [
-                p
-                for p in pending
-                if self._required_bindings(p, bindings) <= bound
-            ]
-            later = [p for p in pending if p not in applicable]
-            # Try an index lookup driven by an equality predicate.
-            index_plan = self._index_probe(
-                table, binding, applicable, env, bindings, bound - {binding}
-            )
-            if index_plan is not None:
-                column, value, used = index_plan
-                candidates: Iterable[Tuple[Any, ...]] = table.lookup(column, value)
-                self.stats.index_lookups += 1
-                filters = [p for p in applicable if p is not used]
-            else:
-                candidates = table.scan()
-                filters = applicable
-            for row in candidates:
-                self.stats.rows_scanned += 1
-                row_env = dict(env)
-                row_env[binding] = _row_mapping(table, row)
-                if all(_is_true(self._eval(p, row_env)) for p in filters):
-                    yield from recurse(level + 1, row_env, later)
-
-        yield from recurse(0, {}, remaining)
-
-    def _index_probe(
-        self,
-        table: Table,
-        binding: str,
-        predicates: List[SqlExpr],
-        env: RowEnv,
-        bindings: List[Tuple[str, Table]],
-        already_bound: set,
-    ) -> Optional[Tuple[str, Any, SqlExpr]]:
-        """Find an equality predicate usable as an index probe on ``table``."""
-        for predicate in predicates:
-            if not (
-                isinstance(predicate, BinaryOperation)
-                and predicate.op is BinaryOperator.EQ
-            ):
-                continue
-            for this, other in (
-                (predicate.left, predicate.right),
-                (predicate.right, predicate.left),
-            ):
-                if not isinstance(this, ColumnRef):
-                    continue
-                if this.table is not None and this.table.lower() != binding:
-                    continue
-                if this.table is None and not _column_in_table(table, this.name):
-                    continue
-                if table.index_for(this.name) is None:
-                    continue
-                # The other side must be computable from the already bound rows.
-                if not self._required_bindings(other, bindings) <= already_bound:
-                    continue
-                try:
-                    value = self._eval(other, env)
-                except ExecutionError:
-                    continue
-                return this.name, value, predicate
-        return None
-
-    def _required_bindings(
-        self, expr: SqlExpr, bindings: List[Tuple[str, Table]]
-    ) -> set:
-        """The table bindings that must be bound before ``expr`` can be evaluated.
-
-        Qualified column references require their binding; unqualified ones
-        require every binding whose table declares a column of that name (if the
-        reference is ambiguous it will be reported when the filter runs).
-        """
-        refs: set = set()
-
-        def visit(node: SqlExpr) -> None:
-            if isinstance(node, ColumnRef):
-                if node.table is not None:
-                    refs.add(node.table.lower())
-                else:
-                    for binding, table in bindings:
-                        if _column_in_table(table, node.name):
-                            refs.add(binding)
-            elif isinstance(node, BinaryOperation):
-                visit(node.left)
-                visit(node.right)
-            elif isinstance(node, UnaryOperation):
-                visit(node.operand)
-            elif isinstance(node, FunctionExpr):
-                for arg in node.args:
-                    visit(arg)
-            elif isinstance(node, IsNull):
-                visit(node.operand)
-            elif isinstance(node, InList):
-                visit(node.operand)
-                for item in node.items:
-                    visit(item)
-            # ScalarSubquery: self-contained, requires nothing from the outer
-            # query (correlated subqueries are not supported).
-
-        visit(expr)
-        return refs
-
-    # ------------------------------------------------------------------ #
-    # projection and aggregation
-    # ------------------------------------------------------------------ #
-
-    def _project(
-        self,
-        statement: SelectStatement,
-        bindings: List[Tuple[str, Table]],
-        rows: List[RowEnv],
-    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
-        columns = self._output_columns(statement, bindings)
-        result: List[Tuple[Any, ...]] = []
-        for env in rows:
-            values: List[Any] = []
-            for item in statement.items:
-                if isinstance(item.expr, Star):
-                    values.extend(self._star_values(item.expr, bindings, env))
-                else:
-                    values.append(self._eval(item.expr, env))
-            result.append(tuple(values))
-        return columns, result
-
-    def _aggregate(
-        self, statement: SelectStatement, rows: List[RowEnv]
-    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
-        groups: Dict[Tuple[Any, ...], List[RowEnv]] = {}
-        order: List[Tuple[Any, ...]] = []
-        if statement.group_by:
-            for env in rows:
-                key = tuple(
-                    _hashable(self._eval(expr, env)) for expr in statement.group_by
-                )
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(env)
-        else:
-            groups[()] = rows
-            order.append(())
-
-        columns = [
-            item.alias or _column_name(item.expr) for item in statement.items
-        ]
-        result: List[Tuple[Any, ...]] = []
-        for key in order:
-            group_rows = groups[key]
-            if statement.having is not None:
-                if not _is_true(self._eval_aggregate(statement.having, group_rows)):
-                    continue
-            values = tuple(
-                self._eval_aggregate(item.expr, group_rows)
-                for item in statement.items
-            )
-            result.append(values)
-        return columns, result
-
-    def _order(
-        self,
-        statement: SelectStatement,
-        rows: List[RowEnv],
-        result_rows: List[Tuple[Any, ...]],
-        columns: List[str],
-    ) -> List[Tuple[Any, ...]]:
-        """Apply ORDER BY.
-
-        Ordering expressions may refer to output column aliases or to arbitrary
-        expressions over the source rows (non-aggregate queries only).
-        """
-        lowered = [c.lower() for c in columns]
-
-        def key_for(position: int) -> Tuple:
-            keys = []
-            for item in statement.order_by:
-                value: Any = None
-                expr = item.expr
-                if isinstance(expr, ColumnRef) and expr.table is None and (
-                    expr.name.lower() in lowered
-                ):
-                    value = result_rows[position][lowered.index(expr.name.lower())]
-                elif isinstance(expr, Literal) and isinstance(expr.value, int):
-                    value = result_rows[position][expr.value - 1]
-                elif statement.is_aggregate_query:
-                    raise ExecutionError(
-                        "ORDER BY of an aggregate query must reference output "
-                        "columns"
-                    )
-                else:
-                    value = self._eval(expr, rows[position])
-                keys.append(_SortKey(value, item.ascending))
-            return tuple(keys)
-
-        positions = sorted(range(len(result_rows)), key=key_for)
-        return [result_rows[p] for p in positions]
-
-    def _output_columns(
-        self, statement: SelectStatement, bindings: List[Tuple[str, Table]]
-    ) -> List[str]:
-        columns: List[str] = []
-        for item in statement.items:
-            if isinstance(item.expr, Star):
-                for binding, table in bindings:
-                    if item.expr.table is not None and (
-                        item.expr.table.lower() != binding
-                    ):
-                        continue
-                    columns.extend(table.schema.column_names)
-            else:
-                columns.append(item.alias or _column_name(item.expr))
-        return columns
-
-    def _star_values(
-        self, star: Star, bindings: List[Tuple[str, Table]], env: RowEnv
-    ) -> List[Any]:
-        values: List[Any] = []
-        for binding, table in bindings:
-            if star.table is not None and star.table.lower() != binding:
-                continue
-            mapping = env[binding]
-            values.extend(mapping[c.lower()] for c in table.schema.column_names)
-        return values
-
-    # ------------------------------------------------------------------ #
-    # expression evaluation
-    # ------------------------------------------------------------------ #
-
-    def _eval(self, expr: SqlExpr, env: RowEnv) -> Any:
-        if isinstance(expr, Literal):
-            return expr.value
-        if isinstance(expr, Placeholder):
-            if expr.index >= len(self.params):
-                raise ExecutionError(
-                    f"statement uses {expr.index + 1} parameter(s) but only "
-                    f"{len(self.params)} were supplied"
-                )
-            return self.params[expr.index]
-        if isinstance(expr, ColumnRef):
-            value = self._resolve_column(expr, env)
-            if value is _MISSING:
-                raise ExecutionError(f"unknown column {expr}")
-            return value
-        if isinstance(expr, UnaryOperation):
-            value = self._eval(expr.operand, env)
-            if expr.op == "NOT":
-                return None if value is None else (not _is_true(value))
-            return None if value is None else -value
-        if isinstance(expr, BinaryOperation):
-            return self._eval_binary(expr, env)
-        if isinstance(expr, IsNull):
-            value = self._eval(expr.operand, env)
-            return (value is not None) if expr.negated else (value is None)
-        if isinstance(expr, InList):
-            value = self._eval(expr.operand, env)
-            members = [self._eval(item, env) for item in expr.items]
-            found = value in members
-            return (not found) if expr.negated else found
-        if isinstance(expr, FunctionExpr):
-            if expr.is_aggregate:
-                raise ExecutionError(
-                    f"aggregate function {expr.name} is not allowed here"
-                )
-            return self._eval_scalar_function(expr, env)
-        if isinstance(expr, ScalarSubquery):
-            return self._eval_subquery(expr, env)
-        if isinstance(expr, Star):
-            raise ExecutionError("'*' is only valid in SELECT lists and COUNT(*)")
-        raise ExecutionError(f"unsupported expression {expr!r}")
-
-    def _eval_binary(self, expr: BinaryOperation, env: RowEnv) -> Any:
-        op = expr.op
-        if op is BinaryOperator.AND:
-            return _is_true(self._eval(expr.left, env)) and _is_true(
-                self._eval(expr.right, env)
-            )
-        if op is BinaryOperator.OR:
-            return _is_true(self._eval(expr.left, env)) or _is_true(
-                self._eval(expr.right, env)
-            )
-        left = self._eval(expr.left, env)
-        right = self._eval(expr.right, env)
-        if left is None or right is None:
-            # Simplified NULL semantics: any comparison or arithmetic with
-            # NULL yields NULL (which is falsy in predicates).
-            return None
-        if op is BinaryOperator.ADD:
-            return left + right
-        if op is BinaryOperator.SUB:
-            return left - right
-        if op is BinaryOperator.MUL:
-            return left * right
-        if op is BinaryOperator.DIV:
-            if right == 0:
-                raise ExecutionError("division by zero")
-            return left / right
-        try:
-            if op is BinaryOperator.EQ:
-                return left == right
-            if op is BinaryOperator.NE:
-                return left != right
-            if op is BinaryOperator.LT:
-                return left < right
-            if op is BinaryOperator.LE:
-                return left <= right
-            if op is BinaryOperator.GT:
-                return left > right
-            if op is BinaryOperator.GE:
-                return left >= right
-        except TypeError as exc:
-            raise ExecutionError(
-                f"cannot compare {left!r} and {right!r}: {exc}"
-            ) from None
-        raise AssertionError(f"unhandled operator {op}")
-
-    def _eval_scalar_function(self, expr: FunctionExpr, env: RowEnv) -> Any:
-        name = expr.name.upper()
-        args = [self._eval(arg, env) for arg in expr.args]
-        if name == "ABS" and len(args) == 1:
-            return None if args[0] is None else abs(args[0])
-        if name == "COALESCE":
-            for arg in args:
-                if arg is not None:
-                    return arg
-            return None
-        if name == "LENGTH" and len(args) == 1:
-            return None if args[0] is None else len(args[0])
-        if name == "LOWER" and len(args) == 1:
-            return None if args[0] is None else str(args[0]).lower()
-        if name == "UPPER" and len(args) == 1:
-            return None if args[0] is None else str(args[0]).upper()
-        raise ExecutionError(f"unknown function {expr.name!r}")
-
-    def _eval_subquery(self, expr: ScalarSubquery, env: RowEnv) -> Any:
-        executor = SelectExecutor(self.tables, self.params, stats=QueryStats())
-        result = executor.execute(expr.select)
-        self.stats.merge(result.stats)
-        self.stats.subqueries += 1
-        if len(result.rows) == 0:
-            return None
-        if len(result.rows) != 1 or len(result.columns) != 1:
-            raise ExecutionError(
-                f"scalar subquery returned {len(result.rows)} row(s) × "
-                f"{len(result.columns)} column(s)"
-            )
-        return result.rows[0][0]
-
-    def _eval_aggregate(self, expr: SqlExpr, group: List[RowEnv]) -> Any:
-        """Evaluate an expression that may contain aggregate functions."""
-        if isinstance(expr, FunctionExpr) and expr.is_aggregate:
-            return self._aggregate_value(expr, group)
-        if isinstance(expr, BinaryOperation):
-            clone = BinaryOperation(
-                op=expr.op,
-                left=Literal(self._eval_aggregate(expr.left, group)),
-                right=Literal(self._eval_aggregate(expr.right, group)),
-            )
-            return self._eval_binary(clone, {})
-        if isinstance(expr, UnaryOperation):
-            value = self._eval_aggregate(expr.operand, group)
-            if expr.op == "NOT":
-                return None if value is None else (not _is_true(value))
-            return None if value is None else -value
-        if isinstance(expr, (Literal, Placeholder, ScalarSubquery)):
-            return self._eval(expr, {})
-        # Plain column references inside an aggregate query pick the value of
-        # the first row of the group (they are expected to be grouping keys).
-        if not group:
-            return None
-        return self._eval(expr, group[0])
-
-    def _aggregate_value(self, expr: FunctionExpr, group: List[RowEnv]) -> Any:
-        name = expr.name.upper()
-        if name == "COUNT" and (not expr.args or isinstance(expr.args[0], Star)):
-            return len(group)
-        if not expr.args:
-            raise ExecutionError(f"aggregate {name} requires an argument")
-        values = []
-        for env in group:
-            value = self._eval(expr.args[0], env)
-            if value is not None:
-                values.append(value)
-        if expr.distinct:
-            seen = set()
-            unique = []
-            for value in values:
-                key = _hashable(value)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(value)
-            values = unique
-        if name == "COUNT":
-            return len(values)
-        if name == "SUM":
-            return sum(values) if values else None
-        if name == "AVG":
-            return (sum(values) / len(values)) if values else None
-        if name == "MIN":
-            return min(values) if values else None
-        if name == "MAX":
-            return max(values) if values else None
-        raise ExecutionError(f"unknown aggregate {name}")
-
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
-
-    def _resolve_column(self, ref: ColumnRef, env: RowEnv) -> Any:
-        name = ref.name.lower()
-        if ref.table is not None:
-            mapping = env.get(ref.table.lower())
-            if mapping is None or name not in mapping:
-                return _MISSING
-            return mapping[name]
-        matches = [m for m in env.values() if name in m]
-        if not matches:
-            return _MISSING
-        if len(matches) > 1:
-            raise ExecutionError(f"ambiguous column reference {ref.name!r}")
-        return matches[0][name]
-
-
-# --------------------------------------------------------------------------- #
-# module helpers
-# --------------------------------------------------------------------------- #
-
-
-class _SortKey:
-    """Sort key wrapper handling NULLs (sorted last) and descending order."""
-
-    __slots__ = ("value", "ascending")
-
-    def __init__(self, value: Any, ascending: bool) -> None:
-        self.value = value
-        self.ascending = ascending
-
-    def __lt__(self, other: "_SortKey") -> bool:
-        a, b = self.value, other.value
-        if a is None and b is None:
-            return False
-        if a is None:
-            return not self.ascending
-        if b is None:
-            return self.ascending
-        if self.ascending:
-            return a < b
-        return b < a
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _SortKey) and self.value == other.value
-
-
-def _split_and(expr: SqlExpr) -> List[SqlExpr]:
-    if isinstance(expr, BinaryOperation) and expr.op is BinaryOperator.AND:
-        return _split_and(expr.left) + _split_and(expr.right)
-    return [expr]
-
-
-def _is_true(value: Any) -> bool:
-    return bool(value) and value is not None
-
-
-def _row_mapping(table: Table, row: Tuple[Any, ...]) -> Dict[str, Any]:
-    return {
-        column.name.lower(): value
-        for column, value in zip(table.schema.columns, row)
-    }
-
-
-def _column_in_table(table: Table, column: str) -> bool:
-    lowered = column.lower()
-    return any(c.name.lower() == lowered for c in table.schema.columns)
-
-
-def _column_name(expr: SqlExpr) -> str:
-    if isinstance(expr, ColumnRef):
-        return expr.name
-    if isinstance(expr, FunctionExpr):
-        return expr.name.lower()
-    return "expr"
-
-
-def _hashable(value: Any) -> Any:
-    if isinstance(value, (list, dict, set)):
-        return repr(value)
-    return value
+        plan = self.plan
+        if plan is None or plan.statement is not statement:
+            plan = plan_select(statement, self.tables)
+        return plan.execute(self.params, self.stats)

@@ -1,0 +1,724 @@
+"""Plan-then-execute query planning for the relational engine.
+
+The interpreted engine (:mod:`repro.relalg.interp`) re-derives everything per
+statement execution — and much of it per *row*: which conjunct applies at
+which join level, whether an index probe is possible, how a column name maps
+into the row environment.  This module does all of that exactly once per
+statement:
+
+* :func:`plan_select` turns a parsed ``SELECT`` into a :class:`QueryPlan`:
+  a join order (chosen greedily by *bound-predicate availability*), one
+  access path per table binding (index probe / hash-join probe / scan), the
+  residual filters of every level, and compiled projection / aggregation /
+  ordering closures (see :mod:`repro.relalg.compile`);
+* :class:`QueryPlan.execute` runs the plan against the live tables — the
+  plan is parameter-free and is reused across executions and parameter
+  bindings (the statement-level plan cache lives in
+  :class:`repro.relalg.database.Database`, keyed by SQL text).
+
+Access-path selection per level, in order of preference:
+
+1. **index probe** — an equality conjunct ``col = expr`` where ``col`` is an
+   indexed column of this binding and ``expr`` is computable from the levels
+   already bound (this matches the interpreted engine's probe choice, so
+   :class:`~repro.relalg.rowset.QueryStats` stay byte-identical on the A1
+   ablation queries);
+2. **hash-join probe** — an equality conjunct joining an *unindexed* column
+   of this binding to an expression over already-bound levels: the table is
+   scanned once per execution into a transient hash table and probed per
+   outer row, replacing the interpreter's O(outer × inner) rescans;
+3. **scan** — everything else; applicable conjuncts become filters.
+
+NULL join keys never match (both probe kinds), matching ``=`` semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relalg.compile import (
+    ExecContext,
+    GroupFn,
+    RowFn,
+    SlotLayout,
+    compile_group_expr,
+    compile_row_expr,
+)
+from repro.relalg.errors import ExecutionError, SchemaError
+from repro.relalg.rowset import QueryStats, ResultSet, _SortKey, _hashable, _is_true
+from repro.relalg.sqlast import (
+    BinaryOperation,
+    BinaryOperator,
+    ColumnRef,
+    FunctionExpr,
+    InList,
+    IsNull,
+    Literal,
+    SelectStatement,
+    SqlExpr,
+    Star,
+    TableRef,
+    UnaryOperation,
+)
+from repro.relalg.storage import Table
+
+__all__ = ["QueryPlan", "plan_select"]
+
+
+# --------------------------------------------------------------------------- #
+# access paths
+# --------------------------------------------------------------------------- #
+
+
+class _ScanAccess:
+    __slots__ = ()
+    kind = "scan"
+
+
+class _IndexProbe:
+    __slots__ = ("column", "key", "fallback")
+    kind = "index-probe"
+
+    def __init__(self, column: str, key: RowFn, fallback: RowFn) -> None:
+        self.column = column
+        self.key = key
+        #: The compiled probe predicate, applied as a plain filter if the
+        #: index disappears behind the plan cache's back (direct
+        #: ``Table.drop_index`` calls bypass the schema epoch).
+        self.fallback = fallback
+
+
+class _HashProbe:
+    __slots__ = ("col_index", "key")
+    kind = "hash-probe"
+
+    def __init__(self, col_index: int, key: RowFn) -> None:
+        self.col_index = col_index
+        self.key = key
+
+
+_SCAN = _ScanAccess()
+
+
+class _Level:
+    """One join level: a table binding, its access path and its filters."""
+
+    __slots__ = ("binding", "table", "offset", "end", "access", "filters")
+
+    def __init__(
+        self,
+        binding: str,
+        table: Table,
+        offset: int,
+        end: int,
+        access: Any,
+        filters: List[RowFn],
+    ) -> None:
+        self.binding = binding
+        self.table = table
+        self.offset = offset
+        self.end = end
+        self.access = access
+        self.filters = filters
+
+
+# --------------------------------------------------------------------------- #
+# the plan
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class QueryPlan:
+    """A fully compiled SELECT: reusable across executions and parameters."""
+
+    statement: SelectStatement
+    tables: Dict[str, Table]
+    layout: SlotLayout
+    levels: List[_Level]
+    columns: List[str]
+    #: ``None`` for aggregate queries.
+    projector: Optional[Callable[[Tuple[Any, ...], ExecContext], Tuple[Any, ...]]]
+    #: Shortcut: the projection is the identity over the full slot row.
+    identity_projection: bool
+    #: Aggregate machinery (``None`` entries for non-aggregate queries).
+    group_key_fns: Optional[List[RowFn]]
+    having_fn: Optional[GroupFn]
+    item_group_fns: Optional[List[GroupFn]]
+    #: ORDER BY: ('col', output_index, ascending) | ('expr', row_fn, ascending)
+    order_spec: List[Tuple[str, Any, bool]]
+    distinct: bool
+    limit: Optional[int]
+
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self, params: Sequence[Any] = (), stats: Optional[QueryStats] = None
+    ) -> ResultSet:
+        """Run the plan and return the materialised result."""
+        stats = stats if stats is not None else QueryStats()
+        ctx = ExecContext(self.tables, params, stats)
+        rows = self._enumerate(ctx)
+
+        if self.item_group_fns is not None:
+            result_rows = self._aggregate(rows, ctx)
+        elif self.identity_projection:
+            result_rows = list(rows)
+        else:
+            projector = self.projector
+            result_rows = [projector(row, ctx) for row in rows]
+
+        if self.order_spec:
+            result_rows = self._order(rows, result_rows, ctx)
+
+        if self.distinct:
+            seen = set()
+            unique: List[Tuple[Any, ...]] = []
+            for row in result_rows:
+                key = tuple(_hashable(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            result_rows = unique
+
+        if self.limit is not None:
+            result_rows = result_rows[: self.limit]
+
+        stats.rows_returned += len(result_rows)
+        return ResultSet(columns=list(self.columns), rows=result_rows, stats=stats)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Plan shape for tests and EXPLAIN-style debugging."""
+        return [
+            {
+                "binding": level.binding,
+                "table": level.table.name,
+                "access": level.access.kind,
+                "filters": len(level.filters),
+            }
+            for level in self.levels
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def _enumerate(self, ctx: ExecContext) -> List[Tuple[Any, ...]]:
+        """Nested-loop/hash join over the planned levels; returns slot rows."""
+        levels = self.levels
+        depth = len(levels)
+        stats = ctx.stats
+        row: List[Any] = [None] * self.layout.width
+        out: List[Tuple[Any, ...]] = []
+        append = out.append
+
+        def recurse(index: int) -> None:
+            if index == depth:
+                append(tuple(row))
+                return
+            level = levels[index]
+            table = level.table
+            access = level.access
+            filters = level.filters
+            if type(access) is _IndexProbe:
+                hash_index = table.index_for(access.column)
+                if hash_index is None:
+                    # Stale plan (index dropped directly on the table): scan
+                    # and re-apply the probe predicate as a filter.
+                    candidates: Any = table.scan()
+                    filters = filters + [access.fallback]
+                else:
+                    key = access.key(row, ctx)
+                    stats.index_lookups += 1
+                    if key is None:
+                        candidates = ()
+                    else:
+                        stored_rows = table.rows
+                        candidates = [
+                            stored
+                            for position in hash_index.lookup(key)
+                            if (stored := stored_rows[position]) is not None
+                        ]
+            elif type(access) is _HashProbe:
+                hash_table = ctx.hash_tables.get(index)
+                if hash_table is None:
+                    hash_table = {}
+                    col_index = access.col_index
+                    built = 0
+                    for stored in table.scan():
+                        built += 1
+                        value = stored[col_index]
+                        if value is not None:
+                            hash_table.setdefault(value, []).append(stored)
+                    stats.rows_scanned += built
+                    ctx.hash_tables[index] = hash_table
+                key = access.key(row, ctx)
+                stats.hash_probes += 1
+                candidates = () if key is None else hash_table.get(key, ())
+            else:
+                candidates = table.scan()
+            offset, end = level.offset, level.end
+            next_index = index + 1
+            scanned = 0
+            if filters:
+                for candidate in candidates:
+                    scanned += 1
+                    row[offset:end] = candidate
+                    for predicate in filters:
+                        if not predicate(row, ctx):
+                            break
+                    else:
+                        recurse(next_index)
+            else:
+                for candidate in candidates:
+                    scanned += 1
+                    row[offset:end] = candidate
+                    recurse(next_index)
+            stats.rows_scanned += scanned
+
+        recurse(0)
+        # Every fully joined slot row passed all its predicates en route.
+        stats.rows_joined += len(out)
+        return out
+
+    def _aggregate(
+        self, rows: List[Tuple[Any, ...]], ctx: ExecContext
+    ) -> List[Tuple[Any, ...]]:
+        key_fns = self.group_key_fns
+        groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        if key_fns:
+            for row in rows:
+                key = tuple(_hashable(fn(row, ctx)) for fn in key_fns)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = []
+                    order.append(key)
+                group.append(row)
+        else:
+            groups[()] = rows
+            order.append(())
+        having = self.having_fn
+        item_fns = self.item_group_fns
+        result: List[Tuple[Any, ...]] = []
+        for key in order:
+            group = groups[key]
+            if having is not None and not _is_true(having(group, ctx)):
+                continue
+            result.append(tuple(fn(group, ctx) for fn in item_fns))
+        return result
+
+    def _order(
+        self,
+        rows: List[Tuple[Any, ...]],
+        result_rows: List[Tuple[Any, ...]],
+        ctx: ExecContext,
+    ) -> List[Tuple[Any, ...]]:
+        spec = self.order_spec
+
+        def key_for(position: int) -> Tuple[_SortKey, ...]:
+            keys = []
+            for kind, payload, ascending in spec:
+                if kind == "col":
+                    value = result_rows[position][payload]
+                else:
+                    value = payload(rows[position], ctx)
+                keys.append(_SortKey(value, ascending))
+            return tuple(keys)
+
+        positions = sorted(range(len(result_rows)), key=key_for)
+        return [result_rows[p] for p in positions]
+
+
+# --------------------------------------------------------------------------- #
+# planning
+# --------------------------------------------------------------------------- #
+
+
+def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPlan:
+    """Plan (and compile) one SELECT statement against a table catalog."""
+    bindings = _bindings(statement, tables)
+    layout = SlotLayout(bindings)
+    conjuncts = _conjuncts(statement)
+    required = {
+        id(conjunct): _required_bindings(conjunct, bindings)
+        for conjunct in conjuncts
+    }
+    levels = _plan_levels(bindings, conjuncts, required, layout, tables)
+    columns = _output_columns(statement, bindings)
+
+    if statement.is_aggregate_query:
+        group_key_fns = [
+            compile_row_expr(expr, layout, tables) for expr in statement.group_by
+        ]
+        having_fn = (
+            compile_group_expr(statement.having, layout, tables)
+            if statement.having is not None
+            else None
+        )
+        item_group_fns = [
+            compile_group_expr(item.expr, layout, tables)
+            for item in statement.items
+        ]
+        projector = None
+        identity = False
+    else:
+        group_key_fns = None
+        having_fn = None
+        item_group_fns = None
+        projector, identity = _compile_projection(statement, layout, tables)
+
+    order_spec = _compile_order(statement, columns, layout, tables)
+
+    return QueryPlan(
+        statement=statement,
+        tables=tables,
+        layout=layout,
+        levels=levels,
+        columns=columns,
+        projector=projector,
+        identity_projection=identity,
+        group_key_fns=group_key_fns,
+        having_fn=having_fn,
+        item_group_fns=item_group_fns,
+        order_spec=order_spec,
+        distinct=statement.distinct,
+        limit=statement.limit,
+    )
+
+
+# -- FROM / WHERE ----------------------------------------------------------- #
+
+
+def _bindings(
+    statement: SelectStatement, tables: Dict[str, Table]
+) -> List[Tuple[str, Table]]:
+    refs: List[TableRef] = list(statement.from_tables) + [
+        join.table for join in statement.joins
+    ]
+    if not refs:
+        raise ExecutionError("SELECT requires at least one table")
+    bindings: List[Tuple[str, Table]] = []
+    seen = set()
+    for ref in refs:
+        table = tables.get(ref.name.lower())
+        if table is None:
+            raise SchemaError(f"unknown table {ref.name!r}")
+        binding = ref.binding.lower()
+        if binding in seen:
+            raise ExecutionError(f"duplicate table binding {ref.binding!r}")
+        seen.add(binding)
+        bindings.append((binding, table))
+    return bindings
+
+
+def _conjuncts(statement: SelectStatement) -> List[SqlExpr]:
+    conjuncts: List[SqlExpr] = []
+    for join in statement.joins:
+        if join.on is not None:
+            conjuncts.extend(_split_and(join.on))
+    if statement.where is not None:
+        conjuncts.extend(_split_and(statement.where))
+    return conjuncts
+
+
+def _split_and(expr: SqlExpr) -> List[SqlExpr]:
+    if isinstance(expr, BinaryOperation) and expr.op is BinaryOperator.AND:
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _required_bindings(
+    expr: SqlExpr, bindings: List[Tuple[str, Table]]
+) -> Set[str]:
+    """The table bindings that must be bound before ``expr`` can be evaluated.
+
+    Qualified column references require their binding; unqualified ones
+    require every binding whose table declares a column of that name.  Scalar
+    subqueries are self-contained and require nothing from the outer query.
+    """
+    refs: Set[str] = set()
+
+    def visit(node: SqlExpr) -> None:
+        if isinstance(node, ColumnRef):
+            if node.table is not None:
+                refs.add(node.table.lower())
+            else:
+                name = node.name.lower()
+                for binding, table in bindings:
+                    if name in (c.name.lower() for c in table.schema.columns):
+                        refs.add(binding)
+        elif isinstance(node, BinaryOperation):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOperation):
+            visit(node.operand)
+        elif isinstance(node, FunctionExpr):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, IsNull):
+            visit(node.operand)
+        elif isinstance(node, InList):
+            visit(node.operand)
+            for item in node.items:
+                visit(item)
+
+    visit(expr)
+    return refs
+
+
+# -- join ordering and access-path selection -------------------------------- #
+
+
+def _probe_candidate(
+    table: Table,
+    binding: str,
+    predicates: List[SqlExpr],
+    already_bound: Set[str],
+    bindings: List[Tuple[str, Table]],
+    indexed: bool,
+) -> Optional[Tuple[str, SqlExpr, SqlExpr]]:
+    """First equality conjunct usable as a probe on ``table``.
+
+    ``indexed=True`` looks for an index probe (mirroring the interpreted
+    engine's choice exactly); ``indexed=False`` looks for a hash-join probe:
+    an *unindexed* column equated with an expression over at least one
+    already-bound binding (a constant equality stays a plain filter — hashing
+    a whole table to probe it with one constant would only reshuffle work).
+
+    Returns ``(column_name, key_expression, predicate)`` or ``None``.
+    """
+    for predicate in predicates:
+        if not (
+            isinstance(predicate, BinaryOperation)
+            and predicate.op is BinaryOperator.EQ
+        ):
+            continue
+        for this, other in (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        ):
+            if not isinstance(this, ColumnRef):
+                continue
+            if this.table is not None and this.table.lower() != binding:
+                continue
+            if this.table is None and not _column_in_table(table, this.name):
+                continue
+            has_index = table.index_for(this.name) is not None
+            if indexed != has_index:
+                continue
+            other_required = _required_bindings(other, bindings)
+            if not other_required <= already_bound:
+                continue
+            if not indexed and not other_required:
+                continue
+            return this.name, other, predicate
+    return None
+
+
+def _plan_levels(
+    bindings: List[Tuple[str, Table]],
+    conjuncts: List[SqlExpr],
+    required: Dict[int, Set[str]],
+    layout: SlotLayout,
+    tables: Dict[str, Table],
+) -> List[_Level]:
+    remaining = list(bindings)
+    pending = list(conjuncts)
+    bound: Set[str] = set()
+    levels: List[_Level] = []
+
+    def applicable_for(binding: str) -> List[SqlExpr]:
+        visible = bound | {binding}
+        return [p for p in pending if required[id(p)] <= visible]
+
+    while remaining:
+        choice = None
+        # 1. a binding with an index probe available
+        for candidate in remaining:
+            binding, table = candidate
+            if _probe_candidate(
+                table, binding, applicable_for(binding), bound,
+                bindings, indexed=True,
+            ):
+                choice = candidate
+                break
+        # 2. a binding with a hash-join probe available
+        if choice is None:
+            for candidate in remaining:
+                binding, table = candidate
+                if _probe_candidate(
+                    table, binding, applicable_for(binding), bound,
+                    bindings, indexed=False,
+                ):
+                    choice = candidate
+                    break
+        # 3. a binding with any applicable filter
+        if choice is None:
+            for candidate in remaining:
+                if applicable_for(candidate[0]):
+                    choice = candidate
+                    break
+        # 4. syntactic order
+        if choice is None:
+            choice = remaining[0]
+        remaining.remove(choice)
+        binding, table = choice
+        applicable = applicable_for(binding)
+        bound.add(binding)
+        # Partition by identity, not structural equality: duplicate conjuncts
+        # (e.g. ``WHERE a = 1 AND a = 1``) are distinct nodes and each must be
+        # filed exactly once.
+        applied_ids = {id(p) for p in applicable}
+        pending = [p for p in pending if id(p) not in applied_ids]
+
+        probe = _probe_candidate(
+            table, binding, applicable, bound - {binding},
+            bindings, indexed=True,
+        )
+        access: Any
+        if probe is not None:
+            column, key_expr, used = probe
+            access = _IndexProbe(
+                column,
+                compile_row_expr(key_expr, layout, tables),
+                compile_row_expr(used, layout, tables),
+            )
+            filters = [p for p in applicable if p is not used]
+        else:
+            probe = _probe_candidate(
+                table, binding, applicable, bound - {binding},
+                bindings, indexed=False,
+            )
+            if probe is not None:
+                column, key_expr, used = probe
+                access = _HashProbe(
+                    table.schema.column_index(column),
+                    compile_row_expr(key_expr, layout, tables),
+                )
+                filters = [p for p in applicable if p is not used]
+            else:
+                access = _SCAN
+                filters = applicable
+
+        offset, end = layout.range_of(binding)
+        levels.append(
+            _Level(
+                binding=binding,
+                table=table,
+                offset=offset,
+                end=end,
+                access=access,
+                filters=[compile_row_expr(p, layout, tables) for p in filters],
+            )
+        )
+
+    if pending:
+        # Conjuncts referencing unknown bindings: compiling reports the error
+        # with the interpreter's message.
+        for predicate in pending:
+            compile_row_expr(predicate, layout, tables)
+    return levels
+
+
+def _column_in_table(table: Table, column: str) -> bool:
+    lowered = column.lower()
+    return any(c.name.lower() == lowered for c in table.schema.columns)
+
+
+# -- projection / ordering --------------------------------------------------- #
+
+
+def _output_columns(
+    statement: SelectStatement, bindings: List[Tuple[str, Table]]
+) -> List[str]:
+    columns: List[str] = []
+    for item in statement.items:
+        if isinstance(item.expr, Star):
+            for binding, table in bindings:
+                if item.expr.table is not None and (
+                    item.expr.table.lower() != binding
+                ):
+                    continue
+                columns.extend(table.schema.column_names)
+        else:
+            columns.append(item.alias or _column_name(item.expr))
+    return columns
+
+
+def _column_name(expr: SqlExpr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FunctionExpr):
+        return expr.name.lower()
+    return "expr"
+
+
+def _compile_projection(
+    statement: SelectStatement, layout: SlotLayout, tables: Dict[str, Table]
+) -> Tuple[Optional[Callable], bool]:
+    """Compile the select list; detects the ``SELECT *`` identity fast path."""
+    parts: List[Tuple[str, Any]] = []
+    for item in statement.items:
+        if isinstance(item.expr, Star):
+            slots: List[int] = []
+            for binding, _table in layout.bindings:
+                if item.expr.table is not None and (
+                    item.expr.table.lower() != binding
+                ):
+                    continue
+                offset, end = layout.range_of(binding)
+                slots.extend(range(offset, end))
+            parts.append(("slots", slots))
+        else:
+            parts.append(("fn", compile_row_expr(item.expr, layout, tables)))
+
+    if (
+        len(parts) == 1
+        and parts[0][0] == "slots"
+        and parts[0][1] == list(range(layout.width))
+    ):
+        return None, True
+
+    if all(kind == "slots" for kind, _ in parts):
+        slots = [slot for _, payload in parts for slot in payload]
+        return (lambda row, ctx: tuple(row[s] for s in slots)), False
+
+    def project(row: Tuple[Any, ...], ctx: ExecContext) -> Tuple[Any, ...]:
+        values: List[Any] = []
+        for kind, payload in parts:
+            if kind == "slots":
+                values.extend(row[s] for s in payload)
+            else:
+                values.append(payload(row, ctx))
+        return tuple(values)
+
+    return project, False
+
+
+def _compile_order(
+    statement: SelectStatement,
+    columns: List[str],
+    layout: SlotLayout,
+    tables: Dict[str, Table],
+) -> List[Tuple[str, Any, bool]]:
+    """Compile ORDER BY items: output-column positions or source-row closures."""
+    if not statement.order_by:
+        return []
+    lowered = [c.lower() for c in columns]
+    spec: List[Tuple[str, Any, bool]] = []
+    for item in statement.order_by:
+        expr = item.expr
+        if isinstance(expr, ColumnRef) and expr.table is None and (
+            expr.name.lower() in lowered
+        ):
+            spec.append(("col", lowered.index(expr.name.lower()), item.ascending))
+        elif isinstance(expr, Literal) and isinstance(expr.value, int):
+            spec.append(("col", expr.value - 1, item.ascending))
+        elif statement.is_aggregate_query:
+            raise ExecutionError(
+                "ORDER BY of an aggregate query must reference output columns"
+            )
+        else:
+            spec.append(
+                ("expr", compile_row_expr(expr, layout, tables), item.ascending)
+            )
+    return spec

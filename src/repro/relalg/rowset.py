@@ -1,0 +1,130 @@
+"""Result containers and counters shared by every execution engine.
+
+:class:`QueryStats` and :class:`ResultSet` used to live in
+:mod:`repro.relalg.executor`; they moved into this dependency-free module when
+the engine was split into a planner (:mod:`repro.relalg.planner`), an
+expression compiler (:mod:`repro.relalg.compile`) and two executors (the
+plan-driven :class:`~repro.relalg.executor.SelectExecutor` and the reference
+:class:`~repro.relalg.interp.InterpretedSelectExecutor`).  The old import
+locations keep working — :mod:`repro.relalg.executor` re-exports both names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.relalg.errors import ExecutionError
+
+__all__ = ["QueryStats", "ResultSet"]
+
+
+@dataclass
+class QueryStats:
+    """Counters describing the work one query performed.
+
+    The counters record *physical* work:
+
+    ``rows_scanned``
+        rows read from table storage — full scans count every live row, index
+        and hash-join probes count only the matching rows they return (plus,
+        for hash joins, the one-time scan that builds the hash table);
+    ``index_lookups``
+        probes into a secondary hash index;
+    ``hash_probes``
+        probes into a transient hash-join table built for one execution;
+    ``rows_joined``
+        fully joined rows that satisfied every predicate;
+    ``rows_returned``
+        rows of the final (projected, ordered, limited) result;
+    ``subqueries``
+        scalar subqueries executed (their counters are merged in).
+    """
+
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    rows_joined: int = 0
+    rows_returned: int = 0
+    subqueries: int = 0
+    hash_probes: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate the counters of a nested (sub)query."""
+        self.rows_scanned += other.rows_scanned
+        self.index_lookups += other.index_lookups
+        self.rows_joined += other.rows_joined
+        self.subqueries += other.subqueries
+        self.hash_probes += other.hash_probes
+
+
+@dataclass
+class ResultSet:
+    """The materialised result of a SELECT."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def scalar(self) -> Any:
+        """The single value of a 1×1 result; raises otherwise."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a scalar result, got {len(self.rows)} row(s) × "
+                f"{len(self.columns)} column(s)"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one result column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(
+                f"result has no column {name!r} (columns: {self.columns})"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column→value dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+
+class _SortKey:
+    """Sort key wrapper handling NULLs (sorted last) and descending order."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.ascending
+        if b is None:
+            return self.ascending
+        if self.ascending:
+            return a < b
+        return b < a
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _is_true(value: Any) -> bool:
+    return bool(value) and value is not None
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value

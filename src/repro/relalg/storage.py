@@ -4,17 +4,74 @@ Tables store rows as immutable tuples in insertion order.  Secondary hash
 indexes map a column value to the positions of the rows carrying that value;
 the executor uses them for equality lookups (index nested-loop joins and
 point selections), which is what the A1 ablation benchmark measures.
+
+Two implementation choices keep the hot probe path allocation-free and the
+mutation path O(1):
+
+* index buckets are insertion-ordered dicts ``position → None``, so
+  :meth:`HashIndex.add` and :meth:`HashIndex.remove` are O(1) and
+  :meth:`HashIndex.lookup` returns a *read-only view* over the bucket instead
+  of copying a list per probe;
+* deleted rows leave tombstones (``None`` entries) that :meth:`Table.scan`
+  skips; once tombstones dominate, :meth:`Table.compact` rewrites the row
+  list and rebuilds the indexes so long-lived tables with many deletes do not
+  degrade scans.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relalg.errors import IntegrityError, SchemaError
 from repro.relalg.schema import TableSchema
 
-__all__ = ["HashIndex", "Table"]
+__all__ = ["HashIndex", "PositionsView", "Table"]
+
+#: Compact when at least this many tombstones have accumulated …
+_COMPACT_MIN_DEAD = 64
+#: … and they make up at least this fraction of the row list.
+_COMPACT_DEAD_FRACTION = 0.5
+
+
+class PositionsView:
+    """A read-only, insertion-ordered view of one index bucket.
+
+    The view aliases live index state — it must not be mutated and should be
+    consumed before the index is modified (the executor materialises its
+    results before any data modification can run).  It compares equal to any
+    sequence with the same elements in the same order, so existing callers
+    that compared the old list results keep working.
+    """
+
+    __slots__ = ("_positions",)
+
+    def __init__(self, positions: Dict[int, None]) -> None:
+        self._positions = positions
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, position: object) -> bool:
+        return position in self._positions
+
+    def __getitem__(self, index: int) -> int:
+        return list(self._positions)[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PositionsView):
+            return list(self._positions) == list(other._positions)
+        if isinstance(other, (list, tuple)):
+            return list(self._positions) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PositionsView({list(self._positions)!r})"
+
+
+_EMPTY_VIEW = PositionsView({})
 
 
 class HashIndex:
@@ -23,23 +80,35 @@ class HashIndex:
     def __init__(self, name: str, column: str) -> None:
         self.name = name
         self.column = column
-        self._buckets: Dict[Any, List[int]] = defaultdict(list)
+        self._buckets: Dict[Any, Dict[int, None]] = {}
 
     def add(self, value: Any, position: int) -> None:
         """Register that the row at ``position`` has ``value`` in the column."""
-        self._buckets[value].append(position)
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            self._buckets[value] = {position: None}
+        else:
+            bucket[position] = None
 
     def remove(self, value: Any, position: int) -> None:
         """Remove one (value, position) entry; missing entries are ignored."""
-        positions = self._buckets.get(value)
-        if positions and position in positions:
-            positions.remove(position)
-            if not positions:
+        bucket = self._buckets.get(value)
+        if bucket is not None and position in bucket:
+            del bucket[position]
+            if not bucket:
                 del self._buckets[value]
 
-    def lookup(self, value: Any) -> List[int]:
-        """Row positions whose indexed column equals ``value``."""
-        return list(self._buckets.get(value, ()))
+    def lookup(self, value: Any) -> PositionsView:
+        """Row positions whose indexed column equals ``value`` (a read-only
+        view; no copy is made)."""
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return _EMPTY_VIEW
+        return PositionsView(bucket)
+
+    def clear(self) -> None:
+        """Drop every entry (used when the owning table compacts)."""
+        self._buckets.clear()
 
     def __len__(self) -> int:
         return sum(len(positions) for positions in self._buckets.values())
@@ -72,10 +141,19 @@ class Table:
         """Number of live (not deleted) rows."""
         return self._live_count
 
+    @property
+    def dead_count(self) -> int:
+        """Number of tombstones currently in the row list."""
+        return len(self.rows) - self._live_count
+
     # -- modification -----------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> int:
-        """Validate and insert one positional row; returns its position."""
+        """Validate and insert one positional row; returns its position.
+
+        Positions are only stable until the next compaction; they are an
+        internal storage detail, not a durable row id.
+        """
         row = self.schema.validate_row(values)
         if self._primary_index is not None:
             key_index = self.schema.column_index(self._primary_index.column)
@@ -105,6 +183,7 @@ class Table:
             if predicate(row):
                 self._delete_at(position, row)
                 deleted += 1
+        self._maybe_compact()
         return deleted
 
     def _delete_at(self, position: int, row: Tuple[Any, ...]) -> None:
@@ -113,6 +192,30 @@ class Table:
         for index in self.indexes.values():
             column_index = self.schema.column_index(index.column)
             index.remove(row[column_index], position)
+
+    def compact(self) -> int:
+        """Drop tombstones and rebuild the indexes; returns removed count."""
+        dead = self.dead_count
+        if not dead:
+            return 0
+        self.rows = [row for row in self.rows if row is not None]
+        column_indexes = {
+            key: self.schema.column_index(index.column)
+            for key, index in self.indexes.items()
+        }
+        for index in self.indexes.values():
+            index.clear()
+        for position, row in enumerate(self.rows):
+            for key, index in self.indexes.items():
+                index.add(row[column_indexes[key]], position)
+        return dead
+
+    def _maybe_compact(self) -> None:
+        dead = self.dead_count
+        if dead >= _COMPACT_MIN_DEAD and (
+            dead >= len(self.rows) * _COMPACT_DEAD_FRACTION
+        ):
+            self.compact()
 
     # -- indexes ----------------------------------------------------------------
 
@@ -153,8 +256,9 @@ class Table:
         """Rows whose ``column`` equals ``value`` (uses the index when present)."""
         index = self.index_for(column)
         if index is not None:
+            rows = self.rows
             for position in index.lookup(value):
-                row = self.rows[position]
+                row = rows[position]
                 if row is not None:
                     yield row
             return

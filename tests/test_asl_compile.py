@@ -1,0 +1,167 @@
+"""Tests of the compile-once ASL property evaluation and Scope.find."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asl import AslEvaluationError, AslNameError, check_asl, parse_asl
+from repro.asl.compile import CompiledProperty
+from repro.asl.evaluator import AslEvaluator
+from repro.asl.specs import COSY_DATA_MODEL
+from repro.asl.symbols import MISSING, Scope
+from repro.datamodel import (
+    Function,
+    FunctionCall,
+    CallTiming,
+    Region,
+    RegionKind,
+    TestRun,
+    TimingType,
+    TotalTiming,
+    TypedTiming,
+)
+
+PROPERTIES = """
+constant float ImbalanceThreshold = 0.25;
+
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes WITH s.Run == t});
+float Duration(Region r, TestRun t) = Summary(r, t).Incl;
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+        float TotalCost = Duration(r, t) - Duration(r, MinPeSum.Run)
+    IN
+    CONDITION: TotalCost > 0;
+    CONFIDENCE: 1;
+    SEVERITY: TotalCost / Duration(Basis, t);
+}
+
+Property SyncCost(Region r, TestRun t, Region Basis) {
+    LET float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND tt.Type == Barrier);
+    IN
+    CONDITION: Barrier > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Barrier / Duration(Basis, t);
+}
+
+Property Guarded(Region r, TestRun t) {
+    CONDITION: (big) Duration(r, t) > 100 OR (small) Duration(r, t) > 1;
+    CONFIDENCE: MAX((big) -> 0.9, (small) -> 0.4);
+    SEVERITY: MAX((big) -> 2.0, (small) -> 0.5);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def checked_spec():
+    model = parse_asl(COSY_DATA_MODEL)
+    props = parse_asl(PROPERTIES)
+    return check_asl(model.merge(props))
+
+
+@pytest.fixture()
+def scenario():
+    run_small = TestRun(Start=dt.datetime(2000, 1, 1), NoPe=2, Clockspeed=300)
+    run_large = TestRun(Start=dt.datetime(2000, 1, 1), NoPe=8, Clockspeed=300)
+    function = Function(Name="main")
+    basis = function.add_region(Region(name="main", kind=RegionKind.PROGRAM))
+    basis.add_total_timing(TotalTiming(Run=run_small, Excl=10.0, Incl=10.0, Ovhd=1.0))
+    basis.add_total_timing(TotalTiming(Run=run_large, Excl=16.0, Incl=16.0, Ovhd=6.0))
+    basis.add_typed_timing(TypedTiming(Run=run_large, Type=TimingType.Barrier, Time=4.0))
+    return {"run_small": run_small, "run_large": run_large, "basis": basis}
+
+
+class TestCompiledPropertyParity:
+    """The compiled closures must reproduce the interpretive semantics."""
+
+    @pytest.mark.parametrize("prop", ["SublinearSpeedup", "SyncCost", "Guarded"])
+    @pytest.mark.parametrize("run_key", ["run_small", "run_large"])
+    def test_compiled_equals_interpreted(self, checked_spec, scenario, prop, run_key):
+        evaluator = AslEvaluator(checked_spec)
+        params = {"r": scenario["basis"], "t": scenario[run_key],
+                  "Basis": scenario["basis"]}
+        decl = evaluator.index.properties[prop]
+        params = {p.name: params[p.name] for p in decl.params}
+        compiled = evaluator.evaluate_property(prop, params)
+        interpreted = evaluator.evaluate_property_interpreted(prop, params)
+        assert compiled.holds == interpreted.holds
+        assert compiled.conditions == interpreted.conditions
+        assert compiled.confidence == pytest.approx(interpreted.confidence)
+        assert compiled.severity == pytest.approx(interpreted.severity)
+        assert compiled.let_values == interpreted.let_values
+        assert compiled.parameters == interpreted.parameters
+
+    def test_constant_overrides_are_honoured(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec, constants={"ImbalanceThreshold": 0.9})
+        assert evaluator.constant_value("ImbalanceThreshold") == 0.9
+
+    def test_compiled_errors_match(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        empty_region = Region(name="empty")
+        with pytest.raises(AslEvaluationError, match="UNIQUE"):
+            evaluator.evaluate_property(
+                "SublinearSpeedup",
+                {"r": empty_region, "t": scenario["run_large"],
+                 "Basis": scenario["basis"]},
+            )
+        with pytest.raises(AslEvaluationError, match="missing parameter"):
+            evaluator.evaluate_property("SyncCost", {"r": scenario["basis"]})
+        with pytest.raises(AslNameError, match="unknown property"):
+            evaluator.evaluate_property("Nope", {})
+
+
+class TestCompileOnceCaching:
+    def test_property_is_compiled_once_and_reused(self, checked_spec, scenario):
+        evaluator = AslEvaluator(checked_spec)
+        params = {"r": scenario["basis"], "t": scenario["run_large"],
+                  "Basis": scenario["basis"]}
+        assert evaluator.compiled_properties == {}
+        evaluator.evaluate_property("SyncCost", params)
+        assert set(evaluator.compiled_properties) == {"SyncCost"}
+        program = evaluator.compiled_properties["SyncCost"]
+        assert isinstance(program, CompiledProperty)
+        evaluator.evaluate_property("SyncCost", params)
+        assert evaluator.compiled_properties["SyncCost"] is program
+
+    def test_compile_property_is_idempotent(self, checked_spec):
+        evaluator = AslEvaluator(checked_spec)
+        first = evaluator.compile_property("Guarded")
+        second = evaluator.compile_property("Guarded")
+        assert first is second
+
+    def test_client_strategy_precompiles(self, checked_spec):
+        from repro.cosy.strategies import ClientSideStrategy
+
+        strategy = ClientSideStrategy(checked_spec)
+        strategy.precompile()
+        assert set(strategy.evaluator.compiled_properties) == set(
+            checked_spec.index.properties
+        )
+
+
+class TestScopeFind:
+    """Scope.lookup resolves in one walk; None-valued bindings are 'bound'."""
+
+    def test_find_returns_missing_for_unbound_names(self):
+        scope = Scope()
+        assert scope.find("x") is MISSING
+        scope.define("x", 1)
+        assert scope.find("x") == 1
+
+    def test_none_valued_binding_is_contained(self):
+        scope = Scope()
+        scope.define("maybe", None)
+        assert "maybe" in scope
+        assert scope.find("maybe") is None
+        assert scope.lookup("maybe") is None
+
+    def test_find_walks_outwards_once(self):
+        outer = Scope()
+        outer.define("x", "outer")
+        inner = outer.child()
+        assert inner.find("x") == "outer"
+        inner.define("x", None)
+        assert inner.find("x") is None
+        assert outer.find("x") == "outer"

@@ -165,3 +165,128 @@ class TestJoinsAndStats:
     def test_aggregate_outside_aggregate_context_is_rejected(self, db):
         with pytest.raises(ExecutionError, match="not allowed here"):
             db.query("SELECT id FROM measurements WHERE SUM(value) > 1")
+
+
+class TestOrderByDescWithNulls:
+    """ORDER BY DESC and NULLs — behaviour the plan-driven rewrite preserves."""
+
+    def test_desc_with_nulls_and_secondary_key(self, db):
+        result = db.query(
+            "SELECT id, value FROM measurements ORDER BY value DESC, id DESC"
+        )
+        # NULL sorts as the largest value in DESC; ties broken by id DESC.
+        assert [row[0] for row in result] == [2, 1, 4, 3, 5]
+
+    def test_desc_on_expression_over_source_rows(self, db):
+        result = db.query(
+            "SELECT id FROM measurements WHERE value IS NOT NULL "
+            "ORDER BY value * 2 DESC"
+        )
+        assert [row[0] for row in result] == [1, 4, 3, 5]
+
+    def test_desc_on_aggregate_alias_with_null_groups(self, db):
+        result = db.query(
+            "SELECT region, SUM(value) AS total FROM measurements "
+            "GROUP BY region ORDER BY total DESC"
+        )
+        # 'main' has SUM 10 (NULL skipped), 'loop' 12, 'io' 1.
+        assert [row[0] for row in result] == ["loop", "main", "io"]
+
+
+class TestCountDistinct:
+    def test_count_distinct_skips_nulls_and_duplicates(self, db):
+        result = db.query("SELECT COUNT(DISTINCT run_id) FROM measurements")
+        assert result.scalar() == 2
+
+    def test_count_distinct_on_expression(self, db):
+        result = db.query(
+            "SELECT COUNT(DISTINCT region), COUNT(region) FROM measurements"
+        )
+        assert result.rows == [(3, 5)]
+
+    def test_count_distinct_per_group(self, db):
+        result = db.query(
+            "SELECT region, COUNT(DISTINCT value) FROM measurements "
+            "GROUP BY region ORDER BY region"
+        )
+        # 'main' has one non-NULL value; NULL is not counted.
+        assert result.rows == [("io", 1), ("loop", 2), ("main", 1)]
+
+
+class TestMultiTableIndexProbeStats:
+    """Exact QueryStats of multi-table index-probe plans (A1-style queries)."""
+
+    def test_pk_probe_per_outer_row(self, db):
+        result = db.query(
+            "SELECT r.pes FROM measurements m JOIN runs r ON r.id = m.run_id "
+            "WHERE m.region = 'loop'"
+        )
+        assert sorted(row[0] for row in result) == [2, 8]
+        # measurements scan (5) + one PK-probe result row per outer row (2).
+        assert result.stats.rows_scanned == 7
+        assert result.stats.index_lookups == 2
+        assert result.stats.rows_joined == 2
+        assert result.stats.rows_returned == 2
+        assert result.stats.hash_probes == 0
+
+    def test_probe_stats_match_the_interpreted_engine(self, db):
+        from repro.relalg.interp import InterpretedSelectExecutor
+        from repro.relalg.sqlparser import parse_sql
+
+        sql = ("SELECT r.pes FROM measurements m JOIN runs r ON r.id = m.run_id "
+               "WHERE m.region = 'loop'")
+        compiled = db.query(sql)
+        interpreted = InterpretedSelectExecutor(db.tables).execute(parse_sql(sql))
+        assert compiled.stats == interpreted.stats
+
+    def test_probe_key_from_constant_counts_one_lookup(self, db):
+        result = db.query(
+            "SELECT m.id FROM runs r JOIN measurements m ON m.run_id = r.id "
+            "WHERE r.id = 1"
+        )
+        assert sorted(row[0] for row in result) == [1, 3, 5]
+        # One PK probe into runs (1 row) + a scan of measurements per outer
+        # row (run_id is unindexed, equated with the bound r.id → hash join:
+        # 5 build rows + 3 probe results).
+        assert result.stats.index_lookups == 1
+        assert result.stats.rows_scanned == 1 + 5 + 3
+        assert result.stats.hash_probes == 1
+
+
+class TestScalarSubqueryStatsMerging:
+    def test_filter_subquery_counters_merge_into_the_outer_query(self, db):
+        result = db.query(
+            "SELECT id FROM runs WHERE pes = (SELECT MAX(run_id) FROM measurements)"
+        )
+        assert [row[0] for row in result] == [1]
+        # runs is scanned (2 rows); the subquery runs once per scanned row
+        # and scans measurements fully each time.
+        assert result.stats.subqueries == 2
+        assert result.stats.rows_scanned == 2 + 2 * 5
+        assert result.stats.rows_returned == 1  # outer rows only
+
+    def test_probe_key_subquery_runs_once(self, db):
+        result = db.query(
+            "SELECT pes FROM runs WHERE id = (SELECT MIN(run_id) FROM measurements)"
+        )
+        assert result.scalar() == 2
+        assert result.stats.subqueries == 1
+        assert result.stats.index_lookups == 1
+        assert result.stats.rows_scanned == 5 + 1
+
+    def test_select_list_subquery_merges_per_row(self, db):
+        result = db.query(
+            "SELECT id, (SELECT COUNT(*) FROM measurements) FROM runs"
+        )
+        assert result.rows == [(1, 5), (2, 5)]
+        assert result.stats.subqueries == 2
+        assert result.stats.rows_scanned == 2 + 2 * 5
+
+    def test_subquery_stats_match_the_interpreted_engine(self, db):
+        from repro.relalg.interp import InterpretedSelectExecutor
+        from repro.relalg.sqlparser import parse_sql
+
+        sql = "SELECT id FROM runs WHERE pes = (SELECT MAX(run_id) FROM measurements)"
+        compiled = db.query(sql)
+        interpreted = InterpretedSelectExecutor(db.tables).execute(parse_sql(sql))
+        assert compiled.stats == interpreted.stats

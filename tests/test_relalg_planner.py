@@ -1,0 +1,278 @@
+"""Tests of the plan-then-execute engine: planning, caching, hash joins.
+
+Several tests run the same statement through both engines — the compiled
+planner (:mod:`repro.relalg.planner`) and the seed AST interpreter
+(:mod:`repro.relalg.interp`) — and assert identical results; on index/scan
+access paths the :class:`QueryStats` counters must be identical too (the A1
+ablation depends on them).
+"""
+
+import pytest
+
+import repro.relalg.database as database_module
+from repro.relalg import Database, ExecutionError, QueryStats, plan_select
+from repro.relalg.interp import InterpretedSelectExecutor
+from repro.relalg.planner import QueryPlan
+from repro.relalg.sqlparser import parse_sql
+
+
+def make_db(engine="compiled"):
+    db = Database(engine=engine)
+    db.execute(
+        "CREATE TABLE measurements (id INTEGER PRIMARY KEY, region VARCHAR, "
+        "run_id INTEGER, value FLOAT)"
+    )
+    db.executemany(
+        "INSERT INTO measurements (id, region, run_id, value) VALUES (?, ?, ?, ?)",
+        [
+            (1, "main", 1, 10.0),
+            (2, "main", 2, None),
+            (3, "loop", 1, 4.0),
+            (4, "loop", 2, 8.0),
+            (5, "io", 1, 1.0),
+        ],
+    )
+    db.execute("CREATE TABLE runs (id INTEGER PRIMARY KEY, pes INTEGER)")
+    db.executemany("INSERT INTO runs (id, pes) VALUES (?, ?)", [(1, 2), (2, 8)])
+    return db
+
+
+@pytest.fixture()
+def db():
+    return make_db()
+
+
+def run_both(sql, params=()):
+    """Execute ``sql`` on the compiled and the interpreted engine."""
+    compiled = make_db("compiled").query(sql, params)
+    interpreted = make_db("interpreted").query(sql, params)
+    return compiled, interpreted
+
+
+PARITY_QUERIES = [
+    "SELECT * FROM measurements",
+    "SELECT id, value FROM measurements WHERE value IS NOT NULL ORDER BY value DESC",
+    "SELECT DISTINCT region FROM measurements ORDER BY region",
+    "SELECT region, COUNT(*) AS n, SUM(value) FROM measurements "
+    "GROUP BY region HAVING COUNT(*) > 1 ORDER BY n DESC, region",
+    "SELECT m.id, r.pes FROM measurements m JOIN runs r ON m.run_id = r.id "
+    "WHERE r.pes = 8 ORDER BY m.id",
+    "SELECT COUNT(*) FROM measurements WHERE region IN ('main', 'io')",
+    "SELECT UPPER(region), COALESCE(value, 0) FROM measurements WHERE id = 2",
+    "SELECT id FROM measurements WHERE id = 3 AND region = 'loop'",
+    "SELECT COUNT(*) FROM measurements m, runs r",
+    "SELECT id FROM runs WHERE pes = (SELECT MAX(run_id) FROM measurements)",
+    "SELECT id, value FROM measurements ORDER BY 2 DESC, 1",
+    "SELECT value FROM measurements WHERE value > ? LIMIT 2",
+]
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("sql", PARITY_QUERIES)
+    def test_identical_results(self, sql):
+        params = (3.0,) if "?" in sql else ()
+        compiled, interpreted = run_both(sql, params)
+        assert compiled.columns == interpreted.columns
+        assert compiled.rows == interpreted.rows
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # Index/scan access paths (no hash join): the physical counters
+            # must be byte-identical between the engines.
+            "SELECT id FROM measurements WHERE id = 4",
+            "SELECT id, value FROM measurements WHERE region = 'loop'",
+            "SELECT region, COUNT(*) FROM measurements GROUP BY region",
+            "SELECT r.pes FROM measurements m JOIN runs r ON r.id = m.run_id "
+            "WHERE m.region = 'loop'",
+            "SELECT pes FROM runs WHERE id = (SELECT MIN(run_id) FROM measurements)",
+        ],
+    )
+    def test_identical_query_stats(self, sql):
+        compiled, interpreted = run_both(sql)
+        assert compiled.rows == interpreted.rows
+        assert compiled.stats == interpreted.stats
+
+
+class TestPlanShapes:
+    def test_index_probe_is_chosen_for_indexed_equality(self, db):
+        plan = plan_select(parse_sql("SELECT * FROM measurements WHERE id = 3"),
+                           db.tables)
+        assert plan.describe() == [
+            {"binding": "measurements", "table": "measurements",
+             "access": "index-probe", "filters": 0},
+        ]
+
+    def test_hash_join_is_chosen_for_unindexed_equi_join(self, db):
+        plan = plan_select(
+            parse_sql(
+                "SELECT m.id FROM measurements m JOIN runs r ON m.run_id = r.id "
+                "WHERE r.pes = 8"
+            ),
+            db.tables,
+        )
+        described = {level["binding"]: level["access"] for level in plan.describe()}
+        # The planner binds `runs` first (its filter is available) and then
+        # hash-joins the unindexed measurements.run_id column.
+        assert described == {"r": "scan", "m": "hash-probe"}
+
+    def test_join_order_follows_bound_predicate_availability(self, db):
+        plan = plan_select(
+            parse_sql(
+                "SELECT m.id FROM measurements m, runs r "
+                "WHERE r.pes = 8 AND m.run_id = r.id"
+            ),
+            db.tables,
+        )
+        assert [level["binding"] for level in plan.describe()] == ["r", "m"]
+
+    def test_constant_equality_on_unindexed_column_stays_a_scan(self, db):
+        plan = plan_select(
+            parse_sql("SELECT id FROM measurements WHERE region = 'loop'"),
+            db.tables,
+        )
+        assert plan.describe()[0]["access"] == "scan"
+
+
+class TestHashJoin:
+    def test_hash_join_results_match_the_interpreter(self):
+        sql = ("SELECT m.id, r.pes FROM measurements m JOIN runs r "
+               "ON m.run_id = r.id ORDER BY m.id")
+        compiled, interpreted = run_both(sql)
+        assert compiled.rows == interpreted.rows
+
+    def test_hash_join_builds_once_and_probes_per_outer_row(self, db):
+        result = db.query(
+            "SELECT m.id FROM measurements m JOIN runs r ON m.run_id = r.id "
+            "WHERE r.pes = 8"
+        )
+        assert sorted(row[0] for row in result) == [2, 4]
+        # runs scan (2) + one-time hash build over measurements (5) + the two
+        # matching probe results.
+        assert result.stats.rows_scanned == 9
+        assert result.stats.hash_probes == 1
+        assert result.stats.index_lookups == 0
+
+    def test_null_join_keys_never_match(self):
+        for engine in ("compiled", "interpreted"):
+            db = make_db(engine)
+            db.execute(
+                "INSERT INTO measurements (id, region, run_id, value) "
+                "VALUES (99, 'x', NULL, 0.5)"
+            )
+            result = db.query(
+                "SELECT m.id FROM measurements m JOIN runs r ON m.run_id = r.id"
+            )
+            assert 99 not in [row[0] for row in result]
+            assert len(result) == 5
+
+
+class TestPlanCache:
+    def test_repeated_execution_hits_the_plan_cache(self, db):
+        sql = "SELECT id FROM measurements WHERE region = ?"
+        first = db.query(sql, ["loop"])
+        second = db.query(sql, ["io"])
+        assert [row[0] for row in first] == [3, 4]
+        assert [row[0] for row in second] == [5]
+        info = db.plan_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_cached_statement_reexecution_skips_parse_and_plan(self, db, monkeypatch):
+        parse_calls = []
+        real_parse = database_module.parse_sql
+
+        def counting_parse(sql):
+            parse_calls.append(sql)
+            return real_parse(sql)
+
+        monkeypatch.setattr(database_module, "parse_sql", counting_parse)
+        sql = "SELECT COUNT(*) FROM measurements WHERE run_id = ?"
+        db.query(sql, [1])
+        misses_after_first = db.plan_cache_info()["misses"]
+        db.query(sql, [2])
+        db.query(sql, [1])
+        assert parse_calls == [sql]  # parsed exactly once
+        info = db.plan_cache_info()
+        assert info["misses"] == misses_after_first  # planned exactly once
+        assert info["hits"] == 2
+
+    def test_ddl_invalidates_cached_plans(self, db):
+        sql = "SELECT id FROM measurements WHERE run_id = 2"
+        before = db.query(sql)
+        assert before.stats.index_lookups == 0  # run_id is not indexed yet
+        db.execute("CREATE INDEX idx_run ON measurements (run_id)")
+        after = db.query(sql)
+        assert sorted(row[0] for row in after) == sorted(row[0] for row in before)
+        assert after.stats.index_lookups == 1  # re-planned with the new index
+        assert after.stats.rows_scanned == 2
+
+    def test_plans_survive_data_modification(self, db):
+        sql = "SELECT COUNT(*) FROM measurements WHERE region = 'loop'"
+        assert db.query(sql).scalar() == 2
+        db.execute(
+            "INSERT INTO measurements (id, region, run_id, value) "
+            "VALUES (6, 'loop', 1, 2.0)"
+        )
+        assert db.query(sql).scalar() == 3
+        db.execute("DELETE FROM measurements WHERE region = 'loop'")
+        assert db.query(sql).scalar() == 0
+        assert db.plan_cache_info()["misses"] == 1
+
+
+class TestDuplicateConjuncts:
+    """Regression: duplicate conjuncts are partitioned by identity."""
+
+    @pytest.mark.parametrize(
+        "sql, expected",
+        [
+            ("SELECT id FROM measurements WHERE region = 'loop' AND region = 'loop'",
+             [3, 4]),
+            ("SELECT id FROM measurements WHERE id = 3 AND id = 3", [3]),
+            ("SELECT m.id FROM measurements m JOIN runs r "
+             "ON m.run_id = r.id AND m.run_id = r.id WHERE r.pes = 8", [2, 4]),
+        ],
+    )
+    def test_duplicate_conjuncts_filter_correctly(self, sql, expected):
+        compiled, interpreted = run_both(sql)
+        assert sorted(row[0] for row in compiled) == expected
+        assert sorted(row[0] for row in interpreted) == expected
+
+    def test_duplicate_indexed_conjuncts_have_identical_stats(self):
+        sql = "SELECT id FROM measurements WHERE id = 3 AND id = 3"
+        compiled, interpreted = run_both(sql)
+        assert compiled.stats == interpreted.stats
+        assert compiled.stats.index_lookups == 1
+
+
+class TestPlannerErrors:
+    def test_unknown_column_is_reported(self, db):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            db.query("SELECT bogus FROM runs")
+
+    def test_ambiguous_column_is_reported(self, db):
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            db.query("SELECT id FROM measurements m, runs r WHERE m.run_id = r.id")
+
+    def test_missing_parameters_are_reported(self, db):
+        with pytest.raises(ExecutionError, match="parameter"):
+            db.query("SELECT id FROM runs WHERE pes = ?")
+
+    def test_interpreted_engine_flag_is_validated(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Database(engine="quantum")
+
+
+class TestDirectPlanUse:
+    def test_plan_select_returns_a_reusable_plan(self, db):
+        statement = parse_sql("SELECT COUNT(*) FROM measurements WHERE run_id = ?")
+        plan = plan_select(statement, db.tables)
+        assert isinstance(plan, QueryPlan)
+        assert plan.execute([1], QueryStats()).scalar() == 3
+        assert plan.execute([2], QueryStats()).scalar() == 2
+
+    def test_interpreted_executor_is_exported(self, db):
+        statement = parse_sql("SELECT COUNT(*) FROM runs")
+        executor = InterpretedSelectExecutor(db.tables)
+        assert executor.execute(statement).scalar() == 2

@@ -194,3 +194,88 @@ class TestHashIndex:
         index.add(1, 0)
         index.add(2, 1)
         assert len(index) == 2
+
+
+class TestPositionsView:
+    def test_lookup_returns_a_read_only_view_not_a_copy(self):
+        from repro.relalg import PositionsView
+
+        index = HashIndex("idx", "col")
+        index.add("a", 3)
+        index.add("a", 7)
+        view = index.lookup("a")
+        assert isinstance(view, PositionsView)
+        assert list(view) == [3, 7]
+        assert len(view) == 2
+        assert 3 in view and 5 not in view
+        assert view[1] == 7
+        assert view == [3, 7] and view == (3, 7)
+        assert not (view == [7, 3])
+        # Views have no mutating API.
+        assert not hasattr(view, "append")
+
+    def test_view_reflects_later_index_changes(self):
+        index = HashIndex("idx", "col")
+        index.add("a", 1)
+        view = index.lookup("a")
+        index.add("a", 2)
+        assert list(view) == [1, 2]
+
+    def test_remove_is_order_preserving(self):
+        index = HashIndex("idx", "col")
+        for position in (5, 1, 9, 4):
+            index.add("x", position)
+        index.remove("x", 9)
+        assert index.lookup("x") == [5, 1, 4]
+
+    def test_empty_lookup_is_falsy(self):
+        index = HashIndex("idx", "col")
+        assert not index.lookup("nothing")
+        assert list(index.lookup("nothing")) == []
+
+
+class TestTombstoneCompaction:
+    def fill(self, rows=200):
+        table = Table(timing_schema())
+        table.create_index("idx", "region_id")
+        for i in range(rows):
+            table.insert([i + 1, i % 4, i, float(i), "x"])
+        return table
+
+    def test_mass_delete_triggers_compaction(self):
+        table = self.fill(200)
+        deleted = table.delete_where(lambda row: row[1] != 0)
+        assert deleted == 150
+        assert table.row_count == 50
+        # The tombstones were dropped: the row list holds only live rows.
+        assert table.dead_count == 0
+        assert len(table.rows) == 50
+
+    def test_scan_and_indexes_survive_compaction(self):
+        table = self.fill(200)
+        table.delete_where(lambda row: row[1] != 0)
+        scanned = [row[0] for row in table.scan()]
+        assert scanned == [i + 1 for i in range(200) if i % 4 == 0]
+        via_index = sorted(row[0] for row in table.lookup("region_id", 0))
+        assert via_index == scanned
+        assert list(table.lookup("region_id", 1)) == []
+        # The primary key index was rebuilt too: inserts still detect dupes.
+        with pytest.raises(IntegrityError):
+            table.insert([1, 0, 0, 0.0, "dup"])
+        table.insert([999, 1, 0, 0.0, "new"])
+        assert [row[0] for row in table.lookup("region_id", 1)] == [999]
+
+    def test_small_delete_leaves_tombstones(self):
+        table = self.fill(10)
+        table.delete_where(lambda row: row[0] == 1)
+        assert table.dead_count == 1  # below the compaction threshold
+        assert table.row_count == 9
+
+    def test_explicit_compact(self):
+        table = self.fill(10)
+        table.delete_where(lambda row: row[0] <= 3)
+        assert table.dead_count == 3
+        assert table.compact() == 3
+        assert table.dead_count == 0
+        assert [row[0] for row in table.scan()] == list(range(4, 11))
+        assert table.compact() == 0
