@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Persistent relalg benchmark baseline: the A1 / A2 / E3 scenarios.
+"""Persistent relalg benchmark baseline: the A1 / A2 / E3 / E6 scenarios.
 
-Runs the three engine-bound experiments against the plan-then-execute engine
+Runs the engine-bound experiments against the plan-then-execute engine
 and writes ``BENCH_relalg.json`` (wall time + QueryStats per scenario), so the
 performance trajectory of the relational substrate is tracked from PR to PR:
 
@@ -16,6 +16,10 @@ performance trajectory of the relational substrate is tracked from PR to PR:
   engine over the seed executor on the pushdown path (the PR's headline
   number; property SQL is precompiled so the measurement isolates query
   execution, exactly as the A2 pytest benchmark does).
+* **E6** — batched vs. row-at-a-time bulk loading of the medium (E1) data
+  set: virtual load-time speedup of the ``executemany`` batch pipeline (one
+  round trip + one per-statement insert overhead per batch) over per-row
+  submission, consistency-checked to load byte-identical table contents.
 
 Usage::
 
@@ -35,7 +39,7 @@ import time
 from pathlib import Path
 
 from repro.asl.specs import cosy_specification
-from repro.bench import build_scenario, load_into_backend
+from repro.bench import build_scenario, identical_table_contents, load_into_backend
 from repro.cosy import ClientSideStrategy, PushdownStrategy
 
 
@@ -208,6 +212,49 @@ def bench_e3(scenario, repeats: int, failures: list) -> dict:
     }
 
 
+def bench_e6(scenario, repeats: int, failures: list) -> dict:
+    """Batched vs. row-at-a-time bulk load (virtual + wall time, per backend)."""
+    report: dict = {"backends": {}}
+    for backend_name in ("oracle7", "ms_access"):
+        batched, _ = load_into_backend(scenario, backend_name)
+        row_wise, _ = load_into_backend(scenario, backend_name, batch_size=None)
+        connect = batched.backend.profile.connect_latency
+        batched_s = batched.elapsed - connect
+        row_s = row_wise.elapsed - connect
+        speedup = row_s / batched_s
+        identical = identical_table_contents(
+            batched.backend.database, row_wise.backend.database
+        )
+        if not identical:
+            failures.append(
+                f"E6/{backend_name}: batched load diverges from the "
+                f"row-at-a-time load"
+            )
+        if speedup < 5.0:
+            failures.append(
+                f"E6/{backend_name}: batched-load speedup is {speedup:.2f}x "
+                f"(expected >= 5x)"
+            )
+        report["backends"][backend_name] = {
+            "rows_loaded": batched.backend.rows_inserted,
+            "virtual_batched_s": round(batched_s, 6),
+            "virtual_row_at_a_time_s": round(row_s, 6),
+            "batched_speedup": round(speedup, 3),
+            "contents_identical": identical,
+        }
+    report["wall_batched_s"] = round(
+        _wall(lambda: load_into_backend(scenario, "oracle7"), repeats), 6
+    )
+    report["wall_row_at_a_time_s"] = round(
+        _wall(
+            lambda: load_into_backend(scenario, "oracle7", batch_size=None),
+            repeats,
+        ),
+        6,
+    )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -240,6 +287,7 @@ def main(argv=None) -> int:
             "A1_index_ablation": bench_a1(medium, args.repeats, failures),
             "A2_interp_vs_sql": bench_a2(small, args.repeats, failures),
             "E3_pushdown": bench_e3(medium, args.repeats, failures),
+            "E6_bulk_load": bench_e6(medium, args.repeats, failures),
         },
     }
 
@@ -257,6 +305,11 @@ def main(argv=None) -> int:
     print(f"E3  pushdown virtual advantage: {e3['virtual_advantage']}x; "
           f"compiled engine speedup over seed executor: "
           f"{e3['speedup_vs_seed_executor']}x")
+    e6 = report["scenarios"]["E6_bulk_load"]["backends"]
+    print("E6  batched bulk-load speedup: "
+          + ", ".join(
+              f"{name} {entry['batched_speedup']}x" for name, entry in e6.items()
+          ))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

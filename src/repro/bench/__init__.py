@@ -3,8 +3,15 @@
 from repro.bench.scenarios import (
     CosyScenario,
     build_scenario,
+    identical_table_contents,
     load_into_backend,
     speedup_series,
 )
 
-__all__ = ["CosyScenario", "build_scenario", "load_into_backend", "speedup_series"]
+__all__ = [
+    "CosyScenario",
+    "build_scenario",
+    "identical_table_contents",
+    "load_into_backend",
+    "speedup_series",
+]

@@ -16,6 +16,7 @@ from repro.apprentice import ExecutionSimulator, SimulationConfig, synthetic_wor
 from repro.asl.semantic import CheckedSpecification
 from repro.asl.specs import cosy_specification
 from repro.compiler import (
+    DEFAULT_LOAD_BATCH_SIZE,
     DatabaseLoader,
     ObjectIds,
     SchemaMapping,
@@ -25,7 +26,13 @@ from repro.cosy import CosyAnalyzer
 from repro.datamodel import PerformanceDatabase
 from repro.relalg import DatabaseClient, NativeClient, SimulatedBackend, backend
 
-__all__ = ["CosyScenario", "build_scenario", "load_into_backend", "speedup_series"]
+__all__ = [
+    "CosyScenario",
+    "build_scenario",
+    "identical_table_contents",
+    "load_into_backend",
+    "speedup_series",
+]
 
 
 @dataclass
@@ -81,18 +88,37 @@ def load_into_backend(
     with_indexes: bool = True,
     client_factory=NativeClient,
     engine: str = "compiled",
+    batch_size: Optional[int] = DEFAULT_LOAD_BATCH_SIZE,
 ) -> Tuple[DatabaseClient, ObjectIds]:
     """Load the scenario's repository into a freshly created simulated backend.
 
     ``engine`` selects the relational execution engine: the default compiled
     plan-then-execute engine or the seed ``"interpreted"`` AST walker (used by
-    ``benchmarks/run_bench.py`` as the speedup baseline).
+    ``benchmarks/run_bench.py`` as the speedup baseline).  ``batch_size``
+    controls the loader's insert batching (one virtual round trip per batch);
+    ``batch_size=None`` loads row at a time — the E6 benchmark compares the
+    two paths.
     """
     client = client_factory(backend(backend_name, engine=engine))
-    loader = DatabaseLoader(scenario.mapping, client)
+    loader = DatabaseLoader(scenario.mapping, client, batch_size=batch_size)
     loader.create_schema(with_indexes=with_indexes)
     ids = loader.load(scenario.repository)
     return client, ids
+
+
+def identical_table_contents(left, right) -> bool:
+    """Whether two databases hold the same tables with identical live rows.
+
+    Rows are compared in storage order, so this is the differential check the
+    E6 bulk-load experiment relies on: batched and row-at-a-time loading must
+    be indistinguishable in what they load.
+    """
+    if left.table_names() != right.table_names():
+        return False
+    return all(
+        list(left.table(name).scan()) == list(right.table(name).scan())
+        for name in left.table_names()
+    )
 
 
 def speedup_series(scenario: CosyScenario) -> List[Dict[str, float]]:

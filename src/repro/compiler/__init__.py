@@ -5,7 +5,12 @@
 * :mod:`repro.compiler.sql_gen` — performance properties → SQL queries.
 """
 
-from repro.compiler.loader import DatabaseLoader, ObjectIds, load_repository
+from repro.compiler.loader import (
+    DEFAULT_LOAD_BATCH_SIZE,
+    DatabaseLoader,
+    ObjectIds,
+    load_repository,
+)
 from repro.compiler.schema_gen import (
     DUAL_TABLE,
     PRIMARY_KEY,
@@ -26,6 +31,7 @@ __all__ = [
     "ClassMapping",
     "CompiledProperty",
     "CompiledQuery",
+    "DEFAULT_LOAD_BATCH_SIZE",
     "DatabaseLoader",
     "DUAL_TABLE",
     "ObjectIds",

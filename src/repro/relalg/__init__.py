@@ -23,6 +23,7 @@ paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
 
 from repro.relalg.backends import (
     BACKEND_PROFILES,
+    DEFAULT_BATCH_SIZE,
     BackendProfile,
     SimulatedBackend,
     VirtualClock,
@@ -56,6 +57,7 @@ __all__ = [
     "ClientCosts",
     "Column",
     "ColumnType",
+    "DEFAULT_BATCH_SIZE",
     "Database",
     "DatabaseClient",
     "ExecutionError",

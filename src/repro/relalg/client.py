@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relalg.backends import SimulatedBackend
+from repro.relalg.errors import ExecutionError
 from repro.relalg.executor import ResultSet
 
 __all__ = ["ClientCosts", "DatabaseClient", "NativeClient", "BridgedClient"]
@@ -72,17 +73,46 @@ class DatabaseClient:
         return result
 
     def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
-        """Execute a parametrised statement once per parameter row."""
-        total = 0
-        for params in param_rows:
-            result = self.execute(sql, params)
-            total += result if isinstance(result, int) else len(result)
+        """Execute a parametrised statement over many rows, batched.
+
+        The rows are handed to the backend's batched ``executemany`` (one
+        virtual round trip per backend DML batch; SELECTs execute per row —
+        they cannot be batched on the wire); the client stack charges its
+        per-call marshalling once per backend statement — one per batch for
+        DML, one per row for SELECT — plus the per-parameter binding cost and
+        the per-row fetch cost of every returned row.
+        """
+        rows = list(param_rows)
+        if not rows:
+            return 0
+        fetched_before = self.backend.rows_fetched
+        statements_before = self.backend.statements_executed
+        try:
+            total = self.backend.executemany(sql, rows)
+        finally:
+            # Charge the marshalling of whatever the backend actually
+            # applied — on a mid-batch failure earlier sub-batches have
+            # committed and advanced the clock, so the client must account
+            # for them too.
+            fetched = self.backend.rows_fetched - fetched_before
+            batches = self.backend.statements_executed - statements_before
+            shipped = rows[: batches * self.backend.batch_size]
+            overhead = (
+                self.costs.per_call * batches
+                + self.costs.per_param * sum(len(params) for params in shipped)
+                + self.costs.per_row * fetched
+            )
+            self.client_time += overhead
+            self.backend.clock.advance(overhead)
+            self.calls += batches
+            self.rows_fetched += fetched
         return total
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         """Execute a statement that must be a SELECT."""
         result = self.execute(sql, params)
-        assert isinstance(result, ResultSet)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() requires a SELECT statement")
         return result
 
     def fetch_record(self, sql: str, params: Sequence[Any] = ()) -> Tuple[Any, ...]:

@@ -32,6 +32,7 @@ from repro.relalg.sqlast import (
     ColumnRef,
     FunctionExpr,
     InList,
+    InsertStatement,
     IsNull,
     Literal,
     Placeholder,
@@ -49,6 +50,7 @@ __all__ = [
     "GroupFn",
     "compile_row_expr",
     "compile_group_expr",
+    "compile_insert_binder",
 ]
 
 #: A compiled per-row expression: ``fn(row, ctx) -> value``.
@@ -409,3 +411,85 @@ def _compile_aggregate_function(
             max(values) if (values := values_of(group, ctx)) else None
         )
     raise ExecutionError(f"unknown aggregate {name}")
+
+
+# --------------------------------------------------------------------------- #
+# DML binding (compiled INSERT value rows)
+# --------------------------------------------------------------------------- #
+
+#: A compiled parameter binder: ``bind(params) -> value``.
+ConstFn = Callable[[Sequence[Any]], Any]
+
+
+def _compile_const_expr(expr: SqlExpr) -> ConstFn:
+    """Compile an INSERT value expression (literal / ``?`` / negation).
+
+    All node-type dispatch happens here, once per statement; binding a
+    parameter row is then a plain closure call per value.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda params: value
+    if isinstance(expr, Placeholder):
+        index = expr.index
+
+        def param_fn(params: Sequence[Any]) -> Any:
+            if index >= len(params):
+                raise ExecutionError(
+                    f"INSERT uses parameter {index + 1} but only "
+                    f"{len(params)} parameter(s) were supplied"
+                )
+            return params[index]
+
+        return param_fn
+    if isinstance(expr, UnaryOperation) and expr.op == "-":
+        operand = _compile_const_expr(expr.operand)
+
+        def negate_fn(params: Sequence[Any]) -> Any:
+            value = operand(params)
+            return None if value is None else -value
+
+        return negate_fn
+    raise ExecutionError("INSERT values must be literals or '?' parameters")
+
+
+def compile_insert_binder(
+    statement: InsertStatement, table: Table
+) -> Callable[[Sequence[Any]], List[List[Any]]]:
+    """Compile an INSERT statement into a parameter binder.
+
+    The returned ``bind(params)`` produces one full-width positional value
+    row (schema column order, unmentioned columns ``None``) per ``VALUES``
+    row of the statement.  Column-name resolution, arity checking and value
+    expression dispatch all happen once here, so ``executemany`` re-binds a
+    cached closure per parameter row instead of re-walking the statement —
+    the DML counterpart of the SELECT plan cache.
+    """
+    schema = table.schema
+    width = len(schema.columns)
+    if statement.columns:
+        positions = [schema.column_index(name) for name in statement.columns]
+    else:
+        positions = None
+    compiled_rows: List[List[ConstFn]] = []
+    for row_exprs in statement.rows:
+        if positions is not None and len(row_exprs) != len(positions):
+            raise ExecutionError(
+                f"INSERT specifies {len(positions)} column(s) "
+                f"but {len(row_exprs)} value(s)"
+            )
+        compiled_rows.append([_compile_const_expr(e) for e in row_exprs])
+
+    def bind(params: Sequence[Any]) -> List[List[Any]]:
+        rows: List[List[Any]] = []
+        for fns in compiled_rows:
+            if positions is None:
+                rows.append([fn(params) for fn in fns])
+            else:
+                row: List[Any] = [None] * width
+                for position, fn in zip(positions, fns):
+                    row[position] = fn(params)
+                rows.append(row)
+        return rows
+
+    return bind

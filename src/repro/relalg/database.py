@@ -17,6 +17,13 @@ for every analysis context):
   closures and is reused across parameter bindings.  Any DDL (CREATE/DROP
   TABLE, CREATE INDEX) bumps a schema epoch that invalidates cached plans.
 
+INSERT gets the same compile-once treatment on the DML side: ``executemany``
+binds a cached :func:`~repro.relalg.compile.compile_insert_binder` closure per
+parameter row and appends the whole batch through
+:meth:`~repro.relalg.storage.Table.insert_many` (deferred index maintenance,
+atomic per batch) instead of round-tripping one row at a time through the
+parser and the per-row insert path.
+
 ``engine="interpreted"`` routes SELECTs through the seed AST-walking engine
 (:mod:`repro.relalg.interp`) instead; the benchmarks use it as the baseline
 the compiled engine is measured against.
@@ -27,7 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.relalg.compile import ExecContext, SlotLayout, compile_row_expr
+from repro.relalg.compile import (
+    ExecContext,
+    SlotLayout,
+    compile_insert_binder,
+    compile_row_expr,
+)
 from repro.relalg.errors import ExecutionError, SchemaError
 from repro.relalg.executor import QueryStats, ResultSet
 from repro.relalg.interp import InterpretedSelectExecutor
@@ -39,12 +51,8 @@ from repro.relalg.sqlast import (
     DeleteStatement,
     DropTableStatement,
     InsertStatement,
-    Literal,
-    Placeholder,
     SelectStatement,
-    SqlExpr,
     Statement,
-    UnaryOperation,
 )
 from repro.relalg.sqlparser import parse_sql
 from repro.relalg.storage import Table
@@ -98,6 +106,9 @@ class Database:
         #: id(DeleteStatement) → (epoch, statement ref, compiled predicate).
         #: The statement reference keeps the object alive so ids stay unique.
         self._delete_predicate_cache: Dict[int, Tuple[int, Statement, Any]] = {}
+        #: id(InsertStatement) → (epoch, statement ref, compiled binder) —
+        #: the DML counterpart of the plan cache (see ``compile_insert_binder``).
+        self._insert_binder_cache: Dict[int, Tuple[int, Statement, Any]] = {}
         self._schema_epoch = 0
         self._plan_hits = 0
         self._plan_misses = 0
@@ -157,17 +168,32 @@ class Database:
         return self.execute_statement(statement, params)
 
     def executemany(self, sql: str, param_rows: Iterable[Sequence[Any]]) -> int:
-        """Execute one parametrised statement for every parameter row."""
+        """Execute one parametrised statement over many parameter rows.
+
+        The statement kind and engine are resolved once, outside the loop:
+
+        * ``INSERT`` takes the bulk path — the statement is parsed and its
+          value expressions compiled to a parameter binder exactly once
+          (cached per statement and schema epoch), every parameter row is
+          bound, and the whole batch is appended through
+          :meth:`~repro.relalg.storage.Table.insert_many` with deferred index
+          maintenance.  The batch is atomic: a mid-batch error (bad value,
+          duplicate primary key, missing parameter) inserts nothing.
+        * ``SELECT`` re-executes the cached plan per parameter row (one plan
+          miss per SQL text, hits afterwards).
+        * Everything else loops over :meth:`execute_statement`.
+        """
         statement = self._parse_cached(sql)
-        is_select = isinstance(statement, SelectStatement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert_batch(statement, param_rows)
+        if isinstance(statement, SelectStatement) and self.engine == "compiled":
+            affected = 0
+            for params in param_rows:
+                affected += len(self._execute_select(statement, params, sql))
+            return affected
         affected = 0
         for params in param_rows:
-            if is_select and self.engine == "compiled":
-                result: Union[ResultSet, int] = self._execute_select(
-                    statement, params, sql
-                )
-            else:
-                result = self.execute_statement(statement, params)
+            result = self.execute_statement(statement, params)
             affected += result if isinstance(result, int) else len(result)
         return affected
 
@@ -177,6 +203,10 @@ class Database:
         if not isinstance(result, ResultSet):
             raise ExecutionError("query() requires a SELECT statement")
         return result
+
+    def is_select(self, sql: str) -> bool:
+        """Whether ``sql`` parses to a SELECT (uses the statement cache)."""
+        return isinstance(self._parse_cached(sql), SelectStatement)
 
     def execute_statement(
         self, statement: Statement, params: Sequence[Any] = ()
@@ -229,6 +259,7 @@ class Database:
         self._schema_epoch += 1
         self._plan_cache.clear()
         self._delete_predicate_cache.clear()
+        self._insert_binder_cache.clear()
 
     # ------------------------------------------------------------------ #
     # statement handlers
@@ -272,20 +303,30 @@ class Database:
     def _execute_insert(
         self, statement: InsertStatement, params: Sequence[Any]
     ) -> int:
+        return self._execute_insert_batch(statement, [params])
+
+    def _insert_binder_for(self, statement: InsertStatement):
+        entry = self._insert_binder_cache.get(id(statement))
+        if entry is not None and entry[0] == self._schema_epoch:
+            return entry[2]
+        binder = compile_insert_binder(statement, self.table(statement.table))
+        self._insert_binder_cache[id(statement)] = (
+            self._schema_epoch, statement, binder
+        )
+        return binder
+
+    def _execute_insert_batch(
+        self, statement: InsertStatement, param_rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Bind every parameter row and insert the whole batch atomically."""
         table = self.table(statement.table)
-        inserted = 0
-        for row_exprs in statement.rows:
-            values = [self._constant_value(e, params) for e in row_exprs]
-            if statement.columns:
-                if len(values) != len(statement.columns):
-                    raise ExecutionError(
-                        f"INSERT specifies {len(statement.columns)} column(s) "
-                        f"but {len(values)} value(s)"
-                    )
-                table.insert_mapping(dict(zip(statement.columns, values)))
-            else:
-                table.insert(values)
-            inserted += 1
+        binder = self._insert_binder_for(statement)
+        rows: List[List[Any]] = []
+        for params in param_rows:
+            rows.extend(binder(params))
+        if not rows:
+            return 0
+        inserted = table.insert_many(rows)
         self.summary.record_insert(inserted)
         return inserted
 
@@ -332,24 +373,6 @@ class Database:
             # mutable dataclasses but are never modified by the executor.
             self._statement_cache[sql] = statement
         return statement
-
-    def _constant_value(self, expr: SqlExpr, params: Sequence[Any]) -> Any:
-        """Evaluate an INSERT value expression (literals, parameters, negation)."""
-        if isinstance(expr, Literal):
-            return expr.value
-        if isinstance(expr, Placeholder):
-            if expr.index >= len(params):
-                raise ExecutionError(
-                    f"INSERT uses parameter {expr.index + 1} but only "
-                    f"{len(params)} parameter(s) were supplied"
-                )
-            return params[expr.index]
-        if isinstance(expr, UnaryOperation) and expr.op == "-":
-            value = self._constant_value(expr.operand, params)
-            return None if value is None else -value
-        raise ExecutionError(
-            "INSERT values must be literals or '?' parameters"
-        )
 
     # ------------------------------------------------------------------ #
     # introspection

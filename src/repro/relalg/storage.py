@@ -174,6 +174,40 @@ class Table:
         """Insert a row given as a column→value mapping."""
         return self.insert(self.schema.row_from_mapping(mapping))
 
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Validate and insert a batch of positional rows; returns the count.
+
+        The batch path defers index maintenance until the whole batch is
+        appended: every row is validated first (schema coercion plus primary
+        key uniqueness against both the stored rows and the batch itself),
+        then the row list grows in one ``extend`` and each index is updated in
+        a single pass.  Because all validation happens before any mutation,
+        a failing row leaves the table, its indexes and its tombstone
+        accounting exactly as they were — the batch is atomic.
+        """
+        validated = [self.schema.validate_row(values) for values in rows]
+        if not validated:
+            return 0
+        if self._primary_index is not None:
+            key_index = self.schema.column_index(self._primary_index.column)
+            seen = set()
+            for row in validated:
+                key = row[key_index]
+                if key in seen or self._primary_index.lookup(key):
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                seen.add(key)
+        start = len(self.rows)
+        self.rows.extend(validated)
+        self._live_count += len(validated)
+        for index in self.indexes.values():
+            column_index = self.schema.column_index(index.column)
+            add = index.add
+            for offset, row in enumerate(validated):
+                add(row[column_index], start + offset)
+        return len(validated)
+
     def delete_where(self, predicate) -> int:
         """Delete all live rows for which ``predicate(row_tuple)`` is true."""
         deleted = 0

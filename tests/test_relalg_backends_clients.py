@@ -102,7 +102,8 @@ class TestSimulatedBackend:
         simulated.query("SELECT * FROM t")
         assert simulated.rows_inserted == 5
         assert simulated.rows_fetched == 5
-        assert simulated.statements_executed == 7  # create + 5 inserts + select
+        # create + one executemany insert batch + select
+        assert simulated.statements_executed == 3
         simulated.reset_clock()
         assert simulated.elapsed == 0.0
         assert simulated.statements_executed == 0
