@@ -20,6 +20,11 @@ performance trajectory of the relational substrate is tracked from PR to PR:
   set: virtual load-time speedup of the ``executemany`` batch pipeline (one
   round trip + one per-statement insert overhead per batch) over per-row
   submission, consistency-checked to load byte-identical table contents.
+* **partition sweep** — the E3 analysis and the E6 bulk load at 1 / 4 / 8
+  hash partitions per table, consistency-checked to produce the same
+  analysis at every count; the 8-partition entry also records the virtual
+  elapsed time under 4 parallel scan workers (per-partition makespan
+  charging).
 
 Usage::
 
@@ -65,7 +70,8 @@ def _summary_fingerprint(database) -> dict:
     }
 
 
-def _pushdown_setup(scenario, backend_name, with_indexes, engine):
+def _pushdown_setup(scenario, backend_name, with_indexes, engine,
+                    n_partitions=1, parallelism=1):
     """Load a backend and precompile the pushdown strategy (not measured).
 
     The wall-time measurements below time :meth:`CosyAnalyzer.analyze` only —
@@ -74,7 +80,8 @@ def _pushdown_setup(scenario, backend_name, with_indexes, engine):
     ASL→SQL property compilation (reported separately by A2).
     """
     client, ids = load_into_backend(
-        scenario, backend_name, with_indexes=with_indexes, engine=engine
+        scenario, backend_name, with_indexes=with_indexes, engine=engine,
+        n_partitions=n_partitions, parallelism=parallelism,
     )
     strategy = PushdownStrategy(
         scenario.specification, scenario.mapping, client, ids
@@ -255,6 +262,65 @@ def bench_e6(scenario, repeats: int, failures: list) -> dict:
     return report
 
 
+def bench_partition_sweep(scenario, repeats: int, failures: list) -> dict:
+    """E3 analysis and E6 bulk load at 1 / 4 / 8 table partitions.
+
+    The partitioned engine must produce the same analysis at every partition
+    count (severities compared with the A2 tolerance — float aggregation
+    order differs across partition layouts) while the recorded wall and
+    virtual times track what the sharding costs or buys.  The 8-partition E3
+    entry additionally records the virtual elapsed time when the simulated
+    server fans scans out over 4 workers (per-partition makespan charging).
+    """
+    report: dict = {"E3": {}, "E6": {}}
+    reference = None
+    for parts in (1, 4, 8):
+        push_client, strategy = _pushdown_setup(
+            scenario, "oracle7", True, "compiled", n_partitions=parts
+        )
+        result = scenario.analyzer.analyze(strategy=strategy)
+        instances = {
+            (i.property_name, i.subject): i.severity for i in result.instances
+        }
+        if reference is None:
+            reference = instances
+        else:
+            identical = set(instances) == set(reference) and all(
+                abs(instances[key] - reference[key])
+                <= 1e-9 * max(1.0, abs(reference[key]))
+                for key in instances
+            )
+            if not identical:
+                failures.append(
+                    f"partition sweep: E3 analysis diverges at "
+                    f"{parts} partitions"
+                )
+        push_client.backend.reset_clock()
+        scenario.analyzer.analyze(strategy=strategy)
+        virtual = push_client.elapsed
+        wall = _wall(
+            lambda: scenario.analyzer.analyze(strategy=strategy), repeats
+        )
+        report["E3"][str(parts)] = {
+            "wall_s": round(wall, 6),
+            "virtual_s": round(virtual, 6),
+        }
+        loaded, _ = load_into_backend(scenario, "oracle7", n_partitions=parts)
+        connect = loaded.backend.profile.connect_latency
+        report["E6"][str(parts)] = {
+            "rows_loaded": loaded.backend.rows_inserted,
+            "virtual_batched_s": round(loaded.elapsed - connect, 6),
+        }
+    fanout_client, fanout_strategy = _pushdown_setup(
+        scenario, "oracle7", True, "compiled", n_partitions=8, parallelism=4
+    )
+    fanout_client.backend.reset_clock()
+    scenario.analyzer.analyze(strategy=fanout_strategy)
+    report["E3"]["8_parallel4_virtual_s"] = round(fanout_client.elapsed, 6)
+    fanout_client.close()
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -288,6 +354,9 @@ def main(argv=None) -> int:
             "A2_interp_vs_sql": bench_a2(small, args.repeats, failures),
             "E3_pushdown": bench_e3(medium, args.repeats, failures),
             "E6_bulk_load": bench_e6(medium, args.repeats, failures),
+            "partition_sweep": bench_partition_sweep(
+                medium, args.repeats, failures
+            ),
         },
     }
 
@@ -309,6 +378,13 @@ def main(argv=None) -> int:
     print("E6  batched bulk-load speedup: "
           + ", ".join(
               f"{name} {entry['batched_speedup']}x" for name, entry in e6.items()
+          ))
+    sweep = report["scenarios"]["partition_sweep"]
+    print("P   partition sweep (E3 wall): "
+          + ", ".join(
+              f"{parts}p {entry['wall_s']}s"
+              for parts, entry in sweep["E3"].items()
+              if isinstance(entry, dict)
           ))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

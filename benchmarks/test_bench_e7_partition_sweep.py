@@ -1,0 +1,84 @@
+"""E7 — partitioned storage: the COSY pushdown analysis across shard counts.
+
+The storage engine hash-partitions every table by primary key (PR 3).  This
+experiment pins the two properties the partition-count sweep in
+``run_bench.py`` relies on:
+
+* the full pushdown analysis is *partition-transparent* — the same property
+  instances and severities (up to float-aggregation order) at 1, 4 and 8
+  partitions per table;
+* partition pruning holds on the virtual cost model: a primary-key point
+  probe does the same physical work regardless of the partition count, and a
+  simulated backend with parallel scan workers charges strictly less virtual
+  time for the scan-heavy analysis than the serial charging of the same
+  partitioned database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_into_backend
+from repro.cosy import PushdownStrategy
+
+
+def analyze(scenario, n_partitions, parallelism=1):
+    client, ids = load_into_backend(
+        scenario, "oracle7", n_partitions=n_partitions, parallelism=parallelism
+    )
+    client.backend.reset_clock()
+    strategy = PushdownStrategy(
+        scenario.specification, scenario.mapping, client, ids
+    )
+    result = scenario.analyzer.analyze(strategy=strategy)
+    return result, client
+
+
+def severity_map(result):
+    return {(i.property_name, i.subject): i.severity for i in result.instances}
+
+
+class TestE7PartitionSweep:
+    def test_analysis_is_partition_transparent(self, benchmark, medium_scenario):
+        def run():
+            return {
+                parts: analyze(medium_scenario, parts)
+                for parts in (1, 4, 8)
+            }
+
+        outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+        reference = severity_map(outcomes[1][0])
+        assert reference
+        for parts, (result, client) in outcomes.items():
+            severities = severity_map(result)
+            assert set(severities) == set(reference), parts
+            for key, severity in severities.items():
+                assert severity == pytest.approx(reference[key], rel=1e-9)
+            benchmark.extra_info[f"virtual_s_at_{parts}"] = client.elapsed
+
+    def test_pk_probe_work_is_partition_invariant(self, medium_scenario):
+        probes = {}
+        for parts in (1, 8):
+            client, ids = load_into_backend(
+                medium_scenario, "oracle7", n_partitions=parts
+            )
+            database = client.backend.database
+            table = database.table_names()[0]
+            result = database.query(f"SELECT * FROM {table} WHERE id = 1")
+            probes[parts] = result.stats
+        assert probes[1].rows_scanned == probes[8].rows_scanned
+        assert probes[1].index_lookups == probes[8].index_lookups == 1
+        # The 8-way probe touched at most one partition.
+        assert len(probes[8].partition_rows_scanned) <= 1
+
+    def test_parallel_scan_charging_beats_serial(self, benchmark, medium_scenario):
+        def run():
+            _, serial = analyze(medium_scenario, 8, parallelism=1)
+            _, fanout = analyze(medium_scenario, 8, parallelism=4)
+            return serial, fanout
+
+        serial, fanout = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["serial_virtual_s"] = serial.elapsed
+        benchmark.extra_info["parallel_virtual_s"] = fanout.elapsed
+        assert fanout.elapsed < serial.elapsed
+        fanout.close()

@@ -72,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated database backend used by the pushdown strategy",
     )
     parser.add_argument(
+        "--db-partitions",
+        type=int,
+        default=1,
+        help="hash partitions per table of the pushdown database "
+        "(primary-key sharding; default 1)",
+    )
+    parser.add_argument(
+        "--db-parallelism",
+        type=int,
+        default=1,
+        help="virtual scan workers of the pushdown backend (partition "
+        "scans are charged as a makespan over this many workers)",
+    )
+    parser.add_argument(
         "--top",
         type=int,
         default=20,
@@ -82,7 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the SQL generated for every property and exit",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="load the data, then print the execution plan of every property "
+        "query (join order, access paths, partition pruning, estimated "
+        "cardinalities) and exit",
+    )
     return parser
+
+
+def _print_property_queries(specification, mapping, render) -> None:
+    """Shared --show-sql / --explain loop: one ``render(label, query)`` per
+    compiled condition and severity query of every property."""
+    compiler = PropertyCompiler(specification, mapping)
+    for name, compiled in sorted(compiler.compile_all().items()):
+        print(f"-- property {name}")
+        for key, query in compiled.conditions:
+            render(f"condition ({key})", query)
+        for guard, query in compiled.severity:
+            label = f"guard {guard}" if guard else "unguarded"
+            render(f"severity ({label})", query)
+        print()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -94,17 +129,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.show_sql:
         mapping = generate_schema(specification)
-        compiler = PropertyCompiler(specification, mapping)
-        for name, compiled in sorted(compiler.compile_all().items()):
-            print(f"-- property {name}")
-            for key, query in compiled.conditions:
-                print(f"--   condition ({key}): params {query.param_slots}")
-                print(f"     {query.sql}")
-            for guard, query in compiled.severity:
-                label = f"guard {guard}" if guard else "unguarded"
-                print(f"--   severity ({label}): params {query.param_slots}")
-                print(f"     {query.sql}")
-            print()
+
+        def render_sql(label, query):
+            print(f"--   {label}: params {query.param_slots}")
+            print(f"     {query.sql}")
+
+        _print_property_queries(specification, mapping, render_sql)
         return 0
 
     workload = synthetic_workload(args.workload)
@@ -117,10 +147,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repository, specification=specification, threshold=args.threshold
     )
 
-    if args.strategy == "pushdown":
+    if args.strategy == "pushdown" or args.explain:
         mapping = generate_schema(specification)
-        client = NativeClient(backend(args.db_backend))
+        client = NativeClient(
+            backend(
+                args.db_backend,
+                n_partitions=args.db_partitions,
+                parallelism=args.db_parallelism,
+            )
+        )
         ids = load_repository(repository, mapping, client)
+        if args.explain:
+            def render_plan(label, query):
+                print(f"--   {label}")
+                for line in client.explain(query.sql).splitlines():
+                    print(f"     {line}")
+
+            _print_property_queries(specification, mapping, render_plan)
+            return 0
         strategy = PushdownStrategy(specification, mapping, client, ids)
     else:
         strategy = ClientSideStrategy(specification)

@@ -45,12 +45,28 @@ from repro.relalg.errors import (
 )
 from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
 from repro.relalg.interp import InterpretedSelectExecutor
-from repro.relalg.planner import QueryPlan, plan_select
+from repro.relalg.planner import (
+    AccessPath,
+    HashJoinBuild,
+    IndexProbe,
+    PartitionScan,
+    QueryPlan,
+    plan_select,
+)
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlparser import SqlParser, parse_sql, tokenize_sql
-from repro.relalg.storage import HashIndex, PositionsView, Table
+from repro.relalg.storage import (
+    HashIndex,
+    Partition,
+    PositionsView,
+    Table,
+    TableIndex,
+    TableStatistics,
+    stable_hash,
+)
 
 __all__ = [
+    "AccessPath",
     "BACKEND_PROFILES",
     "BackendProfile",
     "BridgedClient",
@@ -63,9 +79,13 @@ __all__ = [
     "ExecutionError",
     "ExecutionSummary",
     "HashIndex",
+    "HashJoinBuild",
+    "IndexProbe",
     "IntegrityError",
     "InterpretedSelectExecutor",
     "NativeClient",
+    "Partition",
+    "PartitionScan",
     "PositionsView",
     "QueryPlan",
     "QueryStats",
@@ -77,10 +97,13 @@ __all__ = [
     "SqlParser",
     "SqlSyntaxError",
     "Table",
+    "TableIndex",
     "TableSchema",
+    "TableStatistics",
     "VirtualClock",
     "backend",
     "parse_sql",
     "plan_select",
+    "stable_hash",
     "tokenize_sql",
 ]

@@ -25,6 +25,7 @@ factors* match the paper.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -178,17 +179,86 @@ class SimulatedBackend:
         database: Optional[Database] = None,
         engine: str = "compiled",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        n_partitions: int = 1,
+        parallelism: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be positive, got {parallelism}")
         self.profile = profile
         self.batch_size = batch_size
-        self.database = database or Database(name=profile.name, engine=engine)
+        #: Server-side scan workers of the virtual cost model: scan work is
+        #: charged as the per-partition *makespan* over this many workers
+        #: instead of the serial sum.  ``1`` (the default) is the historical
+        #: serial charging, byte-for-byte.
+        self.parallelism = parallelism
+        self.database = database or Database(
+            name=profile.name,
+            engine=engine,
+            n_partitions=n_partitions,
+            parallel=parallelism if parallelism > 1 else None,
+        )
         self.clock = VirtualClock()
         self.statements_executed = 0
         self.rows_inserted = 0
         self.rows_fetched = 0
         self._connected = False
+
+    def _partition_snapshot(self) -> Optional[Dict[int, int]]:
+        """Pre-statement copy of the per-partition scan counters.
+
+        ``None`` for serial backends: the delta is only needed for the
+        parallel makespan charge, so serial charging skips the bookkeeping.
+        """
+        if self.parallelism <= 1:
+            return None
+        return dict(self.database.summary.partition_rows_scanned)
+
+    def _charged_scan_rows(
+        self, partitions_before: Optional[Dict[int, int]], scanned: int
+    ) -> int:
+        """Scan rows to charge for one statement, given the pre-statement
+        snapshot from :meth:`_partition_snapshot` (shared by ``execute`` and
+        ``executemany`` so both paths always charge under the same rule)."""
+        if partitions_before is None:
+            return scanned
+        partition_deltas = {
+            pid: count - partitions_before.get(pid, 0)
+            for pid, count in (
+                self.database.summary.partition_rows_scanned.items()
+            )
+            if count != partitions_before.get(pid, 0)
+        }
+        return self._effective_scan_rows(partition_deltas, scanned)
+
+    def _effective_scan_rows(
+        self, partition_deltas: Dict[int, int], total_scanned: int
+    ) -> int:
+        """Scan rows to charge, given the per-partition work breakdown.
+
+        With one virtual worker this is the serial total — exactly the
+        engine's :class:`QueryStats` counter, so single-worker charging stays
+        exact and byte-compatible.  With ``parallelism`` workers the
+        partition-attributed scan work is charged as its makespan (the
+        longest single partition, or the even split over the workers,
+        whichever dominates); work with no partition attribution (probe
+        matches, single-partition tables) stays serial.
+
+        Partition ids are shared across tables (see
+        :attr:`QueryStats.partition_rows_scanned`), so a join that scans two
+        tables fuses both tables' shard *i* into one unit — the model treats
+        equally-numbered shards as co-located on the same virtual worker.
+        The fusion can only lengthen the makespan, i.e. the charge errs on
+        the conservative (serial) side.
+        """
+        if self.parallelism <= 1 or not partition_deltas:
+            return total_scanned
+        loads = sorted(partition_deltas.values(), reverse=True)
+        parallel_total = sum(loads)
+        serial = total_scanned - parallel_total
+        makespan = max(loads[0], math.ceil(parallel_total / self.parallelism))
+        return serial + makespan
 
     # ------------------------------------------------------------------ #
 
@@ -211,8 +281,11 @@ class SimulatedBackend:
         summary = self.database.summary
         scanned_before = summary.rows_scanned
         inserted_before = summary.rows_inserted
+        partitions_before = self._partition_snapshot()
         result = self.database.execute(sql, params)
-        scanned = summary.rows_scanned - scanned_before
+        scanned = self._charged_scan_rows(
+            partitions_before, summary.rows_scanned - scanned_before
+        )
         # Inserted rows come from the summary delta, not the integer result:
         # DELETE also returns an affected-row count but must not be charged
         # insert costs.
@@ -270,14 +343,18 @@ class SimulatedBackend:
             scanned_before = summary.rows_scanned
             returned_before = summary.rows_returned
             inserted_before = summary.rows_inserted
+            partitions_before = self._partition_snapshot()
             total += self.database.executemany(sql, batch)
             inserted = summary.rows_inserted - inserted_before
             returned = summary.rows_returned - returned_before
+            scanned = self._charged_scan_rows(
+                partitions_before, summary.rows_scanned - scanned_before
+            )
             self.clock.advance(
                 self.profile.statement_cost(
                     rows_inserted=inserted,
                     rows_returned=returned,
-                    rows_scanned=summary.rows_scanned - scanned_before,
+                    rows_scanned=scanned,
                 )
             )
             self.statements_executed += 1
@@ -291,6 +368,15 @@ class SimulatedBackend:
         if not isinstance(result, ResultSet):
             raise ExecutionError("query() requires a SELECT statement")
         return result
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN a SELECT against the underlying engine.
+
+        Planning introspection only: the virtual clock is not advanced (the
+        era's EXPLAIN facilities ran in the client's catalog, not against
+        the data path).
+        """
+        return self.database.explain(sql)
 
     # ------------------------------------------------------------------ #
 
@@ -310,6 +396,15 @@ class SimulatedBackend:
         self.rows_inserted = 0
         self.rows_fetched = 0
 
+    def close(self) -> None:
+        """Release the engine's partition fan-out pool (idempotent).
+
+        Only relevant for backends created with ``parallelism > 1`` — the
+        underlying :class:`Database` lazily spawns worker threads that would
+        otherwise idle until process exit.
+        """
+        self.database.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SimulatedBackend({self.profile.name!r}, "
@@ -322,13 +417,18 @@ def backend(
     database: Optional[Database] = None,
     engine: str = "compiled",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    n_partitions: int = 1,
+    parallelism: int = 1,
 ) -> SimulatedBackend:
     """Create a simulated backend by profile name (e.g. ``'oracle7'``).
 
     ``engine`` selects the in-process execution engine ("compiled" plans or
     the seed "interpreted" AST walker) when no database is supplied;
     ``batch_size`` sets how many ``executemany`` parameter rows share one
-    virtual round trip.
+    virtual round trip.  ``n_partitions`` shards every table the backend's
+    database creates (ignored when ``database`` is supplied), and
+    ``parallelism`` sets the virtual server's scan workers: scan costs are
+    charged as the per-partition makespan over that many workers.
     """
     try:
         profile = BACKEND_PROFILES[name]
@@ -336,4 +436,11 @@ def backend(
         raise KeyError(
             f"unknown backend {name!r}; available: {sorted(BACKEND_PROFILES)}"
         ) from None
-    return SimulatedBackend(profile, database, engine=engine, batch_size=batch_size)
+    return SimulatedBackend(
+        profile,
+        database,
+        engine=engine,
+        batch_size=batch_size,
+        n_partitions=n_partitions,
+        parallelism=parallelism,
+    )

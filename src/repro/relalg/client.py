@@ -115,12 +115,21 @@ class DatabaseClient:
             raise ExecutionError("query() requires a SELECT statement")
         return result
 
+    def explain(self, sql: str) -> str:
+        """EXPLAIN a SELECT through this client (planning introspection only;
+        no marshalling or backend costs are charged)."""
+        return self.backend.explain(sql)
+
     def fetch_record(self, sql: str, params: Sequence[Any] = ()) -> Tuple[Any, ...]:
         """Fetch exactly one record (the paper's 1 ms-per-record microbenchmark)."""
         result = self.query(sql, params)
         if not result.rows:
             raise LookupError("fetch_record: query returned no rows")
         return result.rows[0]
+
+    def close(self) -> None:
+        """Release the backend's engine resources (idempotent)."""
+        self.backend.close()
 
     @property
     def elapsed(self) -> float:

@@ -7,6 +7,12 @@ the small subset of the Python DB-API that COSY needs (``execute``,
 ``executemany``, result sets), so the analyzer code reads like ordinary
 database client code even though everything runs in process.
 
+Every table the database creates is hash-partitioned by primary key into
+``n_partitions`` shards (default 1: the historical single-partition layout,
+byte-for-byte).  ``parallel`` enables the optional thread-pool fan-out of
+partition scans and hash-join builds in :meth:`QueryPlan.execute
+<repro.relalg.planner.QueryPlan.execute>`.
+
 Two statement-level caches, both keyed by SQL text, make repeated execution
 cheap (the COSY pushdown strategy re-runs the same compiled property queries
 for every analysis context):
@@ -14,25 +20,28 @@ for every analysis context):
 * the **statement cache** skips re-parsing;
 * the **plan cache** skips re-planning SELECTs — the cached
   :class:`~repro.relalg.planner.QueryPlan` carries compiled expression
-  closures and is reused across parameter bindings.  Any DDL (CREATE/DROP
-  TABLE, CREATE INDEX) bumps a schema epoch that invalidates cached plans.
+  closures and is reused across parameter bindings.  Every plan records the
+  tables it reads (bindings and scalar subqueries), and the database keeps a
+  **per-table schema epoch**: DDL on one table only invalidates the plans
+  that depend on that table, so hot plans survive schema churn elsewhere.
 
 INSERT gets the same compile-once treatment on the DML side: ``executemany``
 binds a cached :func:`~repro.relalg.compile.compile_insert_binder` closure per
 parameter row and appends the whole batch through
 :meth:`~repro.relalg.storage.Table.insert_many` (deferred index maintenance,
-atomic per batch) instead of round-tripping one row at a time through the
-parser and the per-row insert path.
+atomic per batch, rows spread across partitions) instead of round-tripping one
+row at a time through the parser and the per-row insert path.
 
 ``engine="interpreted"`` routes SELECTs through the seed AST-walking engine
 (:mod:`repro.relalg.interp`) instead; the benchmarks use it as the baseline
-the compiled engine is measured against.
+the compiled engine is measured against, and the differential tests use it as
+the unpartitioned reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.relalg.compile import (
     ExecContext,
@@ -43,7 +52,12 @@ from repro.relalg.compile import (
 from repro.relalg.errors import ExecutionError, SchemaError
 from repro.relalg.executor import QueryStats, ResultSet
 from repro.relalg.interp import InterpretedSelectExecutor
-from repro.relalg.planner import QueryPlan, plan_select
+from repro.relalg.rowset import merge_partition_counts
+from repro.relalg.planner import (
+    QueryPlan,
+    expr_table_deps,
+    plan_select,
+)
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlast import (
     CreateIndexStatement,
@@ -59,6 +73,9 @@ from repro.relalg.storage import Table
 
 __all__ = ["Database", "ExecutionSummary"]
 
+#: A dependency snapshot: ((table, epoch), ...) — valid while every epoch holds.
+_DepSnapshot = Tuple[Tuple[str, int], ...]
+
 
 @dataclass
 class ExecutionSummary:
@@ -71,6 +88,9 @@ class ExecutionSummary:
     rows_returned: int = 0
     rows_scanned: int = 0
     index_lookups: int = 0
+    #: Scan work per storage partition (partition id → rows scanned there);
+    #: empty means every scan ran against single-partition tables.
+    partition_rows_scanned: Dict[int, int] = field(default_factory=dict)
 
     def record_select(self, stats: QueryStats) -> None:
         self.statements += 1
@@ -78,6 +98,9 @@ class ExecutionSummary:
         self.rows_returned += stats.rows_returned
         self.rows_scanned += stats.rows_scanned
         self.index_lookups += stats.index_lookups
+        merge_partition_counts(
+            self.partition_rows_scanned, stats.partition_rows_scanned
+        )
 
     def record_insert(self, rows: int) -> None:
         self.statements += 1
@@ -91,25 +114,52 @@ class ExecutionSummary:
 class Database:
     """An in-memory relational database with a SQL interface."""
 
-    def __init__(self, name: str = "cosy", engine: str = "compiled") -> None:
+    def __init__(
+        self,
+        name: str = "cosy",
+        engine: str = "compiled",
+        n_partitions: int = 1,
+        parallel: Optional[int] = None,
+    ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
                 f"unknown engine {engine!r} (expected 'compiled' or 'interpreted')"
             )
+        if n_partitions < 1:
+            raise ValueError(
+                f"n_partitions must be positive, got {n_partitions}"
+            )
+        if parallel is not None and parallel < 2:
+            raise ValueError(
+                f"parallel must be >= 2 workers (or None), got {parallel}"
+            )
         self.name = name
         self.engine = engine
+        #: Default partition count of every table this database creates.
+        self.n_partitions = n_partitions
+        #: Worker count of the optional partition fan-out (None = sequential).
+        self.parallel = parallel
+        self._pool = None
         self.tables: Dict[str, Table] = {}
         self.summary = ExecutionSummary()
         self._statement_cache: Dict[str, Statement] = {}
-        #: SQL text → (schema epoch at plan time, plan).
-        self._plan_cache: Dict[str, Tuple[int, QueryPlan]] = {}
-        #: id(DeleteStatement) → (epoch, statement ref, compiled predicate).
+        #: SQL text → (dependency snapshot at plan time, plan).
+        self._plan_cache: Dict[str, Tuple[_DepSnapshot, QueryPlan]] = {}
+        #: id(DeleteStatement) → (deps, statement ref, compiled predicate).
         #: The statement reference keeps the object alive so ids stay unique.
-        self._delete_predicate_cache: Dict[int, Tuple[int, Statement, Any]] = {}
-        #: id(InsertStatement) → (epoch, statement ref, compiled binder) —
+        self._delete_predicate_cache: Dict[
+            int, Tuple[_DepSnapshot, Statement, Any]
+        ] = {}
+        #: id(InsertStatement) → (deps, statement ref, compiled binder) —
         #: the DML counterpart of the plan cache (see ``compile_insert_binder``).
-        self._insert_binder_cache: Dict[int, Tuple[int, Statement, Any]] = {}
+        self._insert_binder_cache: Dict[
+            int, Tuple[_DepSnapshot, Statement, Any]
+        ] = {}
+        #: Global DDL counter (kept for introspection; invalidation is per
+        #: table via ``_table_epochs``).
         self._schema_epoch = 0
+        #: lowered table name → epoch, bumped by every DDL touching the table.
+        self._table_epochs: Dict[str, int] = {}
         self._plan_hits = 0
         self._plan_misses = 0
 
@@ -117,14 +167,24 @@ class Database:
     # schema management (programmatic)
     # ------------------------------------------------------------------ #
 
-    def create_table(self, schema: TableSchema) -> Table:
-        """Create a table from a programmatic schema definition."""
+    def create_table(
+        self, schema: TableSchema, n_partitions: Optional[int] = None
+    ) -> Table:
+        """Create a table from a programmatic schema definition.
+
+        ``n_partitions`` overrides the database default for this table.
+        """
         key = schema.name.lower()
         if key in self.tables:
             raise SchemaError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(
+            schema,
+            n_partitions=(
+                n_partitions if n_partitions is not None else self.n_partitions
+            ),
+        )
         self.tables[key] = table
-        self._bump_schema_epoch()
+        self._bump_table_epoch(key)
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -135,7 +195,7 @@ class Database:
                 return
             raise SchemaError(f"unknown table {name!r}")
         del self.tables[key]
-        self._bump_schema_epoch()
+        self._bump_table_epoch(key)
 
     def table(self, name: str) -> Table:
         """Look up a table by name (case-insensitive)."""
@@ -174,7 +234,7 @@ class Database:
 
         * ``INSERT`` takes the bulk path — the statement is parsed and its
           value expressions compiled to a parameter binder exactly once
-          (cached per statement and schema epoch), every parameter row is
+          (cached per statement and table epoch), every parameter row is
           bound, and the whole batch is appended through
           :meth:`~repro.relalg.storage.Table.insert_many` with deferred index
           maintenance.  The batch is atomic: a mid-batch error (bad value,
@@ -218,7 +278,7 @@ class Database:
             return self._execute_create_table(statement)
         if isinstance(statement, CreateIndexStatement):
             self.table(statement.table).create_index(statement.name, statement.column)
-            self._bump_schema_epoch()
+            self._bump_table_epoch(statement.table.lower())
             self.summary.record_other()
             return 0
         if isinstance(statement, DropTableStatement):
@@ -243,23 +303,127 @@ class Database:
             "size": len(self._plan_cache),
         }
 
+    def _snapshot_deps(self, deps: Set[str]) -> _DepSnapshot:
+        return tuple(
+            sorted((name, self._table_epochs.get(name, 0)) for name in deps)
+        )
+
+    def _deps_valid(self, snapshot: _DepSnapshot) -> bool:
+        epochs = self._table_epochs
+        return all(epochs.get(name, 0) == epoch for name, epoch in snapshot)
+
     def _plan_for(self, statement: SelectStatement, sql: Optional[str]) -> QueryPlan:
         if sql is not None:
             entry = self._plan_cache.get(sql)
-            if entry is not None and entry[0] == self._schema_epoch:
+            if entry is not None and self._deps_valid(entry[0]):
                 self._plan_hits += 1
                 return entry[1]
         self._plan_misses += 1
         plan = plan_select(statement, self.tables)
         if sql is not None:
-            self._plan_cache[sql] = (self._schema_epoch, plan)
+            self._plan_cache[sql] = (self._snapshot_deps(plan.table_deps), plan)
         return plan
 
-    def _bump_schema_epoch(self) -> None:
+    def _bump_table_epoch(self, key: str) -> None:
+        """Record DDL on one table: only dependent cached entries are evicted.
+
+        DDL on table A leaves hot plans over table B untouched (the
+        whole-cache-flush this replaces evicted everything); the entries
+        that *do* depend on the DDL'd table are pruned eagerly here, so a
+        long-lived database under schema churn does not accumulate dead
+        plans, binders and their pinned statements.
+        """
         self._schema_epoch += 1
-        self._plan_cache.clear()
-        self._delete_predicate_cache.clear()
-        self._insert_binder_cache.clear()
+        self._table_epochs[key] = self._table_epochs.get(key, 0) + 1
+        self._plan_cache = {
+            sql: entry
+            for sql, entry in self._plan_cache.items()
+            if self._deps_valid(entry[0])
+        }
+        for cache in (self._delete_predicate_cache, self._insert_binder_cache):
+            for cache_key in [
+                k for k, entry in cache.items()
+                if not self._deps_valid(entry[0])
+            ]:
+                del cache[cache_key]
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN
+    # ------------------------------------------------------------------ #
+
+    def explain(self, sql: str) -> str:
+        """A human-readable execution plan of one SELECT statement.
+
+        Reports the join order, the access path chosen per binding (with the
+        probe column), partition layout and pruning, residual filter counts
+        and the plan-time cardinality estimates — for the outer plan and,
+        nested, for every scalar subquery.  Uses (and warms) the plan cache
+        exactly like :meth:`execute`; subquery plans come from the cached
+        plan's own plan-time snapshot, so the output describes the plans
+        that actually execute, not a re-derivation under newer statistics.
+        """
+        statement = self._parse_cached(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ExecutionError("explain() requires a SELECT statement")
+        plan = self._plan_for(statement, sql)
+        lines = self._explain_lines(plan, indent="")
+        self._explain_subplans(plan, "", lines)
+        return "\n".join(lines)
+
+    def _explain_subplans(
+        self, plan: QueryPlan, indent: str, lines: List[str]
+    ) -> None:
+        for position, subplan in enumerate(plan.subquery_plans, start=1):
+            lines.append(f"{indent}  subquery {position}:")
+            lines.extend(self._explain_lines(subplan, indent + "  "))
+            self._explain_subplans(subplan, indent + "  ", lines)
+
+    def _explain_lines(self, plan: QueryPlan, indent: str) -> List[str]:
+        described = plan.describe()
+        order = " -> ".join(level["binding"] for level in described)
+        lines = [f"{indent}join order: {order}"]
+        for position, level in enumerate(described, start=1):
+            access = level["access"]
+            if level["column"] is not None:
+                access += f" on {level['column']}"
+            if level["pruned"]:
+                partitions = f"1 of {level['partitions']} partition(s) [pruned]"
+            else:
+                partitions = f"{level['partitions']} partition(s)"
+            lines.append(
+                f"{indent}  {position}. {level['binding']} ({level['table']}): "
+                f"{access}, {partitions}, filters={level['filters']}, "
+                f"est_rows={level['estimated_rows']}, "
+                f"est_cardinality={level['estimated_cardinality']}"
+            )
+        if not plan.follows_syntactic_order:
+            lines.append(
+                f"{indent}  (join order was re-ordered by estimated cardinality)"
+            )
+        return lines
+
+    # ------------------------------------------------------------------ #
+    # parallel execution pool
+    # ------------------------------------------------------------------ #
+
+    def _execution_pool(self):
+        """The lazily created partition fan-out pool (None when sequential)."""
+        if self.parallel is None:
+            return None
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallel,
+                thread_name_prefix=f"relalg-{self.name}",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the partition fan-out pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     # statement handlers
@@ -276,7 +440,8 @@ class Database:
             result = executor.execute(statement)
         else:
             plan = self._plan_for(statement, sql)
-            result = plan.execute(params, QueryStats())
+            pool = None if self.parallel is None else self._execution_pool()
+            result = plan.execute(params, QueryStats(), pool=pool)
         self.summary.record_select(result.stats)
         return result
 
@@ -307,11 +472,11 @@ class Database:
 
     def _insert_binder_for(self, statement: InsertStatement):
         entry = self._insert_binder_cache.get(id(statement))
-        if entry is not None and entry[0] == self._schema_epoch:
+        if entry is not None and self._deps_valid(entry[0]):
             return entry[2]
         binder = compile_insert_binder(statement, self.table(statement.table))
         self._insert_binder_cache[id(statement)] = (
-            self._schema_epoch, statement, binder
+            self._snapshot_deps({statement.table.lower()}), statement, binder
         )
         return binder
 
@@ -341,15 +506,16 @@ class Database:
             # slot layout (the table's row tuples are the slot rows directly)
             # and cache it, so executemany re-executions only re-bind params.
             entry = self._delete_predicate_cache.get(id(statement))
-            if entry is not None and entry[0] == self._schema_epoch:
+            if entry is not None and self._deps_valid(entry[0]):
                 predicate_fn = entry[2]
             else:
                 layout = SlotLayout([(table.name.lower(), table)])
                 predicate_fn = compile_row_expr(
                     statement.where, layout, self.tables
                 )
+                deps = {table.name.lower()} | expr_table_deps(statement.where)
                 self._delete_predicate_cache[id(statement)] = (
-                    self._schema_epoch, statement, predicate_fn
+                    self._snapshot_deps(deps), statement, predicate_fn
                 )
             ctx = ExecContext(self.tables, list(params), QueryStats())
 

@@ -7,29 +7,46 @@ into the row environment.  This module does all of that exactly once per
 statement:
 
 * :func:`plan_select` turns a parsed ``SELECT`` into a :class:`QueryPlan`:
-  a join order (chosen greedily by *bound-predicate availability*), one
-  access path per table binding (index probe / hash-join probe / scan), the
-  residual filters of every level, and compiled projection / aggregation /
-  ordering closures (see :mod:`repro.relalg.compile`);
+  a join order (chosen greedily by bound-predicate availability, then by
+  *estimated cardinality* within the probe tiers — the per-table / per-index
+  statistics maintained by :class:`~repro.relalg.storage.Table` feed the
+  estimates; the plain-scan tier keeps syntactic order to preserve the
+  reference engine's physical-counter contract), one explicit
+  :class:`AccessPath` per table binding,
+  the residual filters of every level, and compiled projection / aggregation
+  / ordering closures (see :mod:`repro.relalg.compile`);
 * :class:`QueryPlan.execute` runs the plan against the live tables — the
   plan is parameter-free and is reused across executions and parameter
   bindings (the statement-level plan cache lives in
-  :class:`repro.relalg.database.Database`, keyed by SQL text).
+  :class:`repro.relalg.database.Database`, keyed by SQL text and invalidated
+  per dependent table).
 
-Access-path selection per level, in order of preference:
+Access paths (all partition-aware; storage is hash-partitioned by primary
+key, see :mod:`repro.relalg.storage`):
 
-1. **index probe** — an equality conjunct ``col = expr`` where ``col`` is an
-   indexed column of this binding and ``expr`` is computable from the levels
-   already bound (this matches the interpreted engine's probe choice, so
-   :class:`~repro.relalg.rowset.QueryStats` stay byte-identical on the A1
-   ablation queries);
-2. **hash-join probe** — an equality conjunct joining an *unindexed* column
-   of this binding to an expression over already-bound levels: the table is
-   scanned once per execution into a transient hash table and probed per
-   outer row, replacing the interpreter's O(outer × inner) rescans;
-3. **scan** — everything else; applicable conjuncts become filters.
+1. :class:`IndexProbe` — an equality conjunct ``col = expr`` where ``col`` is
+   an indexed column of this binding and ``expr`` is computable from the
+   levels already bound.  A probe on the table's partition column (the
+   single-column primary key) is *partition-pruned*: it touches exactly one
+   partition's local index.
+2. :class:`HashJoinBuild` — an equality conjunct joining an *unindexed*
+   column of this binding to an expression over already-bound levels: the
+   table is scanned partition by partition once per execution into a
+   transient hash table and probed per outer row, replacing the
+   interpreter's O(outer × inner) rescans.
+3. :class:`PartitionScan` — everything else; applicable conjuncts become
+   filters.  The scan iterates partitions morsel-style, and
+   :meth:`QueryPlan.execute` optionally fans the partitions of the first
+   (driving) level out over a thread pool.
 
 NULL join keys never match (both probe kinds), matching ``=`` semantics.
+
+Join-order caveat for differential testing: the reference engine binds
+tables in syntactic order, so its :class:`QueryStats` are only comparable
+when this planner's statistics-driven order coincides with the syntactic
+one — :attr:`QueryPlan.follows_syntactic_order` reports exactly that (the
+same carve-out the hash-join access path already needs, since the reference
+engine lacks it).
 """
 
 from __future__ import annotations
@@ -55,15 +72,26 @@ from repro.relalg.sqlast import (
     InList,
     IsNull,
     Literal,
+    ScalarSubquery,
     SelectStatement,
     SqlExpr,
     Star,
     TableRef,
     UnaryOperation,
 )
-from repro.relalg.storage import Table
+from repro.relalg.storage import Table, TableStatistics
 
-__all__ = ["QueryPlan", "plan_select"]
+__all__ = [
+    "AccessPath",
+    "HashJoinBuild",
+    "IndexProbe",
+    "PartitionScan",
+    "QueryPlan",
+    "expr_table_deps",
+    "plan_select",
+    "statement_subselects",
+    "statement_table_deps",
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -71,25 +99,43 @@ __all__ = ["QueryPlan", "plan_select"]
 # --------------------------------------------------------------------------- #
 
 
-class _ScanAccess:
+class AccessPath:
+    """How one join level reads its table; concrete kinds below."""
+
+    __slots__ = ()
+
+
+class PartitionScan(AccessPath):
+    """Full scan, iterated partition by partition (morsel-style)."""
+
     __slots__ = ()
     kind = "scan"
 
 
-class _IndexProbe:
-    __slots__ = ("column", "key", "fallback")
+class IndexProbe(AccessPath):
+    """Equality probe into a per-partition hash index.
+
+    ``pruned`` marks probes on the partition column: they touch exactly one
+    partition.  ``fallback`` is the compiled probe predicate, applied as a
+    plain filter if the index disappears behind the plan cache's back
+    (direct ``Table.drop_index`` calls bypass the schema epochs).
+    """
+
+    __slots__ = ("column", "key", "fallback", "pruned")
     kind = "index-probe"
 
-    def __init__(self, column: str, key: RowFn, fallback: RowFn) -> None:
+    def __init__(
+        self, column: str, key: RowFn, fallback: RowFn, pruned: bool
+    ) -> None:
         self.column = column
         self.key = key
-        #: The compiled probe predicate, applied as a plain filter if the
-        #: index disappears behind the plan cache's back (direct
-        #: ``Table.drop_index`` calls bypass the schema epoch).
         self.fallback = fallback
+        self.pruned = pruned
 
 
-class _HashProbe:
+class HashJoinBuild(AccessPath):
+    """Build a transient hash table (partition by partition) and probe it."""
+
     __slots__ = ("col_index", "key")
     kind = "hash-probe"
 
@@ -98,13 +144,15 @@ class _HashProbe:
         self.key = key
 
 
-_SCAN = _ScanAccess()
+_SCAN = PartitionScan()
 
 
 class _Level:
     """One join level: a table binding, its access path and its filters."""
 
-    __slots__ = ("binding", "table", "offset", "end", "access", "filters")
+    __slots__ = (
+        "binding", "table", "offset", "end", "access", "filters", "estimate",
+    )
 
     def __init__(
         self,
@@ -112,8 +160,9 @@ class _Level:
         table: Table,
         offset: int,
         end: int,
-        access: Any,
+        access: AccessPath,
         filters: List[RowFn],
+        estimate: float,
     ) -> None:
         self.binding = binding
         self.table = table
@@ -121,6 +170,8 @@ class _Level:
         self.end = end
         self.access = access
         self.filters = filters
+        #: Estimated rows this level produces per outer row (plan-time).
+        self.estimate = estimate
 
 
 # --------------------------------------------------------------------------- #
@@ -149,16 +200,45 @@ class QueryPlan:
     order_spec: List[Tuple[str, Any, bool]]
     distinct: bool
     limit: Optional[int]
+    #: Lowered names of every table this plan reads (bindings + subqueries);
+    #: the per-table plan-cache invalidation in ``Database`` keys off these.
+    table_deps: Set[str]
+    #: Whether any bound table has more than one partition; single-partition
+    #: plans run the historical tight enumeration loop unchanged.
+    partitioned: bool
+    #: Plans of the statement's scalar subqueries, snapshot at plan time
+    #: (the same moment — and therefore the same statistics — as the
+    #: subplans compiled into the expression closures), outermost first.
+    #: EXPLAIN reads these so it reports what actually executes.
+    subquery_plans: List["QueryPlan"]
+    #: Whether the chosen join order equals the statement's syntactic binding
+    #: order (the order the reference engine always uses).  Differential
+    #: tests compare physical counters only when this holds.
+    follows_syntactic_order: bool
 
     # ------------------------------------------------------------------ #
 
     def execute(
-        self, params: Sequence[Any] = (), stats: Optional[QueryStats] = None
+        self,
+        params: Sequence[Any] = (),
+        stats: Optional[QueryStats] = None,
+        pool=None,
     ) -> ResultSet:
-        """Run the plan and return the materialised result."""
+        """Run the plan and return the materialised result.
+
+        ``pool`` (a ``concurrent.futures`` executor) enables the optional
+        per-partition fan-out of the driving scan level; ``None`` (the
+        default) executes sequentially with work accounting byte-identical
+        to the historical engine.
+        """
         stats = stats if stats is not None else QueryStats()
         ctx = ExecContext(self.tables, params, stats)
-        rows = self._enumerate(ctx)
+        if not self.partitioned:
+            rows = self._enumerate_single(ctx)
+        elif pool is not None and self.parallel_partition_count() > 1:
+            rows = self._enumerate_parallel(ctx, pool)
+        else:
+            rows = self._enumerate(ctx)
 
         if self.item_group_fns is not None:
             result_rows = self._aggregate(rows, ctx)
@@ -188,21 +268,61 @@ class QueryPlan:
         return ResultSet(columns=list(self.columns), rows=result_rows, stats=stats)
 
     def describe(self) -> List[Dict[str, Any]]:
-        """Plan shape for tests and EXPLAIN-style debugging."""
-        return [
-            {
-                "binding": level.binding,
-                "table": level.table.name,
-                "access": level.access.kind,
-                "filters": len(level.filters),
-            }
-            for level in self.levels
-        ]
+        """Plan shape for EXPLAIN, tests and debugging.
+
+        One entry per join level, in execution order: the access path, the
+        residual filter count, the partition layout (and whether an index
+        probe is partition-pruned) and the plan-time cardinality estimates
+        (``estimated_rows`` per outer row, ``estimated_cardinality``
+        cumulative).
+        """
+        described: List[Dict[str, Any]] = []
+        cumulative = 1.0
+        for level in self.levels:
+            cumulative *= max(level.estimate, 0.0)
+            access = level.access
+            if type(access) is IndexProbe:
+                column: Optional[str] = access.column
+            elif type(access) is HashJoinBuild:
+                column = level.table.schema.columns[access.col_index].name.lower()
+            else:
+                column = None
+            described.append(
+                {
+                    "binding": level.binding,
+                    "table": level.table.name,
+                    "access": access.kind,
+                    "column": column,
+                    "filters": len(level.filters),
+                    "partitions": level.table.n_partitions,
+                    "pruned": (
+                        type(access) is IndexProbe and access.pruned
+                    ),
+                    "estimated_rows": round(level.estimate, 3),
+                    "estimated_cardinality": round(cumulative, 3),
+                }
+            )
+        return described
+
+    def parallel_partition_count(self) -> int:
+        """Partitions the driving level can fan out over (0 = not parallelizable)."""
+        if not self.levels:
+            return 0
+        first = self.levels[0]
+        if type(first.access) is not PartitionScan:
+            return 0
+        return first.table.n_partitions if first.table.n_partitions > 1 else 0
 
     # ------------------------------------------------------------------ #
 
-    def _enumerate(self, ctx: ExecContext) -> List[Tuple[Any, ...]]:
-        """Nested-loop/hash join over the planned levels; returns slot rows."""
+    def _enumerate_single(self, ctx: ExecContext) -> List[Tuple[Any, ...]]:
+        """The historical tight enumeration loop for unpartitioned plans.
+
+        Every bound table has exactly one partition, so there is no chunk
+        iteration and no per-partition attribution — the inner loops (and
+        their work accounting) are byte-identical to the pre-partitioning
+        engine, which keeps the hot path at its original speed.
+        """
         levels = self.levels
         depth = len(levels)
         stats = ctx.stats
@@ -218,12 +338,12 @@ class QueryPlan:
             table = level.table
             access = level.access
             filters = level.filters
-            if type(access) is _IndexProbe:
-                hash_index = table.index_for(access.column)
-                if hash_index is None:
+            if type(access) is IndexProbe:
+                table_index = table.indexes.get(access.column)
+                if table_index is None:
                     # Stale plan (index dropped directly on the table): scan
                     # and re-apply the probe predicate as a filter.
-                    candidates: Any = table.scan()
+                    candidates: Any = table.partitions[0].scan()
                     filters = filters + [access.fallback]
                 else:
                     key = access.key(row, ctx)
@@ -231,30 +351,22 @@ class QueryPlan:
                     if key is None:
                         candidates = ()
                     else:
-                        stored_rows = table.rows
+                        stored_rows = table.partitions[0].rows
                         candidates = [
                             stored
-                            for position in hash_index.lookup(key)
+                            for position in table_index.parts[0].lookup(key)
                             if (stored := stored_rows[position]) is not None
                         ]
-            elif type(access) is _HashProbe:
+            elif type(access) is HashJoinBuild:
                 hash_table = ctx.hash_tables.get(index)
                 if hash_table is None:
-                    hash_table = {}
-                    col_index = access.col_index
-                    built = 0
-                    for stored in table.scan():
-                        built += 1
-                        value = stored[col_index]
-                        if value is not None:
-                            hash_table.setdefault(value, []).append(stored)
-                    stats.rows_scanned += built
+                    hash_table = _build_hash_table(table, access.col_index, stats)
                     ctx.hash_tables[index] = hash_table
                 key = access.key(row, ctx)
                 stats.hash_probes += 1
                 candidates = () if key is None else hash_table.get(key, ())
             else:
-                candidates = table.scan()
+                candidates = table.partitions[0].scan()
             offset, end = level.offset, level.end
             next_index = index + 1
             scanned = 0
@@ -277,6 +389,168 @@ class QueryPlan:
         recurse(0)
         # Every fully joined slot row passed all its predicates en route.
         stats.rows_joined += len(out)
+        return out
+
+    def _enumerate(
+        self, ctx: ExecContext, restrict_partition: Optional[int] = None
+    ) -> List[Tuple[Any, ...]]:
+        """Nested-loop/hash join over the planned levels; returns slot rows.
+
+        Partition-aware variant (at least one bound table is partitioned):
+        scans and probes iterate per-partition chunks and attribute scan work
+        to :attr:`QueryStats.partition_rows_scanned`.  ``restrict_partition``
+        limits the *first* level's scan to one partition (the parallel
+        fan-out path enumerates each partition in its own worker and
+        concatenates in partition order).
+        """
+        levels = self.levels
+        depth = len(levels)
+        stats = ctx.stats
+        pscan = stats.partition_rows_scanned
+        row: List[Any] = [None] * self.layout.width
+        out: List[Tuple[Any, ...]] = []
+        append = out.append
+
+        def recurse(index: int) -> None:
+            if index == depth:
+                append(tuple(row))
+                return
+            level = levels[index]
+            table = level.table
+            access = level.access
+            filters = level.filters
+            multi = table.n_partitions > 1
+            #: Per-partition (pid, candidates) chunks for partitioned tables;
+            #: single-partition tables use the flat ``candidates`` fast path
+            #: (the historical inner loop, byte-for-byte work accounting).
+            chunks: Any = None
+            candidates: Any = None
+            if type(access) is IndexProbe:
+                table_index = table.indexes.get(access.column)
+                if table_index is None:
+                    # Stale plan (index dropped directly on the table): scan
+                    # and re-apply the probe predicate as a filter.
+                    filters = filters + [access.fallback]
+                    if multi:
+                        chunks = table.scan_chunks()
+                    else:
+                        candidates = table.partitions[0].scan()
+                else:
+                    key = access.key(row, ctx)
+                    stats.index_lookups += 1
+                    if key is None:
+                        candidates = ()
+                    elif multi:
+                        chunks = table.probe_chunks(access.column, key)
+                    else:
+                        stored_rows = table.partitions[0].rows
+                        candidates = [
+                            stored
+                            for position in table_index.parts[0].lookup(key)
+                            if (stored := stored_rows[position]) is not None
+                        ]
+            elif type(access) is HashJoinBuild:
+                hash_table = ctx.hash_tables.get(index)
+                if hash_table is None:
+                    hash_table = _build_hash_table(table, access.col_index, stats)
+                    ctx.hash_tables[index] = hash_table
+                key = access.key(row, ctx)
+                stats.hash_probes += 1
+                # Probe hits are point reads; partition attribution applies
+                # to the build scan (already charged), not to the hits.
+                candidates = () if key is None else hash_table.get(key, ())
+            else:
+                if index == 0 and restrict_partition is not None:
+                    chunks = (
+                        (restrict_partition,
+                         table.partitions[restrict_partition].scan()),
+                    )
+                elif multi:
+                    chunks = table.scan_chunks()
+                else:
+                    candidates = table.partitions[0].scan()
+            offset, end = level.offset, level.end
+            next_index = index + 1
+            if chunks is None:
+                scanned = 0
+                if filters:
+                    for candidate in candidates:
+                        scanned += 1
+                        row[offset:end] = candidate
+                        for predicate in filters:
+                            if not predicate(row, ctx):
+                                break
+                        else:
+                            recurse(next_index)
+                else:
+                    for candidate in candidates:
+                        scanned += 1
+                        row[offset:end] = candidate
+                        recurse(next_index)
+                stats.rows_scanned += scanned
+                return
+            total = 0
+            for pid, candidates in chunks:
+                scanned = 0
+                if filters:
+                    for candidate in candidates:
+                        scanned += 1
+                        row[offset:end] = candidate
+                        for predicate in filters:
+                            if not predicate(row, ctx):
+                                break
+                        else:
+                            recurse(next_index)
+                else:
+                    for candidate in candidates:
+                        scanned += 1
+                        row[offset:end] = candidate
+                        recurse(next_index)
+                if scanned:
+                    pscan[pid] = pscan.get(pid, 0) + scanned
+                total += scanned
+            stats.rows_scanned += total
+
+        recurse(0)
+        # Every fully joined slot row passed all its predicates en route.
+        stats.rows_joined += len(out)
+        return out
+
+    def _enumerate_parallel(self, ctx: ExecContext, pool) -> List[Tuple[Any, ...]]:
+        """Fan the driving scan level's partitions out over ``pool``.
+
+        Hash-join tables are built once, up front, so the workers share them
+        read-only (the sequential path builds them lazily on first probe;
+        the parallel path may therefore build a table a lazy run would have
+        skipped — the counters still record exactly the work performed).
+        Results are concatenated in partition order, so the row order —
+        and hence every downstream result — is identical to the sequential
+        partition-major enumeration.
+        """
+        for index, level in enumerate(self.levels):
+            if type(level.access) is HashJoinBuild and (
+                index not in ctx.hash_tables
+            ):
+                ctx.hash_tables[index] = _build_hash_table(
+                    level.table, level.access.col_index, ctx.stats
+                )
+
+        def run_partition(pid: int) -> Tuple[List[Tuple[Any, ...]], QueryStats]:
+            sub_stats = QueryStats()
+            sub_ctx = ExecContext(ctx.tables, ctx.params, sub_stats)
+            sub_ctx.hash_tables = ctx.hash_tables
+            rows = self._enumerate(sub_ctx, restrict_partition=pid)
+            return rows, sub_stats
+
+        futures = [
+            pool.submit(run_partition, pid)
+            for pid in range(self.parallel_partition_count())
+        ]
+        out: List[Tuple[Any, ...]] = []
+        for future in futures:
+            rows, sub_stats = future.result()
+            out.extend(rows)
+            ctx.stats.merge(sub_stats)
         return out
 
     def _aggregate(
@@ -326,6 +600,30 @@ class QueryPlan:
 
         positions = sorted(range(len(result_rows)), key=key_for)
         return [result_rows[p] for p in positions]
+
+
+def _build_hash_table(
+    table: Table, col_index: int, stats: QueryStats
+) -> Dict[Any, List[Tuple[Any, ...]]]:
+    """Build one hash-join table, scanning partition by partition.
+
+    Partition-major build order keeps every bucket's candidate list in the
+    exact order a sequential full scan would produce.
+    """
+    pscan = stats.partition_rows_scanned
+    multi = table.n_partitions > 1
+    hash_table: Dict[Any, List[Tuple[Any, ...]]] = {}
+    for pid, rows_iter in table.scan_chunks():
+        built = 0
+        for stored in rows_iter:
+            built += 1
+            value = stored[col_index]
+            if value is not None:
+                hash_table.setdefault(value, []).append(stored)
+        if multi and built:
+            pscan[pid] = pscan.get(pid, 0) + built
+        stats.rows_scanned += built
+    return hash_table
 
 
 # --------------------------------------------------------------------------- #
@@ -382,7 +680,93 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         order_spec=order_spec,
         distinct=statement.distinct,
         limit=statement.limit,
+        table_deps=statement_table_deps(statement),
+        partitioned=any(table.n_partitions > 1 for _binding, table in bindings),
+        subquery_plans=[
+            plan_select(subselect, tables)
+            for subselect in _direct_subselects(statement)
+        ],
+        follows_syntactic_order=(
+            [level.binding for level in levels]
+            == [binding for binding, _table in bindings]
+        ),
     )
+
+
+# -- table dependencies ------------------------------------------------------ #
+
+
+def _expr_subselects(expr: SqlExpr) -> List[SelectStatement]:
+    """The *direct* scalar-subquery SELECTs of one expression.
+
+    This is the single AST walker every dependency helper builds on: a new
+    ``SqlExpr`` node kind only needs wiring here for table-dependency
+    tracking (and hence per-table plan-cache invalidation) to stay correct.
+    """
+    found: List[SelectStatement] = []
+
+    def visit(node: SqlExpr) -> None:
+        if isinstance(node, ScalarSubquery):
+            found.append(node.select)
+        elif isinstance(node, BinaryOperation):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOperation):
+            visit(node.operand)
+        elif isinstance(node, FunctionExpr):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, IsNull):
+            visit(node.operand)
+        elif isinstance(node, InList):
+            visit(node.operand)
+            for item in node.items:
+                visit(item)
+
+    visit(expr)
+    return found
+
+
+def _direct_subselects(select: SelectStatement) -> List[SelectStatement]:
+    """Scalar subqueries appearing directly in one SELECT's clauses."""
+    exprs: List[SqlExpr] = [item.expr for item in select.items]
+    exprs.extend(join.on for join in select.joins if join.on is not None)
+    if select.where is not None:
+        exprs.append(select.where)
+    exprs.extend(select.group_by)
+    if select.having is not None:
+        exprs.append(select.having)
+    exprs.extend(item.expr for item in select.order_by)
+    found: List[SelectStatement] = []
+    for expr in exprs:
+        found.extend(_expr_subselects(expr))
+    return found
+
+
+def statement_subselects(statement: SelectStatement) -> List[SelectStatement]:
+    """All scalar-subquery SELECTs of a statement, outermost first."""
+    found: List[SelectStatement] = []
+    for subselect in _direct_subselects(statement):
+        found.append(subselect)
+        found.extend(statement_subselects(subselect))
+    return found
+
+
+def statement_table_deps(statement: SelectStatement) -> Set[str]:
+    """Lowered names of every table a SELECT reads, subqueries included."""
+    deps: Set[str] = set()
+    for select in [statement, *statement_subselects(statement)]:
+        for ref in list(select.from_tables) + [j.table for j in select.joins]:
+            deps.add(ref.name.lower())
+    return deps
+
+
+def expr_table_deps(expr: SqlExpr) -> Set[str]:
+    """Lowered names of tables an expression reads through scalar subqueries."""
+    deps: Set[str] = set()
+    for subselect in _expr_subselects(expr):
+        deps.update(statement_table_deps(subselect))
+    return deps
 
 
 # -- FROM / WHERE ----------------------------------------------------------- #
@@ -465,6 +849,62 @@ def _required_bindings(
     return refs
 
 
+# -- cardinality estimation -------------------------------------------------- #
+
+#: Assumed selectivity of an equality filter on a column with no index (and
+#: of a hash-join probe, whose build side has no distinct-key statistics).
+_EQ_SELECTIVITY = 0.1
+#: Assumed selectivity of a range comparison.
+_RANGE_SELECTIVITY = 1 / 3
+#: Assumed selectivity of IS [NOT] NULL and other unmodelled predicates.
+_OTHER_SELECTIVITY = 0.5
+
+
+def _filter_selectivity(predicate: SqlExpr) -> float:
+    if isinstance(predicate, BinaryOperation):
+        op = predicate.op
+        if op is BinaryOperator.EQ:
+            return _EQ_SELECTIVITY
+        if op in (
+            BinaryOperator.LT,
+            BinaryOperator.LE,
+            BinaryOperator.GT,
+            BinaryOperator.GE,
+        ):
+            return _RANGE_SELECTIVITY
+        if op is BinaryOperator.NE:
+            return 1.0 - _EQ_SELECTIVITY
+    if isinstance(predicate, InList):
+        return min(1.0, _EQ_SELECTIVITY * max(len(predicate.items), 1))
+    if isinstance(predicate, IsNull):
+        return _OTHER_SELECTIVITY
+    return _OTHER_SELECTIVITY
+
+
+def _probe_estimate(
+    statistics: TableStatistics, column: str, indexed: bool
+) -> float:
+    """Expected matches of one equality probe, from maintained statistics."""
+    rows = statistics.row_count
+    if indexed:
+        distinct = statistics.distinct_for(column)
+        if distinct:
+            return rows / distinct
+        return 0.0 if rows == 0 else float(rows)
+    return rows * _EQ_SELECTIVITY
+
+
+def _residual_selectivity(
+    applicable: List[SqlExpr], used: Optional[SqlExpr]
+) -> float:
+    selectivity = 1.0
+    for predicate in applicable:
+        if predicate is used:
+            continue
+        selectivity *= _filter_selectivity(predicate)
+    return selectivity
+
+
 # -- join ordering and access-path selection -------------------------------- #
 
 
@@ -525,41 +965,64 @@ def _plan_levels(
     pending = list(conjuncts)
     bound: Set[str] = set()
     levels: List[_Level] = []
+    statistics: Dict[str, TableStatistics] = {
+        binding: table.statistics() for binding, table in bindings
+    }
 
     def applicable_for(binding: str) -> List[SqlExpr]:
         visible = bound | {binding}
         return [p for p in pending if required[id(p)] <= visible]
 
-    while remaining:
-        choice = None
-        # 1. a binding with an index probe available
+    def cheapest(estimator) -> Optional[Tuple[str, Table]]:
+        """The remaining binding with the smallest estimate (``None`` skips);
+        ties resolve to syntactic order."""
+        best: Optional[Tuple[float, Tuple[str, Table]]] = None
         for candidate in remaining:
-            binding, table = candidate
-            if _probe_candidate(
-                table, binding, applicable_for(binding), bound,
-                bindings, indexed=True,
-            ):
-                choice = candidate
-                break
-        # 2. a binding with a hash-join probe available
-        if choice is None:
-            for candidate in remaining:
-                binding, table = candidate
-                if _probe_candidate(
-                    table, binding, applicable_for(binding), bound,
-                    bindings, indexed=False,
-                ):
-                    choice = candidate
-                    break
-        # 3. a binding with any applicable filter
-        if choice is None:
-            for candidate in remaining:
-                if applicable_for(candidate[0]):
-                    choice = candidate
-                    break
-        # 4. syntactic order
-        if choice is None:
-            choice = remaining[0]
+            estimate = estimator(candidate)
+            if estimate is None:
+                continue
+            if best is None or estimate < best[0]:
+                best = (estimate, candidate)
+        return best[1] if best is not None else None
+
+    def probe_tier_estimate(
+        candidate: Tuple[str, Table], indexed: bool
+    ) -> Optional[float]:
+        binding, table = candidate
+        applicable = applicable_for(binding)
+        probe = _probe_candidate(
+            table, binding, applicable, bound, bindings, indexed=indexed
+        )
+        if probe is None:
+            return None
+        column, _key_expr, used = probe
+        return _probe_estimate(
+            statistics[binding], column, indexed=indexed
+        ) * _residual_selectivity(applicable, used)
+
+    def first_filtered_scan() -> Optional[Tuple[str, Table]]:
+        for candidate in remaining:
+            if applicable_for(candidate[0]):
+                return candidate
+        return None
+
+    while remaining:
+        # Tier order is bound-predicate availability (probe kinds before
+        # plain filters).  Within the probe tiers the statistics pick the
+        # cheapest candidate by estimated cardinality — any choice there
+        # keeps an indexed/hashed access path, so the estimate is the right
+        # discriminator.  The plain-filter scan tier deliberately keeps
+        # syntactic order: reordering scans by output estimate ignores the
+        # scan/build cost it forces on the level itself, and it would break
+        # the physical-counter contract with the reference engine (whose
+        # nested loops always follow syntactic order) on the A1 ablation
+        # workloads.
+        choice = (
+            cheapest(lambda c: probe_tier_estimate(c, indexed=True))
+            or cheapest(lambda c: probe_tier_estimate(c, indexed=False))
+            or first_filtered_scan()
+            or remaining[0]
+        )
         remaining.remove(choice)
         binding, table = choice
         applicable = applicable_for(binding)
@@ -570,19 +1033,27 @@ def _plan_levels(
         applied_ids = {id(p) for p in applicable}
         pending = [p for p in pending if id(p) not in applied_ids]
 
+        table_stats = statistics[binding]
         probe = _probe_candidate(
             table, binding, applicable, bound - {binding},
             bindings, indexed=True,
         )
-        access: Any
+        access: AccessPath
         if probe is not None:
             column, key_expr, used = probe
-            access = _IndexProbe(
-                column,
+            access = IndexProbe(
+                column.lower(),
                 compile_row_expr(key_expr, layout, tables),
                 compile_row_expr(used, layout, tables),
+                pruned=(
+                    table.n_partitions > 1
+                    and column.lower() == table.partition_column
+                ),
             )
             filters = [p for p in applicable if p is not used]
+            estimate = _probe_estimate(
+                table_stats, column, indexed=True
+            ) * _residual_selectivity(applicable, used)
         else:
             probe = _probe_candidate(
                 table, binding, applicable, bound - {binding},
@@ -590,14 +1061,20 @@ def _plan_levels(
             )
             if probe is not None:
                 column, key_expr, used = probe
-                access = _HashProbe(
+                access = HashJoinBuild(
                     table.schema.column_index(column),
                     compile_row_expr(key_expr, layout, tables),
                 )
                 filters = [p for p in applicable if p is not used]
+                estimate = _probe_estimate(
+                    table_stats, column, indexed=False
+                ) * _residual_selectivity(applicable, used)
             else:
                 access = _SCAN
                 filters = applicable
+                estimate = table_stats.row_count * _residual_selectivity(
+                    applicable, None
+                )
 
         offset, end = layout.range_of(binding)
         levels.append(
@@ -608,6 +1085,7 @@ def _plan_levels(
                 end=end,
                 access=access,
                 filters=[compile_row_expr(p, layout, tables) for p in filters],
+                estimate=estimate,
             )
         )
 

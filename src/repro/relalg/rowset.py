@@ -16,7 +16,15 @@ from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.relalg.errors import ExecutionError
 
-__all__ = ["QueryStats", "ResultSet"]
+__all__ = ["QueryStats", "ResultSet", "merge_partition_counts"]
+
+
+def merge_partition_counts(target: Dict[int, int], source: Dict[int, int]) -> None:
+    """Accumulate per-partition scan counts (the single merge rule shared by
+    :meth:`QueryStats.merge` and the database-level execution summary)."""
+    if source:
+        for pid, scanned in source.items():
+            target[pid] = target.get(pid, 0) + scanned
 
 
 @dataclass
@@ -39,6 +47,14 @@ class QueryStats:
         rows of the final (projected, ordered, limited) result;
     ``subqueries``
         scalar subqueries executed (their counters are merged in).
+
+    ``partition_rows_scanned`` breaks the scan work down per storage
+    partition (partition id → rows scanned there).  Executors only fill it
+    for tables with more than one partition — an empty mapping means "all
+    work in partition 0", which keeps single-partition statement counters
+    byte-identical to the historical (and interpreted-engine) values.  The
+    field is excluded from equality so differential stat comparisons between
+    engines stay meaningful.
     """
 
     rows_scanned: int = 0
@@ -47,6 +63,9 @@ class QueryStats:
     rows_returned: int = 0
     subqueries: int = 0
     hash_probes: int = 0
+    partition_rows_scanned: Dict[int, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate the counters of a nested (sub)query."""
@@ -55,6 +74,9 @@ class QueryStats:
         self.rows_joined += other.rows_joined
         self.subqueries += other.subqueries
         self.hash_probes += other.hash_probes
+        merge_partition_counts(
+            self.partition_rows_scanned, other.partition_rows_scanned
+        )
 
 
 @dataclass

@@ -1,9 +1,20 @@
-"""Row storage and secondary indexes.
+"""Partitioned row storage and secondary indexes.
 
-Tables store rows as immutable tuples in insertion order.  Secondary hash
-indexes map a column value to the positions of the rows carrying that value;
-the executor uses them for equality lookups (index nested-loop joins and
-point selections), which is what the A1 ablation benchmark measures.
+Every table is hash-partitioned by its primary key: a :class:`Table` owns
+``n_partitions`` independent :class:`Partition` objects, each holding its own
+row list and its own per-partition :class:`HashIndex` instances.  The default
+``n_partitions=1`` preserves the historical single-partition behaviour
+byte-for-byte (positions, scan order, index views); higher partition counts
+give the executor independently scannable shards — the seam the partitioned
+access paths in :mod:`repro.relalg.planner` (``PartitionScan``, partition-
+pruned ``IndexProbe``, per-partition ``HashJoinBuild``) fan out over.
+
+Partition assignment is deterministic (:func:`stable_hash`, independent of
+``PYTHONHASHSEED``) and keyed by the primary key: a single-column primary key
+partitions by its value — which is what makes *partition pruning* possible
+(an indexed PK equality touches exactly one partition) — a composite primary
+key partitions by the tuple of its values, and a table without a primary key
+partitions by the whole row.
 
 Two implementation choices keep the hot probe path allocation-free and the
 mutation path O(1):
@@ -11,26 +22,80 @@ mutation path O(1):
 * index buckets are insertion-ordered dicts ``position → None``, so
   :meth:`HashIndex.add` and :meth:`HashIndex.remove` are O(1) and
   :meth:`HashIndex.lookup` returns a *read-only view* over the bucket instead
-  of copying a list per probe;
-* deleted rows leave tombstones (``None`` entries) that :meth:`Table.scan`
-  skips; once tombstones dominate, :meth:`Table.compact` rewrites the row
-  list and rebuilds the indexes so long-lived tables with many deletes do not
-  degrade scans.
+  of copying a list per probe (positions are partition-local);
+* deleted rows leave tombstones (``None`` entries) that scans skip; once
+  tombstones dominate a partition, that partition compacts *independently* —
+  it rewrites its row list and rebuilds its indexes without touching its
+  siblings, so a delete-heavy key range does not force a full-table rebuild.
+
+Cardinality statistics (:class:`TableStatistics`) are maintained on DML: live
+row counts per partition are exact counters, per-index distinct-key estimates
+derive from the live index buckets, and a monotonically increasing
+``mutations`` counter lets callers reason about the staleness of a snapshot
+they took earlier (the planner records its estimates at plan time; plans are
+deliberately not invalidated by DML).
 """
 
 from __future__ import annotations
 
+import datetime as _dt
+import zlib
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relalg.errors import IntegrityError, SchemaError
 from repro.relalg.schema import TableSchema
 
-__all__ = ["HashIndex", "PositionsView", "Table"]
+__all__ = [
+    "HashIndex",
+    "Partition",
+    "PositionsView",
+    "Table",
+    "TableIndex",
+    "TableStatistics",
+    "stable_hash",
+]
 
-#: Compact when at least this many tombstones have accumulated …
+#: Compact a partition when at least this many tombstones have accumulated …
 _COMPACT_MIN_DEAD = 64
-#: … and they make up at least this fraction of the row list.
+#: … and they make up at least this fraction of the partition's row list.
 _COMPACT_DEAD_FRACTION = 0.5
+
+_HASH_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic hash for partition assignment.
+
+    Unlike the builtin ``hash``, the result does not depend on
+    ``PYTHONHASHSEED`` for strings, timestamps or containers, so partition
+    layouts are reproducible across processes (the differential fuzzer and
+    the benchmark baselines rely on this).  Numeric cross-type equality is
+    preserved the way ``=`` sees it: ``3``, ``3.0`` and ``True``/``1`` land
+    in the same partition, so a pruned probe can never miss a matching row.
+    """
+    if value is None:
+        return 11
+    if isinstance(value, float) and value != value:
+        # NaN: hash(nan) is id-based on CPython 3.10+, and NaN never equals
+        # anything (so no probe can match it) — any fixed bucket will do.
+        return 0x7FF8
+    if isinstance(value, (bool, int, float)):
+        # CPython's numeric hash is unsalted and equal across int/float/bool
+        # for equal values — exactly the pruning contract.
+        return hash(value)
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, (tuple, list)):
+        acc = 0x345678
+        for item in value:
+            acc = ((acc * 1000003) ^ stable_hash(item)) & _HASH_MASK
+        return acc
+    if isinstance(value, _dt.datetime):
+        if value.tzinfo is not None:
+            value = value.astimezone(_dt.timezone.utc)
+        return zlib.crc32(value.isoformat().encode("utf-8"))
+    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 class PositionsView:
@@ -75,7 +140,11 @@ _EMPTY_VIEW = PositionsView({})
 
 
 class HashIndex:
-    """A hash index over one column of a table."""
+    """A hash index over one column of one partition.
+
+    Positions are partition-local row-list offsets; cross-partition access
+    goes through the owning :class:`TableIndex`.
+    """
 
     def __init__(self, name: str, column: str) -> None:
         self.name = name
@@ -107,28 +176,174 @@ class HashIndex:
         return PositionsView(bucket)
 
     def clear(self) -> None:
-        """Drop every entry (used when the owning table compacts)."""
+        """Drop every entry (used when the owning partition compacts)."""
         self._buckets.clear()
+
+    def distinct_count(self) -> int:
+        """Number of distinct indexed keys currently live in this partition."""
+        return len(self._buckets)
 
     def __len__(self) -> int:
         return sum(len(positions) for positions in self._buckets.values())
 
 
-class Table:
-    """One table: a schema, its rows and its secondary indexes."""
+class Partition:
+    """One shard of a table: a row list plus per-partition hash indexes."""
 
-    def __init__(self, schema: TableSchema) -> None:
-        self.schema = schema
+    __slots__ = ("rows", "live_count", "indexes")
+
+    def __init__(self) -> None:
         self.rows: List[Optional[Tuple[Any, ...]]] = []
+        self.live_count = 0
+        #: lowered column name → partition-local :class:`HashIndex`.
         self.indexes: Dict[str, HashIndex] = {}
-        self._live_count = 0
-        self._primary_index: Optional[HashIndex] = None
-        pk = schema.primary_key_columns()
-        if len(pk) == 1:
-            self._primary_index = HashIndex(
-                name=f"{schema.name}_pk", column=pk[0].name
+
+    @property
+    def dead_count(self) -> int:
+        return len(self.rows) - self.live_count
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over this partition's live rows in insertion order."""
+        for row in self.rows:
+            if row is not None:
+                yield row
+
+    def compact(self, column_indexes: Dict[str, int]) -> int:
+        """Drop tombstones and rebuild this partition's indexes in place.
+
+        The :class:`HashIndex` objects are cleared and refilled (not
+        replaced), so :class:`TableIndex` facades that alias them stay valid.
+        """
+        dead = self.dead_count
+        if not dead:
+            return 0
+        self.rows = [row for row in self.rows if row is not None]
+        for index in self.indexes.values():
+            index.clear()
+        for position, row in enumerate(self.rows):
+            for key, index in self.indexes.items():
+                index.add(row[column_indexes[key]], position)
+        return dead
+
+    def maybe_compact(self, column_indexes: Dict[str, int]) -> int:
+        dead = self.dead_count
+        if dead >= _COMPACT_MIN_DEAD and (
+            dead >= len(self.rows) * _COMPACT_DEAD_FRACTION
+        ):
+            return self.compact(column_indexes)
+        return 0
+
+
+class TableIndex:
+    """A logical table index: one :class:`HashIndex` per partition.
+
+    For single-partition tables :meth:`lookup` delegates straight to the
+    partition's index (returning the same :class:`PositionsView` the
+    historical flat index returned).  For partitioned tables positions are
+    partition-local and therefore meaningless without their partition id, so
+    cross-partition reads must go through :meth:`Table.probe_chunks` /
+    :meth:`Table.lookup` — :meth:`lookup` refuses rather than return a shape
+    that looks like the single-partition one but is not.
+    """
+
+    __slots__ = ("name", "column", "column_index", "parts")
+
+    def __init__(self, name: str, column: str, column_index: int,
+                 parts: List[HashIndex]) -> None:
+        self.name = name
+        self.column = column
+        self.column_index = column_index
+        self.parts = parts
+
+    def lookup(self, value: Any) -> PositionsView:
+        if len(self.parts) == 1:
+            return self.parts[0].lookup(value)
+        raise SchemaError(
+            f"index {self.name!r} spans {len(self.parts)} partitions and its "
+            f"positions are partition-local; probe rows through "
+            f"Table.probe_chunks()/Table.lookup() instead"
+        )
+
+    def distinct_count(self, disjoint: bool = False) -> int:
+        """Distinct-key estimate from the live per-partition buckets.
+
+        ``disjoint=True`` sums the per-partition counts — exact when the
+        indexed column is the partition key (every key lives in exactly one
+        shard).  Otherwise a key may appear in several shards, so the sum
+        would *over*-count distinct keys and make probes look cheaper than
+        they are (``rows / distinct`` shrinks); the per-partition maximum is
+        a lower bound on the true distinct count, i.e. the conservative bias
+        for probe-cost estimates.
+        """
+        counts = [part.distinct_count() for part in self.parts]
+        if disjoint:
+            return sum(counts)
+        return max(counts, default=0)
+
+    def distinct_counts_per_partition(self) -> List[int]:
+        return [part.distinct_count() for part in self.parts]
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableIndex({self.name!r}, column={self.column!r}, partitions={len(self.parts)})"
+
+
+@dataclass
+class TableStatistics:
+    """A point-in-time cardinality snapshot of one table.
+
+    ``mutations`` is the table's DML counter at snapshot time; comparing it
+    with the live counter tells how stale the snapshot has become (e.g. after
+    a DELETE-heavy workload ran against a plan whose estimates were recorded
+    earlier).
+    """
+
+    table: str
+    n_partitions: int
+    row_count: int
+    partition_rows: List[int] = field(default_factory=list)
+    #: lowered indexed column → distinct-key estimate across all partitions.
+    index_distinct: Dict[str, int] = field(default_factory=dict)
+    mutations: int = 0
+
+    def distinct_for(self, column: str) -> Optional[int]:
+        return self.index_distinct.get(column.lower())
+
+
+class Table:
+    """One table: a schema, its hash-partitioned rows and its indexes."""
+
+    def __init__(self, schema: TableSchema, n_partitions: int = 1) -> None:
+        if n_partitions < 1:
+            raise SchemaError(
+                f"table {schema.name!r}: n_partitions must be >= 1, "
+                f"got {n_partitions}"
             )
-            self.indexes[pk[0].name.lower()] = self._primary_index
+        self.schema = schema
+        self.n_partitions = n_partitions
+        self.partitions: List[Partition] = [Partition() for _ in range(n_partitions)]
+        #: lowered column name → logical :class:`TableIndex`.
+        self.indexes: Dict[str, TableIndex] = {}
+        #: DML counter: rows inserted + rows deleted over the table lifetime.
+        self.mutations = 0
+        self._column_indexes: Dict[str, int] = {}
+        pk = schema.primary_key_columns()
+        #: Column positions making up the partition key (``None`` → whole row).
+        self._partition_key_slots: Optional[List[int]] = (
+            [schema.column_index(c.name) for c in pk] if pk else None
+        )
+        #: Lowered name of the single-column primary key: equality probes on
+        #: it are partition-prunable.  ``None`` for composite/absent keys.
+        self.partition_column: Optional[str] = (
+            pk[0].name.lower() if len(pk) == 1 else None
+        )
+        self._primary_index: Optional[TableIndex] = None
+        if len(pk) == 1:
+            self._primary_index = self._register_index(
+                f"{schema.name}_pk", pk[0].name
+            )
 
     # -- properties -------------------------------------------------------------
 
@@ -138,36 +353,76 @@ class Table:
 
     @property
     def row_count(self) -> int:
-        """Number of live (not deleted) rows."""
-        return self._live_count
+        """Number of live (not deleted) rows across all partitions."""
+        return sum(partition.live_count for partition in self.partitions)
 
     @property
     def dead_count(self) -> int:
-        """Number of tombstones currently in the row list."""
-        return len(self.rows) - self._live_count
+        """Number of tombstones currently in the partitions' row lists."""
+        return sum(partition.dead_count for partition in self.partitions)
+
+    @property
+    def rows(self) -> List[Optional[Tuple[Any, ...]]]:
+        """The raw row list (including tombstones).
+
+        Single-partition tables expose their one partition's list directly —
+        the historical storage layout, aliased, positions stable.  For
+        partitioned tables this is a concatenated *copy* in partition order,
+        intended for tests and debugging; executors use the per-partition
+        access methods instead.
+        """
+        if self.n_partitions == 1:
+            return self.partitions[0].rows
+        combined: List[Optional[Tuple[Any, ...]]] = []
+        for partition in self.partitions:
+            combined.extend(partition.rows)
+        return combined
+
+    # -- partitioning -----------------------------------------------------------
+
+    def partition_of_key(self, key: Any) -> int:
+        """The partition an equality probe on the partition column must hit."""
+        if self.n_partitions == 1:
+            return 0
+        return stable_hash(key) % self.n_partitions
+
+    def _partition_of_row(self, row: Tuple[Any, ...]) -> int:
+        if self.n_partitions == 1:
+            return 0
+        slots = self._partition_key_slots
+        if slots is None:
+            key: Any = row
+        elif len(slots) == 1:
+            key = row[slots[0]]
+        else:
+            key = tuple(row[s] for s in slots)
+        return stable_hash(key) % self.n_partitions
 
     # -- modification -----------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> int:
-        """Validate and insert one positional row; returns its position.
+        """Validate and insert one positional row; returns its partition-local
+        position.
 
-        Positions are only stable until the next compaction; they are an
-        internal storage detail, not a durable row id.
+        Positions are only stable until the next compaction of the owning
+        partition; they are an internal storage detail, not a durable row id.
         """
         row = self.schema.validate_row(values)
-        if self._primary_index is not None:
-            key_index = self.schema.column_index(self._primary_index.column)
-            if self._primary_index.lookup(row[key_index]):
+        primary = self._primary_index
+        pid = self._partition_of_row(row)
+        if primary is not None:
+            key = row[primary.column_index]
+            if primary.parts[pid].lookup(key):
                 raise IntegrityError(
-                    f"duplicate primary key {row[key_index]!r} in table "
-                    f"{self.name!r}"
+                    f"duplicate primary key {key!r} in table {self.name!r}"
                 )
-        position = len(self.rows)
-        self.rows.append(row)
-        self._live_count += 1
+        partition = self.partitions[pid]
+        position = len(partition.rows)
+        partition.rows.append(row)
+        partition.live_count += 1
         for index in self.indexes.values():
-            column_index = self.schema.column_index(index.column)
-            index.add(row[column_index], position)
+            index.parts[pid].add(row[index.column_index], position)
+        self.mutations += 1
         return position
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> int:
@@ -180,129 +435,223 @@ class Table:
         The batch path defers index maintenance until the whole batch is
         appended: every row is validated first (schema coercion plus primary
         key uniqueness against both the stored rows and the batch itself),
-        then the row list grows in one ``extend`` and each index is updated in
-        a single pass.  Because all validation happens before any mutation,
-        a failing row leaves the table, its indexes and its tombstone
-        accounting exactly as they were — the batch is atomic.
+        then each partition's row list grows in one ``extend`` and each
+        per-partition index is updated in a single pass.  Because all
+        validation — including the partition assignment of every row —
+        happens before any mutation, a failing row leaves every partition,
+        its indexes and its tombstone accounting exactly as they were: the
+        batch is atomic even when its rows span partitions.
         """
         validated = [self.schema.validate_row(values) for values in rows]
         if not validated:
             return 0
-        if self._primary_index is not None:
-            key_index = self.schema.column_index(self._primary_index.column)
+        primary = self._primary_index
+        assignments = [self._partition_of_row(row) for row in validated]
+        if primary is not None:
+            key_index = primary.column_index
             seen = set()
-            for row in validated:
+            for row, pid in zip(validated, assignments):
                 key = row[key_index]
-                if key in seen or self._primary_index.lookup(key):
+                if key in seen or primary.parts[pid].lookup(key):
                     raise IntegrityError(
                         f"duplicate primary key {key!r} in table {self.name!r}"
                     )
                 seen.add(key)
-        start = len(self.rows)
-        self.rows.extend(validated)
-        self._live_count += len(validated)
-        for index in self.indexes.values():
-            column_index = self.schema.column_index(index.column)
-            add = index.add
-            for offset, row in enumerate(validated):
-                add(row[column_index], start + offset)
+        per_partition: Dict[int, List[Tuple[Any, ...]]] = {}
+        for row, pid in zip(validated, assignments):
+            per_partition.setdefault(pid, []).append(row)
+        for pid, batch in per_partition.items():
+            partition = self.partitions[pid]
+            start = len(partition.rows)
+            partition.rows.extend(batch)
+            partition.live_count += len(batch)
+            for index in self.indexes.values():
+                column_index = index.column_index
+                add = index.parts[pid].add
+                for offset, row in enumerate(batch):
+                    add(row[column_index], start + offset)
+        self.mutations += len(validated)
         return len(validated)
 
     def delete_where(self, predicate) -> int:
-        """Delete all live rows for which ``predicate(row_tuple)`` is true."""
+        """Delete all live rows for which ``predicate(row_tuple)`` is true.
+
+        Each partition checks its own tombstone ratio afterwards and compacts
+        independently.
+        """
+        column_indexes = self._index_column_map()
         deleted = 0
-        for position, row in enumerate(self.rows):
-            if row is None:
-                continue
-            if predicate(row):
-                self._delete_at(position, row)
-                deleted += 1
-        self._maybe_compact()
+        for pid, partition in enumerate(self.partitions):
+            partition_deleted = 0
+            for position, row in enumerate(partition.rows):
+                if row is None:
+                    continue
+                if predicate(row):
+                    partition.rows[position] = None
+                    partition.live_count -= 1
+                    for index in self.indexes.values():
+                        index.parts[pid].remove(row[index.column_index], position)
+                    partition_deleted += 1
+            if partition_deleted:
+                partition.maybe_compact(column_indexes)
+            deleted += partition_deleted
+        self.mutations += deleted
         return deleted
 
-    def _delete_at(self, position: int, row: Tuple[Any, ...]) -> None:
-        self.rows[position] = None
-        self._live_count -= 1
-        for index in self.indexes.values():
-            column_index = self.schema.column_index(index.column)
-            index.remove(row[column_index], position)
-
     def compact(self) -> int:
-        """Drop tombstones and rebuild the indexes; returns removed count."""
-        dead = self.dead_count
-        if not dead:
-            return 0
-        self.rows = [row for row in self.rows if row is not None]
-        column_indexes = {
-            key: self.schema.column_index(index.column)
-            for key, index in self.indexes.items()
-        }
-        for index in self.indexes.values():
-            index.clear()
-        for position, row in enumerate(self.rows):
-            for key, index in self.indexes.items():
-                index.add(row[column_indexes[key]], position)
-        return dead
+        """Drop tombstones in every partition; returns the removed count."""
+        column_indexes = self._index_column_map()
+        return sum(
+            partition.compact(column_indexes) for partition in self.partitions
+        )
 
-    def _maybe_compact(self) -> None:
-        dead = self.dead_count
-        if dead >= _COMPACT_MIN_DEAD and (
-            dead >= len(self.rows) * _COMPACT_DEAD_FRACTION
-        ):
-            self.compact()
+    def _index_column_map(self) -> Dict[str, int]:
+        return {key: index.column_index for key, index in self.indexes.items()}
 
     # -- indexes ----------------------------------------------------------------
 
-    def create_index(self, name: str, column: str) -> HashIndex:
-        """Create (and backfill) a hash index on ``column``."""
+    def _register_index(self, name: str, column: str) -> TableIndex:
         column_name = self.schema.column(column).name
         key = column_name.lower()
-        if key in self.indexes:
+        column_index = self.schema.column_index(column_name)
+        parts: List[HashIndex] = []
+        for partition in self.partitions:
+            part = HashIndex(name=name, column=column_name)
+            partition.indexes[key] = part
+            parts.append(part)
+        table_index = TableIndex(name, column_name, column_index, parts)
+        self.indexes[key] = table_index
+        return table_index
+
+    def create_index(self, name: str, column: str) -> TableIndex:
+        """Create (and backfill) a hash index on ``column``."""
+        column_name = self.schema.column(column).name
+        if column_name.lower() in self.indexes:
             raise SchemaError(
                 f"table {self.name!r} already has an index on column "
                 f"{column_name!r}"
             )
-        index = HashIndex(name=name, column=column_name)
-        column_index = self.schema.column_index(column_name)
-        for position, row in enumerate(self.rows):
-            if row is not None:
-                index.add(row[column_index], position)
-        self.indexes[key] = index
-        return index
+        table_index = self._register_index(name, column_name)
+        column_index = table_index.column_index
+        for partition, part in zip(self.partitions, table_index.parts):
+            for position, row in enumerate(partition.rows):
+                if row is not None:
+                    part.add(row[column_index], position)
+        return table_index
 
     def drop_index(self, column: str) -> None:
-        """Remove the index on ``column`` (missing indexes are ignored)."""
-        self.indexes.pop(column.lower(), None)
+        """Remove the index on ``column`` (missing indexes are ignored).
 
-    def index_for(self, column: str) -> Optional[HashIndex]:
-        """The index on ``column`` if one exists."""
+        The auto-created primary-key index is structural — uniqueness
+        enforcement and partition pruning read it on every insert — so
+        dropping it is refused rather than leaving a stale, unmaintained
+        index behind.
+        """
+        key = column.lower()
+        index = self.indexes.get(key)
+        if index is None:
+            return
+        if index is self._primary_index:
+            raise SchemaError(
+                f"cannot drop the primary-key index of table {self.name!r}"
+            )
+        del self.indexes[key]
+        for partition in self.partitions:
+            partition.indexes.pop(key, None)
+
+    def index_for(self, column: str) -> Optional[TableIndex]:
+        """The logical index on ``column`` if one exists."""
         return self.indexes.get(column.lower())
 
     # -- access -----------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[Any, ...]]:
-        """Iterate over all live rows in insertion order."""
-        for row in self.rows:
-            if row is not None:
-                yield row
+        """Iterate over all live rows, partition-major, in insertion order."""
+        if self.n_partitions == 1:
+            return self.partitions[0].scan()
+        return self._scan_partitioned()
+
+    def _scan_partitioned(self) -> Iterator[Tuple[Any, ...]]:
+        for partition in self.partitions:
+            for row in partition.rows:
+                if row is not None:
+                    yield row
+
+    def scan_chunks(self) -> Iterator[Tuple[int, Iterator[Tuple[Any, ...]]]]:
+        """Per-partition scan: yields ``(partition_id, live-row iterator)``."""
+        for pid, partition in enumerate(self.partitions):
+            yield pid, partition.scan()
+
+    def probe_chunks(
+        self, column: str, key: Any
+    ) -> Optional[List[Tuple[int, List[Tuple[Any, ...]]]]]:
+        """Indexed equality probe, pruned to one partition when possible.
+
+        Returns ``(partition_id, matching live rows)`` pairs, or ``None``
+        when no index exists on ``column`` (the caller falls back to a
+        filtered scan).  A probe on the partition column touches exactly one
+        partition; any other indexed column probes every partition's local
+        index.
+        """
+        table_index = self.indexes.get(column.lower())
+        if table_index is None:
+            return None
+        # NB: a NULL key is a legitimate bucket lookup here (secondary
+        # indexes store NULL entries; ``Table.lookup`` relies on it) — the
+        # no-match-on-NULL semantics of ``=`` probes live in the executor.
+        if self.n_partitions > 1 and column.lower() == self.partition_column:
+            pids: Iterable[int] = (self.partition_of_key(key),)
+        else:
+            pids = range(self.n_partitions)
+        chunks: List[Tuple[int, List[Tuple[Any, ...]]]] = []
+        for pid in pids:
+            stored_rows = self.partitions[pid].rows
+            matches = [
+                stored
+                for position in table_index.parts[pid].lookup(key)
+                if (stored := stored_rows[position]) is not None
+            ]
+            if matches:
+                chunks.append((pid, matches))
+        return chunks
 
     def lookup(self, column: str, value: Any) -> Iterator[Tuple[Any, ...]]:
         """Rows whose ``column`` equals ``value`` (uses the index when present)."""
-        index = self.index_for(column)
-        if index is not None:
-            rows = self.rows
-            for position in index.lookup(value):
-                row = rows[position]
-                if row is not None:
-                    yield row
+        chunks = self.probe_chunks(column, value)
+        if chunks is not None:
+            for _pid, matches in chunks:
+                yield from matches
             return
         column_index = self.schema.column_index(column)
         for row in self.scan():
             if row[column_index] == value:
                 yield row
 
+    # -- statistics -------------------------------------------------------------
+
+    def statistics(self) -> TableStatistics:
+        """A fresh cardinality snapshot (derived from live counters, O(#partitions + #indexes))."""
+        return TableStatistics(
+            table=self.name,
+            n_partitions=self.n_partitions,
+            row_count=self.row_count,
+            partition_rows=[p.live_count for p in self.partitions],
+            index_distinct={
+                key: index.distinct_count(
+                    disjoint=(
+                        self.n_partitions == 1 or key == self.partition_column
+                    )
+                )
+                for key, index in self.indexes.items()
+            },
+            mutations=self.mutations,
+        )
+
     def __len__(self) -> int:
-        return self._live_count
+        return self.row_count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Table({self.name!r}, rows={self._live_count})"
+        return (
+            f"Table({self.name!r}, rows={self.row_count}, "
+            f"partitions={self.n_partitions})"
+        )

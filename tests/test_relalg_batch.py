@@ -171,18 +171,55 @@ class TestPlanCacheLifecycle:
         db.query("SELECT id FROM t ORDER BY id")
         assert db.plan_cache_info()["misses"] == 2
 
-    def test_epoch_bump_on_drop_table(self, db):
+    def test_drop_of_unrelated_table_keeps_cached_plans(self, db):
+        # Per-table invalidation: DDL on `other` must not evict plans on `t`.
         db.execute("CREATE TABLE other (id INTEGER PRIMARY KEY)")
         self._warm(db)
         db.execute("DROP TABLE other")
         db.query("SELECT id FROM t ORDER BY id")
-        assert db.plan_cache_info()["misses"] == 2
+        info = db.plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
 
-    def test_epoch_bump_on_create_table(self, db):
+    def test_create_of_unrelated_table_keeps_cached_plans(self, db):
         self._warm(db)
         db.execute("CREATE TABLE other (id INTEGER PRIMARY KEY)")
         db.query("SELECT id FROM t ORDER BY id")
+        info = db.plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+
+    def test_drop_of_dependent_table_invalidates(self, db):
+        self._warm(db)
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)")
+        db.query("SELECT id FROM t ORDER BY id")
+        # Dropping and recreating `t` bumps its epoch twice: re-planned.
         assert db.plan_cache_info()["misses"] == 2
+
+    def test_subquery_table_dependency_invalidates(self, db):
+        db.execute("CREATE TABLE s (id INTEGER PRIMARY KEY, v INTEGER)")
+        sql = "SELECT id FROM t WHERE g = (SELECT MAX(v) FROM s)"
+        db.query(sql)
+        db.query(sql)
+        assert db.plan_cache_info() == {"hits": 1, "misses": 1, "size": 1}
+        # DDL on the *subquery* table must invalidate the outer plan too.
+        db.execute("CREATE INDEX idx_s_v ON s (v)")
+        db.query(sql)
+        assert db.plan_cache_info()["misses"] == 2
+
+    def test_mixed_invalidation_keeps_unrelated_plans_hot(self, db):
+        db.execute("CREATE TABLE other (id INTEGER PRIMARY KEY, w INTEGER)")
+        sql_t = "SELECT id FROM t ORDER BY id"
+        sql_other = "SELECT id FROM other ORDER BY id"
+        db.query(sql_t)
+        db.query(sql_other)
+        db.execute("CREATE INDEX idx_other_w ON other (w)")
+        db.query(sql_t)      # hit: t untouched by the DDL
+        db.query(sql_other)  # miss: other's epoch moved
+        info = db.plan_cache_info()
+        assert info["misses"] == 3
+        assert info["hits"] == 1
 
     def test_executemany_selects_miss_exactly_once_per_sql_text(self, db):
         db.executemany(

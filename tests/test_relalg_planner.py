@@ -98,10 +98,17 @@ class TestPlanShapes:
     def test_index_probe_is_chosen_for_indexed_equality(self, db):
         plan = plan_select(parse_sql("SELECT * FROM measurements WHERE id = 3"),
                            db.tables)
-        assert plan.describe() == [
-            {"binding": "measurements", "table": "measurements",
-             "access": "index-probe", "filters": 0},
-        ]
+        (level,) = plan.describe()
+        assert level["binding"] == "measurements"
+        assert level["table"] == "measurements"
+        assert level["access"] == "index-probe"
+        assert level["column"] == "id"
+        assert level["filters"] == 0
+        assert level["partitions"] == 1
+        # Single-partition tables have nothing to prune.
+        assert level["pruned"] is False
+        # 5 rows, 5 distinct primary keys: the probe expects one match.
+        assert level["estimated_rows"] == 1.0
 
     def test_hash_join_is_chosen_for_unindexed_equi_join(self, db):
         plan = plan_select(

@@ -163,6 +163,20 @@ class TestTable:
         table.drop_index("region_id")
         assert table.index_for("region_id") is None
 
+    def test_primary_key_index_cannot_be_dropped(self):
+        # Regression: dropping the PK index used to leave a stale, no longer
+        # maintained index behind that insert kept enforcing uniqueness
+        # against (false duplicates after deletes, real ones missed after
+        # compaction).
+        table = Table(timing_schema())
+        with pytest.raises(SchemaError, match="primary-key index"):
+            table.drop_index("id")
+        table.insert([1, 0, 0, 0.0, "x"])
+        table.delete_where(lambda row: row[0] == 1)
+        table.insert([1, 0, 0, 0.0, "again"])  # no false duplicate
+        with pytest.raises(IntegrityError, match="duplicate primary key"):
+            table.insert([1, 1, 1, 1.0, "dup"])
+
     @given(values=st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=60))
     @settings(max_examples=40, deadline=None)
     def test_index_lookup_matches_scan(self, values):
