@@ -25,6 +25,11 @@ performance trajectory of the relational substrate is tracked from PR to PR:
   analysis at every count; the 8-partition entry also records the virtual
   elapsed time under 4 parallel scan workers (per-partition makespan
   charging).
+* **E8** — pipelined vs. serial statement execution on the overlap-aware
+  virtual clock: a round-trip-bound fetch workload and a CPU-bound scan
+  workload swept over pipeline depths 1–32, the pipelined pushdown analysis
+  at depth 8, and byte-identical depth-1 parity checks against the serial
+  clock (E2 fetch loop, A1-style analysis, E6 bulk load).
 
 Usage::
 
@@ -45,7 +50,9 @@ from pathlib import Path
 
 from repro.asl.specs import cosy_specification
 from repro.bench import build_scenario, identical_table_contents, load_into_backend
-from repro.cosy import ClientSideStrategy, PushdownStrategy
+from repro.compiler import load_repository
+from repro.cosy import ClientSideStrategy, PipelinedPushdownStrategy, PushdownStrategy
+from repro.relalg import AsyncClient, NativeClient, backend
 
 
 def _wall(fn, repeats: int) -> float:
@@ -321,6 +328,158 @@ def bench_partition_sweep(scenario, repeats: int, failures: list) -> dict:
     return report
 
 
+def bench_e8(scenario, failures: list) -> dict:
+    """Pipelined vs. serial statement execution (the overlap-aware clock).
+
+    Three measurements, all on the ``oracle7`` profile (the backend whose
+    round trip dominates — the paper's ~1 ms per-record fetch):
+
+    * a **round-trip-bound** workload (single-record fetches via the primary
+      key) swept over pipeline depths: the virtual time must approach the
+      serialized-chain floor (the client is modeled full-duplex, so the
+      floor is the longest of the send-marshalling, server-work and
+      receive-marshalling chains — the recorded client/server work totals
+      bound it) as the window grows, with ≥ 2× at depth 8;
+    * a **CPU-bound** workload (full-scan aggregates) over the same depths:
+      the server work serializes, so pipelining must leave it nearly flat;
+    * **depth-1 parity**: the window=1 pipeline replays of the E2 fetch
+      loop, the A1-style pushdown analysis and the E6 bulk load must be
+      byte-identical to the serial clock.
+    """
+    probe_rows, fetches, scans = 4000, 200, 40
+    windows = (1, 2, 4, 8, 16, 32)
+    fetch_ids = [(i * 37) % probe_rows + 1 for i in range(fetches)]
+
+    def fresh_client():
+        client = NativeClient(backend("oracle7"))
+        client.execute("CREATE TABLE probe (id INTEGER PRIMARY KEY, x FLOAT)")
+        client.executemany(
+            "INSERT INTO probe (id, x) VALUES (?, ?)",
+            [(i + 1, float(i)) for i in range(probe_rows)],
+        )
+        client.backend.reset_clock()
+        client.client_time = 0.0
+        return client
+
+    serial = fresh_client()
+    for fid in fetch_ids:
+        serial.fetch_record("SELECT x FROM probe WHERE id = ?", [fid])
+    serial_fetch_s = serial.elapsed
+
+    fetch_s, scan_s = {}, {}
+    fetch_raw = {}
+    server_work_s = client_work_s = None
+    for window in windows:
+        client = fresh_client()
+        pipeline = AsyncClient(client, window=window)
+        slots = [
+            pipeline.submit("SELECT x FROM probe WHERE id = ?", [fid]).slot
+            for fid in fetch_ids
+        ]
+        pipeline.gather()
+        fetch_raw[window] = pipeline.elapsed
+        fetch_s[str(window)] = round(pipeline.elapsed, 9)
+        if window > 1:
+            # The serialized work components of the fetch workload, read off
+            # the explicit event timeline (identical at every window > 1).
+            server_work_s = round(sum(s.server_seconds for s in slots), 9)
+            client_work_s = round(client.client_time, 9)
+
+        client = fresh_client()
+        pipeline = AsyncClient(client, window=window)
+        for _ in range(scans):
+            pipeline.submit("SELECT SUM(x) FROM probe")
+        pipeline.gather()
+        scan_s[str(window)] = round(pipeline.elapsed, 9)
+
+    fetch_parity = fetch_raw[1] == serial_fetch_s
+    if not fetch_parity:
+        failures.append("E8: depth-1 fetch loop diverges from the serial clock")
+    fetch_speedup = serial_fetch_s / fetch_raw[8]
+    if fetch_speedup < 2.0:
+        failures.append(
+            f"E8: round-trip-bound speedup at depth 8 is {fetch_speedup:.2f}x "
+            f"(expected >= 2x)"
+        )
+    scan_speedup = scan_s["1"] / scan_s["8"]
+    if not 0.99 <= scan_speedup < 1.5:
+        failures.append(
+            f"E8: CPU-bound workload moved {scan_speedup:.2f}x at depth 8 "
+            f"(expected to stay flat)"
+        )
+
+    # A1-style parity: the full pushdown analysis through the pipelined
+    # strategy at window=1 must replay the serial clock byte for byte.
+    serial_client, serial_strategy = _pushdown_setup(
+        scenario, "oracle7", True, "compiled"
+    )
+    serial_client.backend.reset_clock()
+    scenario.analyzer.analyze(strategy=serial_strategy)
+    serial_analysis_s = serial_client.elapsed
+    piped_client, ids = load_into_backend(scenario, "oracle7", engine="compiled")
+    depth1 = PipelinedPushdownStrategy(
+        scenario.specification, scenario.mapping, piped_client, ids, window=1
+    )
+    for name in scenario.specification.index.properties:
+        depth1.compiled(name)
+    piped_client.backend.reset_clock()
+    scenario.analyzer.analyze(strategy=depth1)
+    analysis_parity = piped_client.elapsed == serial_analysis_s
+    if not analysis_parity:
+        failures.append("E8: depth-1 analysis diverges from the serial clock")
+
+    deep_client, ids = load_into_backend(scenario, "oracle7", engine="compiled")
+    depth8 = PipelinedPushdownStrategy(
+        scenario.specification, scenario.mapping, deep_client, ids, window=8
+    )
+    for name in scenario.specification.index.properties:
+        depth8.compiled(name)
+    deep_client.backend.reset_clock()
+    result = scenario.analyzer.analyze(strategy=depth8)
+    reference = scenario.analyzer.analyze(strategy=serial_strategy)
+    identical = {
+        (i.property_name, i.subject): i.severity for i in result.instances
+    } == {
+        (i.property_name, i.subject): i.severity for i in reference.instances
+    }
+    if not identical:
+        failures.append("E8: pipelined analysis diverges from the serial analysis")
+
+    # E6-style parity: the loader through a depth-1 pipeline replays the
+    # serial bulk-load clock byte for byte.
+    serial_load, _ = load_into_backend(scenario, "oracle7")
+    piped_load = AsyncClient(NativeClient(backend("oracle7")), window=1)
+    load_repository(scenario.repository, scenario.mapping, piped_load)
+    load_parity = piped_load.elapsed == serial_load.elapsed
+    if not load_parity:
+        failures.append("E8: depth-1 bulk load diverges from the serial clock")
+
+    return {
+        "probe_rows": probe_rows,
+        "fetches": fetches,
+        "scans": scans,
+        "fetch_virtual_s": fetch_s,
+        "scan_virtual_s": scan_s,
+        "serial_fetch_virtual_s": round(serial_fetch_s, 9),
+        "fetch_server_work_s": server_work_s,
+        "fetch_client_work_s": client_work_s,
+        "fetch_speedup_depth8": round(fetch_speedup, 3),
+        "fetch_speedup_depth32": round(serial_fetch_s / fetch_raw[32], 3),
+        "scan_speedup_depth8": round(scan_speedup, 3),
+        "analysis_virtual_depth1_s": round(piped_client.elapsed, 9),
+        "analysis_virtual_depth8_s": round(deep_client.elapsed, 9),
+        "analysis_speedup_depth8": round(
+            serial_analysis_s / deep_client.elapsed, 3
+        ),
+        "analysis_identical": identical,
+        "depth1_parity": {
+            "E2_fetch_loop": fetch_parity,
+            "A1_analysis": analysis_parity,
+            "E6_bulk_load": load_parity,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -357,6 +516,7 @@ def main(argv=None) -> int:
             "partition_sweep": bench_partition_sweep(
                 medium, args.repeats, failures
             ),
+            "E8_overlap": bench_e8(medium, failures),
         },
     }
 
@@ -386,6 +546,11 @@ def main(argv=None) -> int:
               for parts, entry in sweep["E3"].items()
               if isinstance(entry, dict)
           ))
+    e8 = report["scenarios"]["E8_overlap"]
+    parity = all(e8["depth1_parity"].values())
+    print(f"E8  overlap speedup at depth 8: fetch "
+          f"{e8['fetch_speedup_depth8']}x, scan {e8['scan_speedup_depth8']}x, "
+          f"analysis {e8['analysis_speedup_depth8']}x; depth-1 parity: {parity}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,88 @@
+"""E8 — request pipelining: overlapping round trips vs. the serial clock.
+
+The paper's Section-5 observation — a per-record fetch costs ~1 ms, dominated
+by the network round trip — makes the serialized fetch loop round-trip-bound.
+This benchmark drives the same E2-style fetch loop through the pipelined
+:class:`~repro.relalg.client.AsyncClient` and checks the overlap-aware
+virtual clock's contract:
+
+* at pipeline depth 1 the virtual time is **byte-identical** to the serial
+  client stack (the timeline refactor changes nothing when nothing overlaps);
+* at depth 8 the overlapping round trips yield a **> 2× virtual speedup**
+  while the results stay identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relalg import AsyncClient, NativeClient, backend
+
+TABLE_ROWS = 256
+FETCHES = 64
+
+
+def prepare_client():
+    client = NativeClient(backend("oracle7"))
+    client.execute("CREATE TABLE probe (id INTEGER PRIMARY KEY, x FLOAT)")
+    client.executemany(
+        "INSERT INTO probe (id, x) VALUES (?, ?)",
+        [(i + 1, float(i)) for i in range(TABLE_ROWS)],
+    )
+    client.backend.reset_clock()
+    client.client_time = 0.0
+    return client
+
+
+def fetch_ids():
+    return [(i * 37) % TABLE_ROWS + 1 for i in range(FETCHES)]
+
+
+class TestE8OverlapBenchmark:
+    def test_pipelined_fetch_loop_overlaps_round_trips(self, benchmark):
+        def measure():
+            virtual, rows = {}, {}
+            for window in (1, 8):
+                client = prepare_client()
+                pipeline = AsyncClient(client, window=window)
+                for fid in fetch_ids():
+                    pipeline.submit("SELECT x FROM probe WHERE id = ?", [fid])
+                rows[window] = [r.rows for r in pipeline.gather()]
+                virtual[window] = pipeline.elapsed
+            serial = prepare_client()
+            serial_rows = [
+                serial.query("SELECT x FROM probe WHERE id = ?", [fid]).rows
+                for fid in fetch_ids()
+            ]
+            return virtual, rows, serial.elapsed, serial_rows
+
+        virtual, rows, serial_elapsed, serial_rows = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        # Pipelining changes when statements are charged, never what they
+        # return.
+        assert rows[1] == rows[8] == serial_rows
+        # Depth-1 parity: the event-timeline clock replays the serial clock
+        # byte for byte.
+        assert virtual[1] == serial_elapsed
+        speedup = virtual[1] / virtual[8]
+        benchmark.extra_info["overlap_speedup_depth8"] = round(speedup, 3)
+        assert speedup > 1.0
+        # Round-trip-bound: a window of 8 must at least halve the loop.
+        assert speedup >= 2.0
+
+    def test_depth_one_executemany_parity(self, benchmark):
+        def measure():
+            rows = [(i + 1, float(i)) for i in range(200)]
+            serial = NativeClient(backend("oracle7"))
+            serial.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT)")
+            serial.executemany("INSERT INTO t (id, x) VALUES (?, ?)", rows)
+            piped = AsyncClient(NativeClient(backend("oracle7")), window=1)
+            piped.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT)")
+            piped.executemany("INSERT INTO t (id, x) VALUES (?, ?)", rows)
+            return serial.elapsed, piped.elapsed
+
+        serial_elapsed, piped_elapsed = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        assert piped_elapsed == serial_elapsed

@@ -225,12 +225,15 @@ class CosyAnalyzer:
         strategy: EvaluationStrategy,
         result: AnalysisResult,
     ) -> None:
-        for region in version.all_regions():
-            parameters = self._bind_parameters(registration.name, region, run, basis)
-            self._evaluate_one(
-                registration, region.name, SubjectKind.REGION, parameters, run,
-                strategy, result,
+        contexts = [
+            (
+                region.name,
+                SubjectKind.REGION,
+                self._bind_parameters(registration.name, region, run, basis),
             )
+            for region in version.all_regions()
+        ]
+        self._evaluate_contexts(registration, contexts, run, strategy, result)
 
     def _evaluate_calls(
         self,
@@ -241,14 +244,48 @@ class CosyAnalyzer:
         strategy: EvaluationStrategy,
         result: AnalysisResult,
     ) -> None:
-        for call in version.all_calls():
-            if not registration.accepts_callee(call.callee_name):
-                continue
-            subject = f"{call.callee_name}@{call.CallingReg.name}"
-            parameters = self._bind_parameters(registration.name, call, run, basis)
-            self._evaluate_one(
-                registration, subject, SubjectKind.CALL, parameters, run,
-                strategy, result,
+        contexts = [
+            (
+                f"{call.callee_name}@{call.CallingReg.name}",
+                SubjectKind.CALL,
+                self._bind_parameters(registration.name, call, run, basis),
+            )
+            for call in version.all_calls()
+            if registration.accepts_callee(call.callee_name)
+        ]
+        self._evaluate_contexts(registration, contexts, run, strategy, result)
+
+    def _evaluate_contexts(
+        self,
+        registration: PropertyRegistration,
+        contexts: List,
+        run: TestRun,
+        strategy: EvaluationStrategy,
+        result: AnalysisResult,
+    ) -> None:
+        """Evaluate one property over all its contexts.
+
+        Strategies that offer ``evaluate_many`` (the pipelined pushdown
+        strategy) receive the whole context list at once, so their statement
+        pipeline can overlap round trips *across* contexts; per-context
+        failures come back as :class:`AslEvaluationError` entries and are
+        skipped exactly like in the serial path.  Everything else is driven
+        context by context through :meth:`_evaluate_one`.
+        """
+        evaluate_many = getattr(strategy, "evaluate_many", None)
+        if evaluate_many is None:
+            for subject, subject_kind, parameters in contexts:
+                self._evaluate_one(
+                    registration, subject, subject_kind, parameters, run,
+                    strategy, result,
+                )
+            return
+        evaluations = evaluate_many(
+            registration.name, [parameters for _, _, parameters in contexts]
+        )
+        for (subject, subject_kind, _), evaluation in zip(contexts, evaluations):
+            self._record_evaluation(
+                registration, subject, subject_kind, run, evaluation, result
             )
 
     def _evaluate_one(
@@ -263,9 +300,29 @@ class CosyAnalyzer:
     ) -> None:
         try:
             evaluation = strategy.evaluate(registration.name, parameters)
-        except AslEvaluationError:
-            # Missing data for this context (e.g. a region without timings for
-            # the selected run): skip the instance but keep analysing.
+        except AslEvaluationError as error:
+            evaluation = error
+        self._record_evaluation(
+            registration, subject, subject_kind, run, evaluation, result
+        )
+
+    @staticmethod
+    def _record_evaluation(
+        registration: PropertyRegistration,
+        subject: str,
+        subject_kind: str,
+        run: TestRun,
+        evaluation: Union[PropertyEvaluation, AslEvaluationError],
+        result: AnalysisResult,
+    ) -> None:
+        """Append one evaluation outcome to the analysis result.
+
+        An :class:`AslEvaluationError` value means the context lacked data
+        (e.g. a region without timings for the selected run): the instance
+        is skipped but the analysis keeps going — identical handling for the
+        serial per-context path and the pipelined batch path.
+        """
+        if isinstance(evaluation, AslEvaluationError):
             result.skipped += 1
             return
         result.instances.append(

@@ -21,7 +21,11 @@ from repro.asl.specs import cosy_specification
 from repro.compiler import PropertyCompiler, generate_schema, load_repository
 from repro.cosy.analyzer import CosyAnalyzer, DEFAULT_THRESHOLD
 from repro.cosy.report import render_report
-from repro.cosy.strategies import ClientSideStrategy, PushdownStrategy
+from repro.cosy.strategies import (
+    ClientSideStrategy,
+    PipelinedPushdownStrategy,
+    PushdownStrategy,
+)
 from repro.relalg import NativeClient, backend
 
 __all__ = ["build_parser", "main"]
@@ -86,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         "scans are charged as a makespan over this many workers)",
     )
     parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="in-flight statement window of the pushdown strategy: 1 "
+        "(default) serializes every round trip, >1 pipelines the "
+        "per-property SELECTs so their network round trips overlap on "
+        "the virtual timeline",
+    )
+    parser.add_argument(
         "--top",
         type=int,
         default=20,
@@ -124,6 +137,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``cosy`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.pipeline_depth < 1:
+        parser.error("--pipeline-depth must be >= 1")
+    if args.pipeline_depth > 1 and args.strategy != "pushdown":
+        parser.error("--pipeline-depth requires --strategy pushdown")
 
     specification = cosy_specification()
 
@@ -165,7 +183,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             _print_property_queries(specification, mapping, render_plan)
             return 0
-        strategy = PushdownStrategy(specification, mapping, client, ids)
+        if args.pipeline_depth > 1:
+            strategy = PipelinedPushdownStrategy(
+                specification, mapping, client, ids,
+                window=args.pipeline_depth,
+            )
+        else:
+            strategy = PushdownStrategy(specification, mapping, client, ids)
     else:
         strategy = ClientSideStrategy(specification)
 

@@ -16,24 +16,31 @@ paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
   cache); :mod:`repro.relalg.interp` keeps the seed AST-walking engine as the
   differential-testing and benchmark baseline;
 * :mod:`repro.relalg.backends` — virtual cost models of the four backends the
-  paper compares (Section 5);
+  paper compares (Section 5), with the event-timeline virtual clock and the
+  overlap-aware pipelining scheduler;
 * :mod:`repro.relalg.client` — native (C-like) vs. bridged (JDBC-like) client
-  API layers.
+  API layers, plus the pipelined submit/gather ``AsyncClient``.
 """
 
 from repro.relalg.backends import (
     BACKEND_PROFILES,
     DEFAULT_BATCH_SIZE,
     BackendProfile,
+    PipelineSlot,
+    PipelinedTimeline,
     SimulatedBackend,
+    StatementCost,
+    TimelineEvent,
     VirtualClock,
     backend,
 )
 from repro.relalg.client import (
+    AsyncClient,
     BridgedClient,
     ClientCosts,
     DatabaseClient,
     NativeClient,
+    PendingResult,
 )
 from repro.relalg.database import Database, ExecutionSummary
 from repro.relalg.errors import (
@@ -67,6 +74,7 @@ from repro.relalg.storage import (
 
 __all__ = [
     "AccessPath",
+    "AsyncClient",
     "BACKEND_PROFILES",
     "BackendProfile",
     "BridgedClient",
@@ -86,6 +94,9 @@ __all__ = [
     "NativeClient",
     "Partition",
     "PartitionScan",
+    "PendingResult",
+    "PipelineSlot",
+    "PipelinedTimeline",
     "PositionsView",
     "QueryPlan",
     "QueryStats",
@@ -96,10 +107,12 @@ __all__ = [
     "SimulatedBackend",
     "SqlParser",
     "SqlSyntaxError",
+    "StatementCost",
     "Table",
     "TableIndex",
     "TableSchema",
     "TableStatistics",
+    "TimelineEvent",
     "VirtualClock",
     "backend",
     "parse_sql",

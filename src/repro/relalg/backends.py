@@ -21,6 +21,14 @@ transfer time of the backend profile.  The constants are calibrated so that
 the single-record fetch and the relative factors quoted above are reproduced;
 the E1/E2 benchmarks then measure whether the *relative ordering and rough
 factors* match the paper.
+
+The clock is an explicit **event timeline** (:class:`TimelineEvent` spans),
+not a scalar accumulator: serially charged statements append back-to-back
+spans with the historical float arithmetic (byte-identical totals), while the
+overlap-aware :class:`PipelinedTimeline` schedules up to ``window`` in-flight
+statements whose round-trip components overlap and whose server-side work
+serializes — the model behind the ``AsyncClient`` pipelining layer and the E8
+overlap benchmark.
 """
 
 from __future__ import annotations
@@ -37,13 +45,23 @@ __all__ = [
     "BackendProfile",
     "BACKEND_PROFILES",
     "DEFAULT_BATCH_SIZE",
+    "MAX_TIMELINE_EVENTS",
+    "TimelineEvent",
     "VirtualClock",
+    "StatementCost",
+    "PipelineSlot",
+    "PipelinedTimeline",
     "SimulatedBackend",
     "backend",
 ]
 
 #: Parameter rows shipped per ``executemany`` round trip unless overridden.
 DEFAULT_BATCH_SIZE = 100
+
+#: Upper bound of the retained timeline trace; when exceeded, the oldest half
+#: is compacted away.  The completion frontier — not the trace — is the
+#: accounting source of truth, so totals are unaffected.
+MAX_TIMELINE_EVENTS = 100_000
 
 
 @dataclass(frozen=True)
@@ -145,16 +163,79 @@ BACKEND_PROFILES: Dict[str, BackendProfile] = {
 }
 
 
+@dataclass(slots=True)
+class TimelineEvent:
+    """One span on the virtual timeline (a value object; treat as immutable).
+
+    ``kind`` names what occupied the span: ``"connect"`` (connection setup),
+    ``"statement"`` (a serially charged statement), ``"client"`` (client-side
+    marshalling charged serially) or ``"pipelined"`` (the full submit →
+    complete lifetime of an overlapped statement — pipelined spans of
+    concurrent statements overlap each other on the timeline).
+
+    One event is appended per charged statement, so creation sits on the hot
+    path: a slotted, non-frozen dataclass skips the ``object.__setattr__``
+    toll frozen dataclasses pay per field.
+    """
+
+    kind: str
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class VirtualClock:
-    """Accumulates virtual elapsed time (seconds)."""
+    """Virtual elapsed time as an explicit event timeline.
+
+    The clock keeps an ordered list of :class:`TimelineEvent` spans plus a
+    *completion frontier* (:attr:`elapsed`).  Serial charging
+    (:meth:`advance`) appends a span starting at the frontier and accumulates
+    with the exact float arithmetic of the historical scalar clock, so serial
+    totals stay byte-identical to the pre-timeline implementation.
+    Overlap-aware charging (:class:`PipelinedTimeline`) records spans that
+    *start before* the frontier — concurrent statements overlap on the
+    timeline — and pushes the frontier forward with :meth:`advance_to`.
+
+    The trace is bounded: beyond :data:`MAX_TIMELINE_EVENTS` spans the
+    oldest half is dropped, so long-lived backends keep a recent-history
+    window instead of growing without bound.  All totals live in the
+    frontier, never in the trace.
+    """
 
     def __init__(self) -> None:
         self._elapsed = 0.0
+        self.events: List[TimelineEvent] = []
 
-    def advance(self, seconds: float) -> None:
+    def advance(self, seconds: float, kind: str = "serial", label: str = "") -> None:
+        """Charge ``seconds`` serially, starting at the completion frontier."""
         if seconds < 0:
             raise ValueError(f"cannot advance the clock by {seconds}")
+        start = self._elapsed
         self._elapsed += seconds
+        self._record(TimelineEvent(kind, start, self._elapsed, label))
+
+    def advance_to(self, instant: float) -> None:
+        """Move the completion frontier forward to ``instant``.
+
+        Used by the overlap scheduler after committing a window: the frontier
+        becomes the completion of the last in-flight statement.  An instant
+        behind the frontier is a no-op — time never runs backwards.
+        """
+        if instant > self._elapsed:
+            self._elapsed = instant
+
+    def record(self, event: TimelineEvent) -> None:
+        """Append an already positioned (possibly overlapping) span."""
+        self._record(event)
+
+    def _record(self, event: TimelineEvent) -> None:
+        self.events.append(event)
+        if len(self.events) > MAX_TIMELINE_EVENTS:
+            del self.events[: len(self.events) // 2]
 
     @property
     def elapsed(self) -> float:
@@ -162,6 +243,217 @@ class VirtualClock:
 
     def reset(self) -> None:
         self._elapsed = 0.0
+        self.events.clear()
+
+
+@dataclass(slots=True)
+class StatementCost:
+    """Virtual cost breakdown of one executed statement (a value object;
+    treat as immutable — created once per statement, on the hot path).
+
+    :attr:`total` reproduces :meth:`BackendProfile.statement_cost` exactly
+    (same expression, same floats), so serial charging through a cost object
+    is byte-identical to the historical scalar clock.  The overlap-aware
+    timeline instead splits the statement into the components that behave
+    differently under pipelining:
+
+    * the **request** and **response** halves of the network round trip plus
+      the per-row result transfer — wire time that overlaps across in-flight
+      statements;
+    * the **server** work (scan/join/insert processing) — serialized on the
+      simulated server, with ``rows_scanned`` already makespan-adjusted when
+      the backend models ``parallelism`` scan workers.
+    """
+
+    profile: BackendProfile
+    rows_inserted: int
+    rows_returned: int
+    rows_scanned: int
+
+    @property
+    def total(self) -> float:
+        """Serial charge of the statement (the historical scalar arithmetic)."""
+        return self.profile.statement_cost(
+            rows_inserted=self.rows_inserted,
+            rows_returned=self.rows_returned,
+            rows_scanned=self.rows_scanned,
+        )
+
+    @property
+    def server_seconds(self) -> float:
+        """Server-side processing time (serializes across statements)."""
+        cost = (
+            self.rows_inserted * self.profile.per_insert_row
+            + self.rows_scanned * self.profile.per_scanned_row
+        )
+        if self.rows_inserted:
+            cost += self.profile.per_insert_statement
+        return cost
+
+    @property
+    def request_seconds(self) -> float:
+        """Wire time of the request (client → server half of the round trip)."""
+        return self.profile.round_trip / 2
+
+    @property
+    def response_seconds(self) -> float:
+        """Wire time of the response (server → client half plus row transfer)."""
+        return (
+            self.profile.round_trip
+            - self.profile.round_trip / 2
+            + self.rows_returned * self.profile.per_fetch_row
+        )
+
+
+@dataclass(slots=True)
+class PipelineSlot:
+    """The scheduled lifecycle of one overlapped statement (virtual seconds;
+    a value object — treat as immutable)."""
+
+    label: str
+    #: When the client began dispatching the statement.
+    submitted: float
+    #: When the request left the client (dispatch marshalling done).
+    dispatched: float
+    #: When the server started / finished processing the statement.
+    server_start: float
+    server_end: float
+    #: When the full response reached the client.
+    responded: float
+    #: When the client finished receiving/unmarshalling the response.
+    completed: float
+
+    @property
+    def server_seconds(self) -> float:
+        return self.server_end - self.server_start
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-complete latency of this statement."""
+        return self.completed - self.submitted
+
+
+class PipelinedTimeline:
+    """Overlap-aware scheduler over a :class:`VirtualClock`.
+
+    Models a client that keeps up to ``window`` statements in flight on one
+    pipelined connection.  Per statement *i* (an explicit event timeline, not
+    a scalar accumulator):
+
+    * ``submitted_i = max(client dispatch channel free, completed_{i-window})``
+      — the client dispatches serially and holds at most ``window``
+      uncompleted statements in flight;
+    * the request travels for :attr:`StatementCost.request_seconds`;
+    * the server serializes: ``server_start_i = max(request arrival, server
+      free)`` — server work never overlaps other server work (scan charges
+      are already per-partition makespans when the backend models
+      ``parallelism`` workers);
+    * the response travels back for :attr:`StatementCost.response_seconds`;
+    * responses complete in submission order (pipelined connections preserve
+      ordering): ``completed_i = max(response arrival, completed_{i-1}) +
+      client receive work``.
+
+    The client is modeled **full-duplex** (think a driver with a send and a
+    receive thread): dispatch marshalling serializes along the send path,
+    receive marshalling serializes along the in-order receive path, and the
+    two paths do not contend with each other.  The elapsed-time floor of a
+    deeply pipelined workload is therefore the *longest* serialized chain —
+    ``max(send marshalling, server work, receive marshalling)`` plus one
+    round-trip latency — not the sum of all client and server work.
+
+    Round-trip components of concurrent statements therefore overlap while
+    server work accumulates serially, so a round-trip-bound workload
+    approaches that serialized-chain floor as the window grows and a
+    CPU-bound workload stays flat.  :meth:`drain` commits the scheduled
+    slots to the clock as overlapping ``"pipelined"`` spans and moves the
+    completion frontier to the last completion.
+    """
+
+    def __init__(self, clock: VirtualClock, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self.clock = clock
+        self.window = window
+        self._slots: List[PipelineSlot] = []
+        self._completions: List[float] = []
+        self._base: Optional[float] = None
+        self._client_free = 0.0
+        self._server_free = 0.0
+        self._last_completion = 0.0
+
+    @property
+    def pending(self) -> int:
+        """Scheduled but not yet drained statements."""
+        return len(self._slots)
+
+    def submit(
+        self,
+        cost: StatementCost,
+        dispatch_seconds: float = 0.0,
+        receive_seconds: float = 0.0,
+        label: str = "",
+    ) -> PipelineSlot:
+        """Schedule one statement; returns its slot on the event timeline.
+
+        ``dispatch_seconds`` / ``receive_seconds`` are the client-side
+        marshalling costs on the request and response side (both serialize on
+        the client).
+        """
+        if self._base is None:
+            self._base = self.clock.elapsed
+            self._client_free = self._base
+            self._server_free = self._base
+            self._last_completion = self._base
+        position = len(self._completions)
+        earliest = (
+            self._base
+            if position < self.window
+            else self._completions[position - self.window]
+        )
+        submitted = max(self._client_free, earliest)
+        dispatched = submitted + dispatch_seconds
+        self._client_free = dispatched
+        arrival = dispatched + cost.request_seconds
+        server_start = max(arrival, self._server_free)
+        server_end = server_start + cost.server_seconds
+        self._server_free = server_end
+        responded = server_end + cost.response_seconds
+        completed = max(responded, self._last_completion) + receive_seconds
+        self._last_completion = completed
+        self._completions.append(completed)
+        slot = PipelineSlot(
+            label=label,
+            submitted=submitted,
+            dispatched=dispatched,
+            server_start=server_start,
+            server_end=server_end,
+            responded=responded,
+            completed=completed,
+        )
+        self._slots.append(slot)
+        return slot
+
+    def drain(self) -> float:
+        """Commit every scheduled slot to the clock; returns the new elapsed.
+
+        Records one overlapping ``"pipelined"`` span per statement and moves
+        the completion frontier to the last completion.  Idempotent when
+        nothing is pending; the next :meth:`submit` starts a fresh window
+        from the (possibly advanced) frontier.
+        """
+        if self._base is None:
+            return self.clock.elapsed
+        for slot in self._slots:
+            self.clock.record(
+                TimelineEvent(
+                    "pipelined", slot.submitted, slot.completed, slot.label
+                )
+            )
+        self.clock.advance_to(self._last_completion)
+        self._slots.clear()
+        self._completions.clear()
+        self._base = None
+        return self.clock.elapsed
 
 
 class SimulatedBackend:
@@ -265,19 +557,16 @@ class SimulatedBackend:
     def connect(self) -> None:
         """Establish the (virtual) connection; charged only once."""
         if not self._connected:
-            self.clock.advance(self.profile.connect_latency)
+            self.clock.advance(
+                self.profile.connect_latency, kind="connect",
+                label=self.profile.name,
+            )
             self._connected = True
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> Union[ResultSet, int]:
-        """Execute one statement, charging the backend's virtual costs.
-
-        The engine's statement-level plan cache makes *client-side* repeated
-        execution cheap; the virtual cost model still charges the full
-        per-statement round trip and per-row work, because the simulated
-        server would perform it regardless of how the client prepared the
-        statement.
-        """
-        self.connect()
+    def _measured_execute(
+        self, sql: str, params: Sequence[Any]
+    ) -> Tuple[Union[ResultSet, int], StatementCost]:
+        """Execute one statement and measure its cost without charging it."""
         summary = self.database.summary
         scanned_before = summary.rows_scanned
         inserted_before = summary.rows_inserted
@@ -291,17 +580,43 @@ class SimulatedBackend:
         # insert costs.
         inserted = summary.rows_inserted - inserted_before
         returned = len(result.rows) if isinstance(result, ResultSet) else 0
-        self.clock.advance(
-            self.profile.statement_cost(
-                rows_inserted=inserted,
-                rows_returned=returned,
-                rows_scanned=scanned,
-            )
-        )
+        return result, StatementCost(self.profile, inserted, returned, scanned)
+
+    def _account(self, cost: StatementCost) -> None:
+        """Update the statement/row counters for one executed statement."""
         self.statements_executed += 1
-        self.rows_inserted += inserted
-        self.rows_fetched += returned
+        self.rows_inserted += cost.rows_inserted
+        self.rows_fetched += cost.rows_returned
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Union[ResultSet, int]:
+        """Execute one statement, charging the backend's virtual costs.
+
+        The engine's statement-level plan cache makes *client-side* repeated
+        execution cheap; the virtual cost model still charges the full
+        per-statement round trip and per-row work, because the simulated
+        server would perform it regardless of how the client prepared the
+        statement.
+        """
+        self.connect()
+        result, cost = self._measured_execute(sql, params)
+        self.clock.advance(cost.total, kind="statement", label=sql[:60])
+        self._account(cost)
         return result
+
+    def execute_pipelined(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> Tuple[Union[ResultSet, int], StatementCost]:
+        """Execute one statement *without* advancing the virtual clock.
+
+        The engine runs (and the statement/row counters update) immediately;
+        the returned :class:`StatementCost` carries the component breakdown
+        so an overlap-aware caller (:class:`PipelinedTimeline` via
+        ``AsyncClient``) owns the timing instead of the serial clock.
+        """
+        self.connect()
+        result, cost = self._measured_execute(sql, params)
+        self._account(cost)
+        return result, cost
 
     def executemany(
         self,
@@ -336,31 +651,44 @@ class SimulatedBackend:
                 total += len(self.query(sql, params))
             return total
         self.connect()
-        summary = self.database.summary
         total = 0
         for start in range(0, len(rows), size):
-            batch = rows[start:start + size]
-            scanned_before = summary.rows_scanned
-            returned_before = summary.rows_returned
-            inserted_before = summary.rows_inserted
-            partitions_before = self._partition_snapshot()
-            total += self.database.executemany(sql, batch)
-            inserted = summary.rows_inserted - inserted_before
-            returned = summary.rows_returned - returned_before
-            scanned = self._charged_scan_rows(
-                partitions_before, summary.rows_scanned - scanned_before
-            )
-            self.clock.advance(
-                self.profile.statement_cost(
-                    rows_inserted=inserted,
-                    rows_returned=returned,
-                    rows_scanned=scanned,
-                )
-            )
-            self.statements_executed += 1
-            self.rows_inserted += inserted
-            self.rows_fetched += returned
+            affected, cost = self._measured_batch(sql, rows[start:start + size])
+            total += affected
+            self.clock.advance(cost.total, kind="statement", label=sql[:60])
+            self._account(cost)
         return total
+
+    def _measured_batch(
+        self, sql: str, batch: Sequence[Sequence[Any]]
+    ) -> Tuple[int, StatementCost]:
+        """Execute one DML batch and measure its cost without charging it."""
+        summary = self.database.summary
+        scanned_before = summary.rows_scanned
+        returned_before = summary.rows_returned
+        inserted_before = summary.rows_inserted
+        partitions_before = self._partition_snapshot()
+        affected = self.database.executemany(sql, batch)
+        inserted = summary.rows_inserted - inserted_before
+        returned = summary.rows_returned - returned_before
+        scanned = self._charged_scan_rows(
+            partitions_before, summary.rows_scanned - scanned_before
+        )
+        return affected, StatementCost(self.profile, inserted, returned, scanned)
+
+    def executemany_pipelined(
+        self, sql: str, batch: Sequence[Sequence[Any]]
+    ) -> Tuple[int, StatementCost]:
+        """Execute one already-batched DML statement without clock charging.
+
+        The pipelined counterpart of one :meth:`executemany` batch: the
+        caller (``AsyncClient``) splits the parameter rows into backend-sized
+        batches and schedules each batch's cost on its overlap timeline.
+        """
+        self.connect()
+        affected, cost = self._measured_batch(sql, batch)
+        self._account(cost)
+        return affected, cost
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         """Execute a statement that must be a SELECT."""
@@ -374,7 +702,8 @@ class SimulatedBackend:
 
         Planning introspection only: the virtual clock is not advanced (the
         era's EXPLAIN facilities ran in the client's catalog, not against
-        the data path).
+        the data path).  Non-SELECT statements and non-string input raise
+        the engine's typed :class:`ExecutionError`, mirrored unchanged.
         """
         return self.database.explain(sql)
 

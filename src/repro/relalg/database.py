@@ -361,7 +361,22 @@ class Database:
         exactly like :meth:`execute`; subquery plans come from the cached
         plan's own plan-time snapshot, so the output describes the plans
         that actually execute, not a re-derivation under newer statistics.
+
+        Raises a typed :class:`ExecutionError` (never a bare ``TypeError``)
+        for non-string input and non-SELECT statements, and on the
+        interpreted engine — whose AST walker does not run the planned
+        access paths, so describing (and caching) a compiled plan would
+        silently report an execution that never happens.
         """
+        if not isinstance(sql, str):
+            raise ExecutionError(
+                f"explain() requires SQL text, got {type(sql).__name__}"
+            )
+        if self.engine != "compiled":
+            raise ExecutionError(
+                "explain() requires the compiled engine; the interpreted "
+                "AST walker does not execute planned access paths"
+            )
         statement = self._parse_cached(sql)
         if not isinstance(statement, SelectStatement):
             raise ExecutionError("explain() requires a SELECT statement")

@@ -6,6 +6,7 @@ from repro.bench import build_scenario, load_into_backend
 from repro.cosy import (
     ClientSideStrategy,
     CosyAnalyzer,
+    PipelinedPushdownStrategy,
     PropertyRegistration,
     PropertyRegistry,
     PushdownStrategy,
@@ -15,6 +16,7 @@ from repro.cosy import (
 )
 from repro.cosy.report import format_table, render_speedup_table
 from repro.datamodel import PerformanceDatabase
+from repro.relalg import ExecutionError
 
 
 @pytest.fixture(scope="module")
@@ -196,6 +198,65 @@ class TestStrategyEquivalence:
         assert evaluation.holds
         # one condition + one confidence + one severity query
         assert pushdown.statements_issued == 3
+
+    def test_pipelined_pushdown_matches_serial_pushdown(self, scenario):
+        serial_client, serial_ids = load_into_backend(scenario, "oracle7")
+        serial = PushdownStrategy(
+            scenario.specification, scenario.mapping, serial_client, serial_ids
+        )
+        serial_result = scenario.analyzer.analyze(strategy=serial)
+
+        piped_client, piped_ids = load_into_backend(scenario, "oracle7")
+        piped = PipelinedPushdownStrategy(
+            scenario.specification, scenario.mapping, piped_client, piped_ids,
+            window=8,
+        )
+        piped_result = scenario.analyzer.analyze(strategy=piped)
+
+        assert piped.statements_issued == serial.statements_issued
+        serial_map = {
+            (i.property_name, i.subject): i.severity
+            for i in serial_result.instances
+        }
+        piped_map = {
+            (i.property_name, i.subject): i.severity
+            for i in piped_result.instances
+        }
+        assert serial_map == piped_map
+        # Overlapping the per-property round trips can only help.
+        assert piped_client.elapsed <= serial_client.elapsed
+
+    def test_pipelined_pushdown_at_window_one_is_byte_identical(self, scenario):
+        serial_client, serial_ids = load_into_backend(scenario, "oracle7")
+        serial_client.backend.reset_clock()
+        serial = PushdownStrategy(
+            scenario.specification, scenario.mapping, serial_client, serial_ids
+        )
+        scenario.analyzer.analyze(strategy=serial)
+
+        piped_client, piped_ids = load_into_backend(scenario, "oracle7")
+        piped_client.backend.reset_clock()
+        piped = PipelinedPushdownStrategy(
+            scenario.specification, scenario.mapping, piped_client, piped_ids,
+            window=1,
+        )
+        scenario.analyzer.analyze(strategy=piped)
+        assert piped_client.elapsed == serial_client.elapsed
+
+
+class TestStrategyGuards:
+    """The strategy preconditions are real checks, not bare asserts —
+    they must also hold under ``python -O``."""
+
+    def test_fetch_without_client_raises_execution_error(self, scenario):
+        strategy = ClientSideStrategy(scenario.specification)
+        with pytest.raises(ExecutionError, match="database client"):
+            strategy._fetch_data_components({})
+
+    def test_query_without_client_raises_execution_error(self, scenario):
+        strategy = ClientSideStrategy(scenario.specification)
+        with pytest.raises(ExecutionError, match="no database client"):
+            strategy._query("SELECT 1 FROM Dual", [])
 
 
 class TestReports:

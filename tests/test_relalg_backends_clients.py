@@ -5,8 +5,10 @@ import pytest
 from repro.relalg import (
     BACKEND_PROFILES,
     BridgedClient,
+    ExecutionError,
     NativeClient,
     SimulatedBackend,
+    SqlSyntaxError,
     VirtualClock,
     backend,
 )
@@ -156,3 +158,76 @@ class TestClientLayers:
     def test_bridged_slowdown_must_exceed_one(self):
         with pytest.raises(ValueError):
             BridgedClient(backend("ms_access"), slowdown=0.5)
+
+
+class TestExecutemanyAccounting:
+    """Regression pins for the client-side executemany marshalling charge.
+
+    ``executemany`` over a SELECT executes one backend statement *per
+    parameter row* (result sets cannot be batched on the wire), so the
+    per-parameter binding charge must follow the per-row statement count —
+    not the DML batch size, which used to over-slice the shipped rows on a
+    mid-run failure.
+    """
+
+    def _client(self, rows=10):
+        client = NativeClient(backend("oracle7"))
+        prepare(client.backend, rows=rows)
+        client.backend.reset_clock()
+        client.client_time = 0.0
+        client.calls = 0
+        client.rows_fetched = 0
+        return client
+
+    def test_select_executemany_charges_one_row_per_statement(self):
+        client = self._client()
+        param_rows = [(1,), (2,), (999,)]
+        total = client.executemany("SELECT x FROM t WHERE id = ?", param_rows)
+        assert total == 2  # id 999 matches nothing
+        assert client.calls == 3
+        expected = (
+            client.costs.per_call * 3
+            + client.costs.per_param * 3
+            + client.costs.per_row * 2
+        )
+        assert client.client_time == expected
+
+    def test_select_mid_run_failure_charges_only_shipped_rows(self):
+        client = self._client()
+        # The third parameter row is missing its binding: the first two
+        # statements execute (and are charged), the rest never ship.
+        with pytest.raises(ExecutionError):
+            client.executemany(
+                "SELECT x FROM t WHERE id = ?", [(1,), (2,), (), (4,), (5,)]
+            )
+        assert client.calls == 2
+        expected = (
+            client.costs.per_call * 2
+            + client.costs.per_param * 2
+            + client.costs.per_row * 2
+        )
+        assert client.client_time == expected
+
+    def test_dml_mid_batch_failure_charges_committed_batches(self):
+        client = NativeClient(backend("oracle7"))
+        client.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT)")
+        client.client_time = 0.0
+        client.calls = 0
+        rows = [(i + 1, float(i)) for i in range(120)]
+        rows.append((1, 0.0))  # duplicate key in the second batch
+        from repro.relalg import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            client.executemany("INSERT INTO t (id, x) VALUES (?, ?)", rows)
+        # One full batch of batch_size rows committed and is charged.
+        assert client.calls == 1
+        size = client.backend.batch_size
+        expected = client.costs.per_call + client.costs.per_param * 2 * size
+        assert client.client_time == expected
+
+    def test_parse_failure_ships_and_charges_nothing(self):
+        client = self._client()
+        with pytest.raises(SqlSyntaxError):
+            client.executemany("SELEC x FROM t", [(1,), (2,)])
+        assert client.calls == 0
+        assert client.client_time == 0.0
