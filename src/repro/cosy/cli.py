@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         "scans are charged as a makespan over this many workers)",
     )
     parser.add_argument(
+        "--db-executor",
+        choices=("sequential", "thread", "process"),
+        default=None,
+        help="how the engine realizes --db-parallelism on real hardware: "
+        "'thread' (default when parallelism > 1; GIL-bound), 'process' "
+        "(shared-nothing worker processes — the wall clock can track the "
+        "virtual makespan) or 'sequential' (virtual-only parallelism)",
+    )
+    parser.add_argument(
         "--pipeline-depth",
         type=int,
         default=1,
@@ -142,6 +151,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--pipeline-depth must be >= 1")
     if args.pipeline_depth > 1 and args.strategy != "pushdown":
         parser.error("--pipeline-depth requires --strategy pushdown")
+    if args.db_executor in ("thread", "process") and args.db_parallelism < 2:
+        parser.error(
+            f"--db-executor {args.db_executor} requires --db-parallelism >= 2"
+        )
 
     specification = cosy_specification()
 
@@ -172,28 +185,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.db_backend,
                 n_partitions=args.db_partitions,
                 parallelism=args.db_parallelism,
+                executor=args.db_executor,
             )
         )
-        ids = load_repository(repository, mapping, client)
-        if args.explain:
-            def render_plan(label, query):
-                print(f"--   {label}")
-                for line in client.explain(query.sql).splitlines():
-                    print(f"     {line}")
+        try:
+            ids = load_repository(repository, mapping, client)
+            if args.explain:
+                def render_plan(label, query):
+                    print(f"--   {label}")
+                    for line in client.explain(query.sql).splitlines():
+                        print(f"     {line}")
 
-            _print_property_queries(specification, mapping, render_plan)
-            return 0
-        if args.pipeline_depth > 1:
-            strategy = PipelinedPushdownStrategy(
-                specification, mapping, client, ids,
-                window=args.pipeline_depth,
-            )
-        else:
-            strategy = PushdownStrategy(specification, mapping, client, ids)
+                _print_property_queries(specification, mapping, render_plan)
+                return 0
+            if args.pipeline_depth > 1:
+                strategy = PipelinedPushdownStrategy(
+                    specification, mapping, client, ids,
+                    window=args.pipeline_depth,
+                )
+            else:
+                strategy = PushdownStrategy(specification, mapping, client, ids)
+            result = analyzer.analyze(pes=args.analyze_pes, strategy=strategy)
+        finally:
+            # Release the engine's fan-out pools (worker threads/processes).
+            client.close()
     else:
         strategy = ClientSideStrategy(specification)
+        result = analyzer.analyze(pes=args.analyze_pes, strategy=strategy)
 
-    result = analyzer.analyze(pes=args.analyze_pes, strategy=strategy)
     print(render_report(result, top=args.top))
     return 0
 

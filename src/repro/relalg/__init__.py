@@ -43,6 +43,7 @@ from repro.relalg.client import (
     PendingResult,
 )
 from repro.relalg.database import Database, ExecutionSummary
+from repro.relalg.parallel import ProcessScanExecutor
 from repro.relalg.errors import (
     ExecutionError,
     IntegrityError,
@@ -56,8 +57,11 @@ from repro.relalg.planner import (
     AccessPath,
     HashJoinBuild,
     IndexProbe,
+    LevelSpec,
     PartitionScan,
+    PlanSpec,
     QueryPlan,
+    lower_plan,
     plan_select,
 )
 from repro.relalg.schema import Column, ColumnType, TableSchema
@@ -91,13 +95,16 @@ __all__ = [
     "IndexProbe",
     "IntegrityError",
     "InterpretedSelectExecutor",
+    "LevelSpec",
     "NativeClient",
     "Partition",
     "PartitionScan",
     "PendingResult",
     "PipelineSlot",
     "PipelinedTimeline",
+    "PlanSpec",
     "PositionsView",
+    "ProcessScanExecutor",
     "QueryPlan",
     "QueryStats",
     "RelalgError",
@@ -115,6 +122,7 @@ __all__ = [
     "TimelineEvent",
     "VirtualClock",
     "backend",
+    "lower_plan",
     "parse_sql",
     "plan_select",
     "stable_hash",

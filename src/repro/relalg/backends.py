@@ -473,6 +473,7 @@ class SimulatedBackend:
         batch_size: int = DEFAULT_BATCH_SIZE,
         n_partitions: int = 1,
         parallelism: int = 1,
+        executor: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -485,11 +486,30 @@ class SimulatedBackend:
         #: instead of the serial sum.  ``1`` (the default) is the historical
         #: serial charging, byte-for-byte.
         self.parallelism = parallelism
+        # ``executor`` picks the engine-side fan-out realizing the modeled
+        # parallelism ("thread" — historical — or "process" for true
+        # multi-core; "sequential" keeps the virtual charge without any
+        # OS-level fan-out).  The virtual makespan charge is identical for
+        # all three: the executor decides whether the *wall* clock tracks it.
+        if executor in ("thread", "process") and parallelism < 2:
+            # Mirror Database's validation: silently ignoring the requested
+            # fan-out would make wall-clock comparisons measure the wrong
+            # executor.
+            raise ValueError(
+                f"executor={executor!r} requires parallelism >= 2 workers"
+            )
+        if executor == "sequential":
+            engine_parallel = None
+            engine_executor: Optional[str] = None
+        else:
+            engine_parallel = parallelism if parallelism > 1 else None
+            engine_executor = executor if engine_parallel is not None else None
         self.database = database or Database(
             name=profile.name,
             engine=engine,
             n_partitions=n_partitions,
-            parallel=parallelism if parallelism > 1 else None,
+            parallel=engine_parallel,
+            executor=engine_executor,
         )
         self.clock = VirtualClock()
         self.statements_executed = 0
@@ -729,10 +749,18 @@ class SimulatedBackend:
         """Release the engine's partition fan-out pool (idempotent).
 
         Only relevant for backends created with ``parallelism > 1`` — the
-        underlying :class:`Database` lazily spawns worker threads that would
-        otherwise idle until process exit.
+        underlying :class:`Database` lazily spawns worker threads (or, with
+        ``executor="process"``, worker processes) that would otherwise idle
+        until process exit.
         """
         self.database.close()
+
+    def __enter__(self) -> "SimulatedBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -748,6 +776,7 @@ def backend(
     batch_size: int = DEFAULT_BATCH_SIZE,
     n_partitions: int = 1,
     parallelism: int = 1,
+    executor: Optional[str] = None,
 ) -> SimulatedBackend:
     """Create a simulated backend by profile name (e.g. ``'oracle7'``).
 
@@ -758,6 +787,11 @@ def backend(
     database creates (ignored when ``database`` is supplied), and
     ``parallelism`` sets the virtual server's scan workers: scan costs are
     charged as the per-partition makespan over that many workers.
+    ``executor`` picks how the engine realizes that parallelism on real
+    hardware — ``"thread"`` (historical default when ``parallelism > 1``),
+    ``"process"`` (shared-nothing worker processes; the wall clock can
+    actually track the virtual makespan) or ``"sequential"`` (virtual-only
+    parallelism, no OS fan-out).
     """
     try:
         profile = BACKEND_PROFILES[name]
@@ -772,4 +806,5 @@ def backend(
         batch_size=batch_size,
         n_partitions=n_partitions,
         parallelism=parallelism,
+        executor=executor,
     )

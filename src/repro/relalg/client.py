@@ -161,6 +161,13 @@ class DatabaseClient:
         """Release the backend's engine resources (idempotent)."""
         self.backend.close()
 
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     @property
     def elapsed(self) -> float:
         """Total virtual time including backend and client overhead."""
@@ -417,6 +424,13 @@ class AsyncClient:
     def close(self) -> None:
         """Release the wrapped client's engine resources (idempotent)."""
         self.client.close()
+
+    def __enter__(self) -> "AsyncClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

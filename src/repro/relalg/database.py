@@ -9,9 +9,25 @@ database client code even though everything runs in process.
 
 Every table the database creates is hash-partitioned by primary key into
 ``n_partitions`` shards (default 1: the historical single-partition layout,
-byte-for-byte).  ``parallel`` enables the optional thread-pool fan-out of
-partition scans and hash-join builds in :meth:`QueryPlan.execute
-<repro.relalg.planner.QueryPlan.execute>`.
+byte-for-byte).  ``parallel`` plus ``executor`` select how partitioned scans
+fan out:
+
+* ``executor="sequential"`` (the default) — partitions are enumerated in
+  order on the calling thread;
+* ``executor="thread"`` — the driving scan level fans out over a
+  ``parallel``-worker thread pool (also the historical meaning of
+  ``Database(parallel=k)`` alone; GIL-bound, so the wall clock does not
+  follow the per-partition makespan);
+* ``executor="process"`` — the driving scan level fans out over a
+  shared-nothing, spawn-safe pool of ``parallel`` worker processes
+  (:class:`~repro.relalg.parallel.ProcessScanExecutor`), each owning a
+  disjoint subset of every table's shards; an existing executor instance can
+  be passed directly (``Database(executor=pool)``) to share one pool between
+  databases.
+
+All three return identical results and identical :class:`QueryStats`; the
+database is a context manager (``with Database(...) as db:``) so worker
+pools cannot leak.
 
 Two statement-level caches, both keyed by SQL text, make repeated execution
 cheap (the COSY pushdown strategy re-runs the same compiled property queries
@@ -52,6 +68,7 @@ from repro.relalg.compile import (
 from repro.relalg.errors import ExecutionError, SchemaError
 from repro.relalg.executor import QueryStats, ResultSet
 from repro.relalg.interp import InterpretedSelectExecutor
+from repro.relalg.parallel import ProcessScanExecutor
 from repro.relalg.rowset import merge_partition_counts
 from repro.relalg.planner import (
     QueryPlan,
@@ -120,6 +137,7 @@ class Database:
         engine: str = "compiled",
         n_partitions: int = 1,
         parallel: Optional[int] = None,
+        executor: Union[str, "ProcessScanExecutor", None] = None,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -133,13 +151,43 @@ class Database:
             raise ValueError(
                 f"parallel must be >= 2 workers (or None), got {parallel}"
             )
+        shared_executor: Optional[ProcessScanExecutor] = None
+        if isinstance(executor, ProcessScanExecutor):
+            shared_executor = executor
+            executor = "process"
+        elif executor is None:
+            executor = "sequential" if parallel is None else "thread"
+        elif executor not in ("sequential", "thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r} (expected 'sequential', "
+                f"'thread', 'process' or a ProcessScanExecutor instance)"
+            )
+        if executor == "sequential" and parallel is not None:
+            raise ValueError(
+                "executor='sequential' takes no parallel workers; "
+                "pass executor='thread' or 'process' with parallel=k"
+            )
+        if (
+            executor in ("thread", "process")
+            and parallel is None
+            and shared_executor is None
+        ):
+            raise ValueError(
+                f"executor={executor!r} requires parallel=<worker count>"
+            )
         self.name = name
         self.engine = engine
         #: Default partition count of every table this database creates.
         self.n_partitions = n_partitions
-        #: Worker count of the optional partition fan-out (None = sequential).
+        #: Worker count of the optional partition fan-out (None = sequential
+        #: unless a shared process executor was passed in).
         self.parallel = parallel
+        #: Partition fan-out kind: "sequential", "thread" or "process".
+        self.executor = executor
         self._pool = None
+        #: The process pool (owned and lazily created, or shared/borrowed).
+        self._process_executor = shared_executor
+        self._owns_executor = shared_executor is None
         self.tables: Dict[str, Table] = {}
         self.summary = ExecutionSummary()
         self._statement_cache: Dict[str, Statement] = {}
@@ -194,8 +242,13 @@ class Database:
             if if_exists:
                 return
             raise SchemaError(f"unknown table {name!r}")
-        del self.tables[key]
+        dropped = self.tables.pop(key)
         self._bump_table_epoch(key)
+        if self._process_executor is not None:
+            # Drop the worker-side shard replicas with the table, so a
+            # long-lived pool under DROP/CREATE churn does not accumulate
+            # dead generations (each generation has a fresh table uid).
+            self._process_executor.forget([dropped.uid])
 
     def table(self, name: str) -> Table:
         """Look up a table by name (case-insensitive)."""
@@ -418,12 +471,12 @@ class Database:
         return lines
 
     # ------------------------------------------------------------------ #
-    # parallel execution pool
+    # parallel execution pools
     # ------------------------------------------------------------------ #
 
     def _execution_pool(self):
-        """The lazily created partition fan-out pool (None when sequential)."""
-        if self.parallel is None:
+        """The lazily created thread fan-out pool (None when sequential)."""
+        if self.parallel is None or self.executor != "thread":
             return None
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
@@ -434,11 +487,40 @@ class Database:
             )
         return self._pool
 
+    def _process_pool(self) -> Optional["ProcessScanExecutor"]:
+        """The process executor (lazily created when owned; None after a
+        borrowed executor was released by :meth:`close`)."""
+        if self._process_executor is None and self._owns_executor:
+            self._process_executor = ProcessScanExecutor(workers=self.parallel)
+        return self._process_executor
+
     def close(self) -> None:
-        """Shut the partition fan-out pool down (idempotent)."""
+        """Release the partition fan-out pools (idempotent).
+
+        An owned process executor is shut down; a shared one merely forgets
+        this database's shard replicas and keeps serving its other owners.
+        Closing is safe to repeat and safe on databases that never fanned
+        out; the context-manager protocol (``with Database(...) as db:``)
+        calls it on exit so pools cannot leak.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_executor is not None:
+            executor, self._process_executor = self._process_executor, None
+            if self._owns_executor:
+                executor.shutdown()
+            else:
+                executor.forget(
+                    [table.uid for table in self.tables.values()]
+                )
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     # statement handlers
@@ -453,10 +535,16 @@ class Database:
         if self.engine == "interpreted":
             executor = InterpretedSelectExecutor(self.tables, params)
             result = executor.execute(statement)
+        elif self.executor == "process":
+            plan = self._plan_for(statement, sql)
+            result = plan.execute(
+                params, QueryStats(), process_executor=self._process_pool()
+            )
         else:
             plan = self._plan_for(statement, sql)
-            pool = None if self.parallel is None else self._execution_pool()
-            result = plan.execute(params, QueryStats(), pool=pool)
+            result = plan.execute(
+                params, QueryStats(), pool=self._execution_pool()
+            )
         self.summary.record_select(result.stats)
         return result
 

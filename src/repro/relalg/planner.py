@@ -85,9 +85,13 @@ __all__ = [
     "AccessPath",
     "HashJoinBuild",
     "IndexProbe",
+    "LevelSpec",
     "PartitionScan",
+    "PlanSpec",
     "QueryPlan",
+    "expr_has_subquery",
     "expr_table_deps",
+    "lower_plan",
     "plan_select",
     "statement_subselects",
     "statement_table_deps",
@@ -152,6 +156,7 @@ class _Level:
 
     __slots__ = (
         "binding", "table", "offset", "end", "access", "filters", "estimate",
+        "filter_exprs", "key_ast",
     )
 
     def __init__(
@@ -163,6 +168,8 @@ class _Level:
         access: AccessPath,
         filters: List[RowFn],
         estimate: float,
+        filter_exprs: Optional[List[SqlExpr]] = None,
+        key_ast: Optional[SqlExpr] = None,
     ) -> None:
         self.binding = binding
         self.table = table
@@ -172,6 +179,11 @@ class _Level:
         self.filters = filters
         #: Estimated rows this level produces per outer row (plan-time).
         self.estimate = estimate
+        #: Source ASTs of ``filters`` — the plain-data form :func:`lower_plan`
+        #: lowers into a :class:`PlanSpec` (compiled closures do not pickle).
+        self.filter_exprs = filter_exprs if filter_exprs is not None else []
+        #: Source AST of the probe key expression (probe access paths only).
+        self.key_ast = key_ast
 
 
 # --------------------------------------------------------------------------- #
@@ -223,18 +235,29 @@ class QueryPlan:
         params: Sequence[Any] = (),
         stats: Optional[QueryStats] = None,
         pool=None,
+        process_executor=None,
     ) -> ResultSet:
         """Run the plan and return the materialised result.
 
         ``pool`` (a ``concurrent.futures`` executor) enables the optional
-        per-partition fan-out of the driving scan level; ``None`` (the
-        default) executes sequentially with work accounting byte-identical
-        to the historical engine.
+        per-partition fan-out of the driving scan level over threads;
+        ``process_executor`` (a
+        :class:`~repro.relalg.parallel.ProcessScanExecutor`) instead ships
+        the driving scan level's :class:`PlanSpec` to worker processes and
+        merges their filtered row chunks in partition order (plans the
+        executor cannot ship — see :attr:`PlanSpec.process_eligible` — fall
+        back to sequential execution).  ``None`` for both (the default)
+        executes sequentially with work accounting byte-identical to the
+        historical engine.
         """
         stats = stats if stats is not None else QueryStats()
         ctx = ExecContext(self.tables, params, stats)
         if not self.partitioned:
             rows = self._enumerate_single(ctx)
+        elif process_executor is not None and (
+            (chunks := process_executor.scan_chunks(self, params)) is not None
+        ):
+            rows = self._enumerate(ctx, driving_chunks=chunks)
         elif pool is not None and self.parallel_partition_count() > 1:
             rows = self._enumerate_parallel(ctx, pool)
         else:
@@ -392,16 +415,24 @@ class QueryPlan:
         return out
 
     def _enumerate(
-        self, ctx: ExecContext, restrict_partition: Optional[int] = None
+        self,
+        ctx: ExecContext,
+        restrict_partition: Optional[int] = None,
+        driving_chunks=None,
     ) -> List[Tuple[Any, ...]]:
         """Nested-loop/hash join over the planned levels; returns slot rows.
 
         Partition-aware variant (at least one bound table is partitioned):
         scans and probes iterate per-partition chunks and attribute scan work
         to :attr:`QueryStats.partition_rows_scanned`.  ``restrict_partition``
-        limits the *first* level's scan to one partition (the parallel
-        fan-out path enumerates each partition in its own worker and
-        concatenates in partition order).
+        limits the *first* level's scan to one partition (the thread fan-out
+        path enumerates each partition in its own worker and concatenates in
+        partition order).  ``driving_chunks`` — ``(pid, surviving rows,
+        scanned count)`` triples in partition order — replaces the first
+        level's scan entirely: the process-pool workers already scanned and
+        filtered the driving partitions, so this level only charges the
+        reported scan work (per partition, exactly as a local scan would)
+        and recurses into the inner levels per surviving row.
         """
         levels = self.levels
         depth = len(levels)
@@ -414,6 +445,19 @@ class QueryPlan:
         def recurse(index: int) -> None:
             if index == depth:
                 append(tuple(row))
+                return
+            if index == 0 and driving_chunks is not None:
+                level = levels[0]
+                offset, end = level.offset, level.end
+                total = 0
+                for pid, survivors, scanned in driving_chunks:
+                    for candidate in survivors:
+                        row[offset:end] = candidate
+                        recurse(1)
+                    if scanned:
+                        pscan[pid] = pscan.get(pid, 0) + scanned
+                    total += scanned
+                stats.rows_scanned += total
                 return
             level = levels[index]
             table = level.table
@@ -624,6 +668,121 @@ def _build_hash_table(
             pscan[pid] = pscan.get(pid, 0) + built
         stats.rows_scanned += built
     return hash_table
+
+
+# --------------------------------------------------------------------------- #
+# plan lowering: QueryPlan → PlanSpec (plain, picklable data)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One join level of a :class:`PlanSpec`: plain data, no closures.
+
+    The expression fields hold :class:`~repro.relalg.sqlast.SqlExpr` ASTs —
+    frozen dataclasses of literals, column references and operators that
+    pickle cleanly — instead of the compiled closures the live
+    :class:`_Level` carries.  A worker process re-compiles them locally with
+    :func:`~repro.relalg.compile.compile_row_expr` over the rehydrated slot
+    layout, recovering the exact per-row semantics of the parent's plan.
+    """
+
+    binding: str
+    table: str
+    table_uid: int
+    n_partitions: int
+    offset: int
+    end: int
+    #: Access-path kind: ``"scan"``, ``"index-probe"`` or ``"hash-probe"``.
+    access: str
+    #: Probe/build column (``None`` for plain scans).
+    column: Optional[str]
+    #: Probe key expression AST (``None`` for plain scans).
+    key_ast: Optional[SqlExpr]
+    pruned: bool
+    filter_asts: Tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """A serializable lowering of one :class:`QueryPlan`.
+
+    Compiled plans are closures over live :class:`Table` objects and cannot
+    cross a process boundary; the spec is the plain-data projection that can:
+    the slot layout as ``(binding, column names)`` pairs, and one
+    :class:`LevelSpec` per join level in execution order.  The process-pool
+    executor ships it to workers once per (statement, plan generation) — the
+    parent's plan cache already keys plans by SQL text and per-table schema
+    epoch, so a re-planned statement produces a fresh spec and the worker's
+    cached compilation is superseded with it.
+
+    ``process_eligible`` marks specs whose *driving* level a shared-nothing
+    worker can execute against its local shards alone: a partitioned full
+    scan whose residual filters are self-contained (no scalar subqueries —
+    those read other tables, which live only in the parent).
+    """
+
+    bindings: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    levels: Tuple[LevelSpec, ...]
+    width: int
+    process_eligible: bool
+
+    @property
+    def driving(self) -> LevelSpec:
+        return self.levels[0]
+
+
+def expr_has_subquery(expr: SqlExpr) -> bool:
+    """Whether an expression contains a scalar subquery (directly or nested)."""
+    return bool(_expr_subselects(expr))
+
+
+def lower_plan(plan: QueryPlan) -> PlanSpec:
+    """Lower a compiled plan into its plain-data :class:`PlanSpec`."""
+    layout = plan.layout
+    bindings = tuple(
+        (binding, tuple(layout.columns[binding]))
+        for binding, _table in layout.bindings
+    )
+    levels = []
+    for level in plan.levels:
+        access = level.access
+        if type(access) is IndexProbe:
+            column: Optional[str] = access.column
+            pruned = access.pruned
+        elif type(access) is HashJoinBuild:
+            column = level.table.schema.columns[access.col_index].name.lower()
+            pruned = False
+        else:
+            column = None
+            pruned = False
+        levels.append(
+            LevelSpec(
+                binding=level.binding,
+                table=level.table.name,
+                table_uid=level.table.uid,
+                n_partitions=level.table.n_partitions,
+                offset=level.offset,
+                end=level.end,
+                access=access.kind,
+                column=column,
+                key_ast=level.key_ast,
+                pruned=pruned,
+                filter_asts=tuple(level.filter_exprs),
+            )
+        )
+    eligible = (
+        plan.parallel_partition_count() > 1
+        and not any(
+            expr_has_subquery(expr) for expr in plan.levels[0].filter_exprs
+        )
+    )
+    return PlanSpec(
+        bindings=bindings,
+        levels=tuple(levels),
+        width=layout.width,
+        process_eligible=eligible,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -1039,8 +1198,10 @@ def _plan_levels(
             bindings, indexed=True,
         )
         access: AccessPath
+        key_ast: Optional[SqlExpr] = None
         if probe is not None:
             column, key_expr, used = probe
+            key_ast = key_expr
             access = IndexProbe(
                 column.lower(),
                 compile_row_expr(key_expr, layout, tables),
@@ -1061,6 +1222,7 @@ def _plan_levels(
             )
             if probe is not None:
                 column, key_expr, used = probe
+                key_ast = key_expr
                 access = HashJoinBuild(
                     table.schema.column_index(column),
                     compile_row_expr(key_expr, layout, tables),
@@ -1086,6 +1248,8 @@ def _plan_levels(
                 access=access,
                 filters=[compile_row_expr(p, layout, tables) for p in filters],
                 estimate=estimate,
+                filter_exprs=list(filters),
+                key_ast=key_ast,
             )
         )
 

@@ -39,6 +39,7 @@ deliberately not invalidated by DML).
 from __future__ import annotations
 
 import datetime as _dt
+import itertools
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -190,13 +191,19 @@ class HashIndex:
 class Partition:
     """One shard of a table: a row list plus per-partition hash indexes."""
 
-    __slots__ = ("rows", "live_count", "indexes")
+    __slots__ = ("rows", "live_count", "indexes", "version")
 
     def __init__(self) -> None:
         self.rows: List[Optional[Tuple[Any, ...]]] = []
         self.live_count = 0
         #: lowered column name → partition-local :class:`HashIndex`.
         self.indexes: Dict[str, HashIndex] = {}
+        #: Monotonic mutation counter of this shard, bumped by every insert,
+        #: delete and compaction that touches it.  The process-pool executor
+        #: (:mod:`repro.relalg.parallel`) compares it against the version a
+        #: worker last received to decide whether the shard must be re-routed
+        #: to its owning worker — the partition-granular staleness seam.
+        self.version = 0
 
     @property
     def dead_count(self) -> int:
@@ -217,6 +224,7 @@ class Partition:
         dead = self.dead_count
         if not dead:
             return 0
+        self.version += 1
         self.rows = [row for row in self.rows if row is not None]
         for index in self.indexes.values():
             index.clear()
@@ -312,6 +320,10 @@ class TableStatistics:
         return self.index_distinct.get(column.lower())
 
 
+#: Process-global table identities (see :attr:`Table.uid`).
+_TABLE_UIDS = itertools.count(1)
+
+
 class Table:
     """One table: a schema, its hash-partitioned rows and its indexes."""
 
@@ -321,6 +333,11 @@ class Table:
                 f"table {schema.name!r}: n_partitions must be >= 1, "
                 f"got {n_partitions}"
             )
+        #: Process-globally unique identity of this table object.  Worker
+        #: processes key their shard replicas by it, so two tables with the
+        #: same name (a DROP/CREATE cycle, or tables of different databases
+        #: sharing one executor pool) can never alias each other's data.
+        self.uid = next(_TABLE_UIDS)
         self.schema = schema
         self.n_partitions = n_partitions
         self.partitions: List[Partition] = [Partition() for _ in range(n_partitions)]
@@ -420,6 +437,7 @@ class Table:
         position = len(partition.rows)
         partition.rows.append(row)
         partition.live_count += 1
+        partition.version += 1
         for index in self.indexes.values():
             index.parts[pid].add(row[index.column_index], position)
         self.mutations += 1
@@ -465,6 +483,7 @@ class Table:
             start = len(partition.rows)
             partition.rows.extend(batch)
             partition.live_count += len(batch)
+            partition.version += 1
             for index in self.indexes.values():
                 column_index = index.column_index
                 add = index.parts[pid].add
@@ -493,6 +512,7 @@ class Table:
                         index.parts[pid].remove(row[index.column_index], position)
                     partition_deleted += 1
             if partition_deleted:
+                partition.version += 1
                 partition.maybe_compact(column_indexes)
             deleted += partition_deleted
         self.mutations += deleted
@@ -581,6 +601,19 @@ class Table:
         """Per-partition scan: yields ``(partition_id, live-row iterator)``."""
         for pid, partition in enumerate(self.partitions):
             yield pid, partition.scan()
+
+    def partition_snapshot(self, pid: int) -> Tuple[int, List[Tuple[Any, ...]]]:
+        """``(version, live rows)`` of one shard, as plain picklable data.
+
+        The rows come out in the shard's insertion order — exactly the order
+        :meth:`scan_chunks` would deliver them — so a worker process scanning
+        the snapshot reproduces the sequential executor's row order for that
+        partition byte for byte.
+        """
+        partition = self.partitions[pid]
+        return partition.version, [
+            row for row in partition.rows if row is not None
+        ]
 
     def probe_chunks(
         self, column: str, key: Any

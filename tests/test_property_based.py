@@ -1,8 +1,14 @@
 """Cross-cutting property-based tests (hypothesis) on core invariants,
-plus the seeded differential fuzzer comparing the two SQL engines."""
+plus the seeded differential fuzzers: compiled engine vs. the seed
+AST-walking engine, and the executor matrix (sequential / thread / process)
+against the sequential reference — each replayed from a persistent seed
+corpus before random exploration."""
 
 import datetime as dt
+import itertools
+import json
 import random
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -186,14 +192,8 @@ _FUZZ_PARTITION_COUNTS = (1, 4, 7)
 _FUZZ_STRINGS = ["alpha", "beta", "gamma", None]
 
 
-def _random_databases(rng):
-    """The same random schema + data, one compiled database per partition
-    count plus the unpartitioned interpreted reference."""
-    compiled = {
-        parts: Database(engine="compiled", n_partitions=parts)
-        for parts in _FUZZ_PARTITION_COUNTS
-    }
-    interpreted = Database(engine="interpreted")
+def _random_schema(rng):
+    """One random two-table schema: the DDL plus the initial data rows."""
     ddl = [
         "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT, s VARCHAR)",
         "CREATE TABLE r (id INTEGER PRIMARY KEY, m_id INTEGER, v FLOAT)",
@@ -221,13 +221,27 @@ def _random_databases(rng):
         )
         for i in range(n_r)
     ]
+    return ddl, m_rows, r_rows
+
+
+def _load_schema(database, ddl, m_rows, r_rows):
+    for sql in ddl:
+        database.execute(sql)
+    database.executemany("INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", m_rows)
+    database.executemany("INSERT INTO r (id, m_id, v) VALUES (?, ?, ?)", r_rows)
+
+
+def _random_databases(rng):
+    """The same random schema + data, one compiled database per partition
+    count plus the unpartitioned interpreted reference."""
+    compiled = {
+        parts: Database(engine="compiled", n_partitions=parts)
+        for parts in _FUZZ_PARTITION_COUNTS
+    }
+    interpreted = Database(engine="interpreted")
+    ddl, m_rows, r_rows = _random_schema(rng)
     for database in list(compiled.values()) + [interpreted]:
-        for sql in ddl:
-            database.execute(sql)
-        database.executemany(
-            "INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", m_rows
-        )
-        database.executemany("INSERT INTO r (id, m_id, v) VALUES (?, ?, ?)", r_rows)
+        _load_schema(database, ddl, m_rows, r_rows)
     return compiled, interpreted
 
 
@@ -235,7 +249,7 @@ def _random_select(rng):
     """One random (sql, params) pair; every ORDER BY totally orders the rows."""
     kind = rng.choice(
         ["point", "filter", "isnull", "inlist", "distinct", "aggregate",
-         "join", "join_filtered", "join_unindexed"]
+         "join", "join_filtered", "join_unindexed", "group_join"]
     )
     direction = rng.choice(["", " DESC"])
     limit = f" LIMIT {rng.randint(1, 10)}" if rng.random() < 0.3 else ""
@@ -265,6 +279,16 @@ def _random_select(rng):
             f"SELECT g, COUNT(*), SUM(x), MIN(x), MAX(x) FROM m "
             f"GROUP BY g ORDER BY g{direction}",
             [],
+        )
+    if kind == "group_join":
+        # Multi-table GROUP BY with a HAVING over an integer aggregate (an
+        # integer boundary cannot flip under float-summation reordering, so
+        # the statement is comparable across partition layouts).
+        return (
+            f"SELECT m.g AS gg, COUNT(*), SUM(r.v), MIN(r.v) FROM m, r "
+            f"WHERE m.id = r.m_id GROUP BY m.g "
+            f"HAVING COUNT(*) > ? ORDER BY gg{direction}",
+            [rng.randint(0, 3)],
         )
     if kind == "join":
         return (
@@ -308,40 +332,216 @@ def _rows_equivalent(got_rows, expected_rows) -> bool:
     return True
 
 
+def _run_engine_differential_case(seed):
+    """One engine-differential case: compiled (at every partition count)
+    against the interpreted reference, shared by the corpus replay and the
+    random exploration."""
+    rng = random.Random(seed)
+    compiled, interpreted = _random_databases(rng)
+    single = compiled[1]
+    for _ in range(4):
+        sql, params = _random_select(rng)
+        plan = plan_select(parse_sql(sql), single.tables)
+        uses_hash_join = any(
+            level["access"] == "hash-probe" for level in plan.describe()
+        )
+        expected = interpreted.query(sql, params)
+        got = None
+        for parts, database in compiled.items():
+            result = database.query(sql, params)
+            assert result.columns == expected.columns, (sql, parts)
+            if parts == 1:
+                # The single-partition engine scans in the reference
+                # engine's order: results must be identical to the bit.
+                assert result.rows == expected.rows, (sql, parts)
+                got = result
+            else:
+                assert _rows_equivalent(result.rows, expected.rows), (sql, parts)
+        if uses_hash_join or not plan.follows_syntactic_order:
+            # The seed engine has no hash joins and no statistics-driven
+            # join reordering; on those plans its nested loops do
+            # strictly different physical work, so only the result-side
+            # counter is comparable.
+            assert got.stats.rows_returned == expected.stats.rows_returned
+        else:
+            assert got.stats == expected.stats, sql
+    # No DDL ran after the warm-up, so every cached plan stayed valid:
+    # one miss per distinct SQL text, never a re-miss from invalidation.
+    for database in compiled.values():
+        info = database.plan_cache_info()
+        assert info["misses"] == info["size"]
+
+
+# --------------------------------------------------------------------------- #
+# Executor-differential fuzzer: sequential vs. thread vs. process executors
+# --------------------------------------------------------------------------- #
+#
+# Every seeded case builds the same random schema in nine databases — the
+# executor matrix {sequential, thread, process} × n_partitions {1, 4, 7} —
+# and replays one random statement stream of SELECTs (including multi-table
+# GROUP BY/HAVING) *interleaved with DML* (INSERT/DELETE between SELECTs,
+# exercising the process executor's shard re-sync) against all of them.  At
+# every partition count the thread and process executors must return rows
+# byte-identical to the sequential reference (same partition-major
+# enumeration order — no float tolerance needed) with sequential-identical
+# QueryStats; the one carve-out is the thread executor's documented eager
+# hash-table prebuild, where only the result-side counter is comparable.
+
+_EXECUTOR_FUZZ_CASES = 200
+_EXECUTOR_FUZZ_PARTITIONS = (1, 4, 7)
+
+
+def _random_executor_select(rng):
+    """A random SELECT for the executor matrix: the engine fuzzer's pool
+    plus GROUP BY/HAVING shapes that only executor-vs-executor comparison
+    can check exactly (float HAVING boundaries are order-sensitive, but all
+    executors enumerate in the same partition-major order)."""
+    if rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return (
+                "SELECT g, s, COUNT(*) AS c, MIN(x) FROM m GROUP BY g, s "
+                "HAVING COUNT(*) > ? ORDER BY g, s",
+                [rng.randint(0, 2)],
+            )
+        return (
+            "SELECT m.s AS label, COUNT(*) AS c, SUM(r.v) FROM m, r "
+            "WHERE m.id = r.m_id AND r.v > ? GROUP BY m.s "
+            "HAVING SUM(r.v) > ? ORDER BY label",
+            [round(rng.uniform(0.0, 60.0), 3), round(rng.uniform(0.0, 150.0), 3)],
+        )
+    return _random_select(rng)
+
+
+def _random_dml(rng, fresh_ids):
+    """One random mutation statement: ('execute'|'executemany', sql, payload)."""
+    kind = rng.choice(["insert_m", "insert_r", "delete_m", "delete_r"])
+    if kind == "insert_m":
+        rows = [
+            (
+                next(fresh_ids),
+                rng.choice([None, 0, 1, 2, 3]),
+                None if rng.random() < 0.15 else round(rng.uniform(-50.0, 50.0), 3),
+                rng.choice(_FUZZ_STRINGS),
+            )
+            for _ in range(rng.randint(1, 6))
+        ]
+        return ("executemany", "INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", rows)
+    if kind == "insert_r":
+        rows = [
+            (next(fresh_ids), rng.randint(1, 30), round(rng.uniform(0.0, 100.0), 3))
+            for _ in range(rng.randint(1, 6))
+        ]
+        return ("executemany", "INSERT INTO r (id, m_id, v) VALUES (?, ?, ?)", rows)
+    if kind == "delete_m":
+        return ("execute", "DELETE FROM m WHERE g = ?", [rng.randint(0, 4)])
+    return ("execute", "DELETE FROM r WHERE v > ?", [round(rng.uniform(40.0, 100.0), 3)])
+
+
+def _run_executor_differential_case(seed, process_pool):
+    """One executor-matrix case, shared by the corpus replay and the random
+    exploration.  ``process_pool`` is the shared session worker pool."""
+    rng = random.Random(seed)
+    ddl, m_rows, r_rows = _random_schema(rng)
+    groups = {}
+    try:
+        for parts in _EXECUTOR_FUZZ_PARTITIONS:
+            groups[parts] = {
+                "sequential": Database(n_partitions=parts),
+                "thread": Database(n_partitions=parts, parallel=3),
+                "process": Database(n_partitions=parts, executor=process_pool),
+            }
+            for database in groups[parts].values():
+                _load_schema(database, ddl, m_rows, r_rows)
+        fresh_ids = itertools.count(1000)
+        ops = [
+            _random_dml(rng, fresh_ids)
+            if rng.random() < 0.35
+            else ("select", *_random_executor_select(rng))
+        for _ in range(10)]
+        for op, sql, payload in ops:
+            for parts, group in groups.items():
+                if op == "select":
+                    reference = group["sequential"].query(sql, payload)
+                    plan = plan_select(
+                        parse_sql(sql), group["sequential"].tables
+                    )
+                    uses_hash_join = any(
+                        level["access"] == "hash-probe"
+                        for level in plan.describe()
+                    )
+                    for kind in ("thread", "process"):
+                        result = group[kind].query(sql, payload)
+                        label = (seed, sql, parts, kind)
+                        assert result.columns == reference.columns, label
+                        assert result.rows == reference.rows, label
+                        if kind == "process" or not uses_hash_join:
+                            assert result.stats == reference.stats, label
+                            assert (
+                                result.stats.partition_rows_scanned
+                                == reference.stats.partition_rows_scanned
+                            ), label
+                        else:
+                            # The thread fan-out prebuilds hash-join tables
+                            # eagerly (documented); only the result-side
+                            # counter is comparable on those plans.
+                            assert (
+                                result.stats.rows_returned
+                                == reference.stats.rows_returned
+                            ), label
+                else:
+                    affected = {}
+                    for kind, database in group.items():
+                        if op == "executemany":
+                            affected[kind] = database.executemany(sql, payload)
+                        else:
+                            affected[kind] = database.execute(sql, payload)
+                    label = (seed, sql, parts)
+                    assert affected["thread"] == affected["sequential"], label
+                    assert affected["process"] == affected["sequential"], label
+    finally:
+        for group in groups.values():
+            for database in group.values():
+                database.close()
+
+
+# --------------------------------------------------------------------------- #
+# Seed corpus: previously recorded fuzzer seeds replay before exploration
+# --------------------------------------------------------------------------- #
+
+_CORPUS_PATH = Path(__file__).resolve().parent / "corpus" / "fuzzer_seeds.json"
+
+
+def _corpus_seeds():
+    data = json.loads(_CORPUS_PATH.read_text())
+    seeds = [entry["seed"] for entry in data["seeds"]]
+    assert seeds == sorted(set(seeds)), "corpus seeds must be unique and sorted"
+    return seeds
+
+
+class TestFuzzerSeedCorpus:
+    """Deterministic replay of the recorded counterexample corpus.
+
+    These run before (and independently of) the random exploration below:
+    a regression on a path the corpus pins fails fast, by seed, with the
+    note recorded in ``tests/corpus/fuzzer_seeds.json``.
+    """
+
+    @pytest.mark.parametrize("seed", _corpus_seeds())
+    def test_corpus_engine_differential(self, seed):
+        _run_engine_differential_case(seed)
+
+    @pytest.mark.parametrize("seed", _corpus_seeds())
+    def test_corpus_executor_differential(self, seed, process_pool):
+        _run_executor_differential_case(seed, process_pool)
+
+
 class TestEngineDifferentialFuzzer:
     @pytest.mark.parametrize("seed", range(_FUZZ_CASES))
     def test_compiled_and_interpreted_engines_agree(self, seed):
-        rng = random.Random(seed)
-        compiled, interpreted = _random_databases(rng)
-        single = compiled[1]
-        for _ in range(4):
-            sql, params = _random_select(rng)
-            plan = plan_select(parse_sql(sql), single.tables)
-            uses_hash_join = any(
-                level["access"] == "hash-probe" for level in plan.describe()
-            )
-            expected = interpreted.query(sql, params)
-            got = None
-            for parts, database in compiled.items():
-                result = database.query(sql, params)
-                assert result.columns == expected.columns, (sql, parts)
-                if parts == 1:
-                    # The single-partition engine scans in the reference
-                    # engine's order: results must be identical to the bit.
-                    assert result.rows == expected.rows, (sql, parts)
-                    got = result
-                else:
-                    assert _rows_equivalent(result.rows, expected.rows), (sql, parts)
-            if uses_hash_join or not plan.follows_syntactic_order:
-                # The seed engine has no hash joins and no statistics-driven
-                # join reordering; on those plans its nested loops do
-                # strictly different physical work, so only the result-side
-                # counter is comparable.
-                assert got.stats.rows_returned == expected.stats.rows_returned
-            else:
-                assert got.stats == expected.stats, sql
-        # No DDL ran after the warm-up, so every cached plan stayed valid:
-        # one miss per distinct SQL text, never a re-miss from invalidation.
-        for database in compiled.values():
-            info = database.plan_cache_info()
-            assert info["misses"] == info["size"]
+        _run_engine_differential_case(seed)
+
+
+class TestExecutorDifferentialFuzzer:
+    @pytest.mark.parametrize("seed", range(_EXECUTOR_FUZZ_CASES))
+    def test_executors_agree_under_interleaved_dml(self, seed, process_pool):
+        _run_executor_differential_case(seed, process_pool)

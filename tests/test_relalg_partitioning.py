@@ -351,6 +351,7 @@ class TestParallelExecution:
         )
         return db
 
+    @pytest.mark.parametrize("executor", ["thread", "process"])
     @pytest.mark.parametrize(
         "sql, params",
         [
@@ -363,10 +364,13 @@ class TestParallelExecution:
             ),
         ],
     )
-    def test_parallel_matches_sequential(self, sql, params):
+    def test_parallel_matches_sequential(self, sql, params, executor, process_pool):
+        kwargs = (
+            {"parallel": 3} if executor == "thread"
+            else {"executor": process_pool}
+        )
         sequential = self._make()
-        parallel = self._make(parallel=3)
-        try:
+        with self._make(**kwargs) as parallel:
             expected = sequential.query(sql, params)
             got = parallel.query(sql, params)
             assert got.columns == expected.columns
@@ -376,15 +380,12 @@ class TestParallelExecution:
                 got.stats.partition_rows_scanned
                 == expected.stats.partition_rows_scanned
             )
-        finally:
-            parallel.close()
 
     def test_parallel_validation(self):
         with pytest.raises(ValueError, match="parallel"):
             Database(parallel=1)
-        db = Database(parallel=2)
-        db.close()  # idempotent even if the pool was never created
-        db.close()
+        with Database(parallel=2) as db:
+            db.close()  # idempotent even if the pool was never created
 
 
 class TestBackendPartitionCharging:
