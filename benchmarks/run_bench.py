@@ -38,6 +38,13 @@ performance trajectory of the relational substrate is tracked from PR to PR:
   sequential engine; the recorded ``cpu_count`` qualifies how much of the
   virtual prediction the hardware can realize (a single-core machine cannot
   show multi-core speedups, however correct the executor).
+* **E10** — durability cost and recovery: the E6 bulk load measured on the
+  wall clock with the write-ahead log off, on (fsync per autocommit batch)
+  and on with size-triggered checkpointing, plus recovery-on-open time
+  against the full log and against the checkpointed log.  Every WAL-backed
+  load and every recovery is consistency-checked byte-identical (state
+  fingerprint: rows, tombstones, index buckets, statistics) to the pure
+  in-memory load.
 
 Usage::
 
@@ -58,9 +65,16 @@ from pathlib import Path
 
 from repro.asl.specs import cosy_specification
 from repro.bench import build_scenario, identical_table_contents, load_into_backend
-from repro.compiler import load_repository
+from repro.compiler import DatabaseLoader, load_repository
 from repro.cosy import ClientSideStrategy, PipelinedPushdownStrategy, PushdownStrategy
-from repro.relalg import AsyncClient, NativeClient, backend
+from repro.relalg import (
+    AsyncClient,
+    Database,
+    NativeClient,
+    backend,
+    fingerprint_hash,
+    state_fingerprint,
+)
 
 
 def _wall(fn, repeats: int) -> float:
@@ -625,6 +639,116 @@ def bench_e9(repeats: int, failures: list) -> dict:
     return report
 
 
+def bench_e10(scenario, repeats: int, failures: list) -> dict:
+    """Durability cost and recovery: the E6 bulk load under the WAL.
+
+    Wall-clock (not virtual) measurements — the write-ahead log's cost is
+    real I/O: one JSONL record per autocommit statement and one fsync per
+    durable point.  Three load variants (WAL off / WAL on / WAL on with a
+    size-triggered checkpoint) plus recovery-on-open timed against the full
+    log and against the checkpointed log, with every WAL-backed state
+    consistency-checked byte-identical to the pure in-memory load.
+    """
+    import itertools
+    import os
+    import tempfile
+
+    def full_load(database) -> int:
+        loader = DatabaseLoader(scenario.mapping, database)
+        loader.create_schema()
+        loader.load(scenario.repository)
+        return loader.rows_inserted
+
+    def check(tag: str, database, reference: str) -> bool:
+        identical = fingerprint_hash(state_fingerprint(database)) == reference
+        if not identical:
+            failures.append(
+                f"E10/{tag}: WAL-backed state diverges from the in-memory load"
+            )
+        return identical
+
+    report: dict = {"recovery": {}}
+    counter = itertools.count()
+    with tempfile.TemporaryDirectory() as tmp:
+        def fresh_path() -> str:
+            return os.path.join(tmp, f"load{next(counter)}.wal")
+
+        with Database(n_partitions=4) as plain:
+            report["rows_loaded"] = full_load(plain)
+            reference = fingerprint_hash(state_fingerprint(plain))
+
+        # WAL on, no checkpoint: consistency, log size, recovery time.
+        wal_path = fresh_path()
+        with Database(n_partitions=4, wal_path=wal_path,
+                      wal_autocheckpoint=None) as walled:
+            full_load(walled)
+            loaded_identical = check("load", walled, reference)
+        log_bytes = os.path.getsize(wal_path)
+        start = time.perf_counter()
+        recovered = Database(n_partitions=4, wal_path=wal_path,
+                             wal_autocheckpoint=None)
+        recovery_s = time.perf_counter() - start
+        recovered_identical = check("recovery", recovered, reference)
+        recovered.close()
+        report["log_bytes_full"] = log_bytes
+        report["recovery"]["full_log"] = {
+            "log_bytes": log_bytes,
+            "wall_s": round(recovery_s, 6),
+        }
+
+        # WAL on with checkpointing: the threshold is sized off the measured
+        # log so several checkpoint/truncate cycles fire during the load.
+        autocheckpoint = max(16_000, log_bytes // 4)
+        ckpt_path = fresh_path()
+        with Database(n_partitions=4, wal_path=ckpt_path,
+                      wal_autocheckpoint=autocheckpoint) as checkpointed:
+            full_load(checkpointed)
+            check("checkpointed load", checkpointed, reference)
+        if not os.path.exists(ckpt_path + ".ckpt"):
+            failures.append("E10: the size-triggered checkpoint never fired")
+        ckpt_log_bytes = os.path.getsize(ckpt_path)
+        start = time.perf_counter()
+        recovered = Database(n_partitions=4, wal_path=ckpt_path,
+                             wal_autocheckpoint=autocheckpoint)
+        ckpt_recovery_s = time.perf_counter() - start
+        check("checkpointed recovery", recovered, reference)
+        recovered.close()
+        report["autocheckpoint_bytes"] = autocheckpoint
+        report["recovery"]["checkpointed"] = {
+            "log_bytes": ckpt_log_bytes,
+            "checkpoint_bytes": os.path.getsize(ckpt_path + ".ckpt")
+            if os.path.exists(ckpt_path + ".ckpt") else 0,
+            "wall_s": round(ckpt_recovery_s, 6),
+        }
+
+        # Wall-clock load cost of the three durability levels.
+        def timed(**db_kwargs):
+            def run():
+                with Database(n_partitions=4, **db_kwargs) as database:
+                    full_load(database)
+            return run
+
+        wall_off = _wall(timed(), repeats)
+        wall_on = _wall(
+            lambda: timed(wal_path=fresh_path(), wal_autocheckpoint=None)(),
+            repeats,
+        )
+        wall_ckpt = _wall(
+            lambda: timed(wal_path=fresh_path(),
+                          wal_autocheckpoint=autocheckpoint)(),
+            repeats,
+        )
+        report["wall_load_s"] = {
+            "wal_off": round(wall_off, 6),
+            "wal_on": round(wall_on, 6),
+            "wal_on_checkpoint": round(wall_ckpt, 6),
+        }
+        report["wal_overhead"] = round(wall_on / wall_off, 3)
+        report["checkpoint_overhead"] = round(wall_ckpt / wall_off, 3)
+        report["contents_identical"] = loaded_identical and recovered_identical
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -663,6 +787,7 @@ def main(argv=None) -> int:
             ),
             "E8_overlap": bench_e8(medium, failures),
             "E9_wallclock": bench_e9(args.repeats, failures),
+            "E10_durability": bench_e10(medium, args.repeats, failures),
         },
     }
 
@@ -704,6 +829,13 @@ def main(argv=None) -> int:
               f"x{w} {entry['speedup']}x" for w, entry in e9["process"].items()
           )
           + f"; virtual prediction {e9['virtual_predicted_speedup']}x")
+    e10 = report["scenarios"]["E10_durability"]
+    print(f"E10 WAL overhead on the E6 load: {e10['wal_overhead']}x "
+          f"(with checkpoints {e10['checkpoint_overhead']}x); recovery "
+          f"{e10['recovery']['full_log']['wall_s']}s from "
+          f"{e10['recovery']['full_log']['log_bytes']}B log, "
+          f"{e10['recovery']['checkpointed']['wall_s']}s checkpointed; "
+          f"consistent: {e10['contents_identical']}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

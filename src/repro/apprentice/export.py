@@ -262,7 +262,11 @@ class ApprenticeParser:
                 )
             collected.append(line[1:])
             if len(collected) == remaining:
-                assert self._version is not None
+                if self._version is None:
+                    raise ApprenticeFormatError(
+                        f"source lines for {path!r} outside a version record",
+                        lineno,
+                    )
                 self._version.Code.add_file(path, "\n".join(collected) + "\n")
                 self._pending_source = None
             return

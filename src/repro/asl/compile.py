@@ -390,7 +390,13 @@ class AslExprCompiler:
 
             return unique_fn
 
-        assert expr.source is not None  # guaranteed by the parser/checker
+        if expr.source is None:
+            # The parser/checker guarantee a source on non-UNIQUE aggregates;
+            # reaching this means a hand-built (or corrupted) AST.
+            raise AslEvaluationError(
+                f"aggregate {expr.func} has no source collection",
+                expr.location,
+            )
         source_fn = self.compile(expr.source, locals_)
         var = expr.var
         inner_locals = locals_ | {var} if var else locals_

@@ -438,7 +438,13 @@ class AslEvaluator:
                     expr.location,
                 )
             return elements[0]
-        assert expr.source is not None  # guaranteed by the parser/checker
+        if expr.source is None:
+            # The parser/checker guarantee a source on non-UNIQUE aggregates;
+            # reaching this means a hand-built (or corrupted) AST.
+            raise AslEvaluationError(
+                f"aggregate {expr.func} has no source collection",
+                expr.location,
+            )
         source = self._iterable(self.evaluate(expr.source, scope), expr)
         values: List[Any] = []
         for element in source:

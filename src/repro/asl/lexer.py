@@ -162,7 +162,11 @@ class Lexer:
         return Token(TokenType.INT, text, location, value=int(text))
 
     def _lex_string(self, location: SourceLocation) -> Token:
-        assert self.source[self.pos] == '"'
+        if self.source[self.pos] != '"':
+            raise AslLexError(
+                f"string literal expected at {self.source[self.pos]!r}",
+                location,
+            )
         self._advance()
         parts: List[str] = []
         while True:

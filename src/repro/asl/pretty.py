@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Union
 
+from repro.asl.errors import AslError
 from repro.asl.ast_nodes import (
     AggregateExpr,
     AslProgram,
@@ -213,7 +214,12 @@ def _render(expr: Expr) -> "tuple[str, int]":
         if expr.is_unique:
             return f"UNIQUE({unparse_expr(expr.value)})", _ATOM_PRECEDENCE
         value = unparse_expr(expr.value)
-        assert expr.source is not None
+        if expr.source is None:
+            raise AslError(
+                f"cannot unparse aggregate {expr.func} without a source "
+                f"collection",
+                expr.location,
+            )
         source = _expr(expr.source, _PRECEDENCE[BinaryOp.EQ])
         text = f"{expr.func}({value} WHERE {expr.var} IN {source}"
         if expr.predicate is not None:

@@ -24,6 +24,15 @@ gap, where row-at-a-time submission pays the round trip per row.  Passing
 both ways and checks the loaded tables are identical).  Within one table rows
 are flushed in insertion order, so the loaded contents are independent of the
 batch size.
+
+**Atomic loading.**  ``atomic=True`` wraps the data load — not the schema
+creation, which is DDL and refused inside a transaction — in
+``BEGIN`` … ``COMMIT`` issued as plain SQL through the executor, so the
+wrapping works through every executor layer (engine, simulated backend,
+client stacks) and, with a WAL-backed database, the whole repository becomes
+durable in one fsync.  A mid-load failure rolls the transaction back: the
+database returns to its pre-load state instead of keeping a partial
+repository.
 """
 
 from __future__ import annotations
@@ -144,11 +153,30 @@ class DatabaseLoader:
     # loading
     # ------------------------------------------------------------------ #
 
-    def load(self, repository: PerformanceDatabase) -> ObjectIds:
-        """Insert every entity of ``repository`` and return the id mapping."""
-        for program in repository.programs:
-            self._load_program(program)
-        self.flush()
+    def load(
+        self, repository: PerformanceDatabase, atomic: bool = False
+    ) -> ObjectIds:
+        """Insert every entity of ``repository`` and return the id mapping.
+
+        ``atomic=True`` wraps the whole load in ``BEGIN`` … ``COMMIT`` (rolled
+        back on any failure); the statements go through the executor like any
+        other SQL, so backends and client layers charge their usual costs.
+        """
+        if not atomic:
+            for program in repository.programs:
+                self._load_program(program)
+            self.flush()
+            return self.ids
+        self.executor.execute("BEGIN")
+        try:
+            for program in repository.programs:
+                self._load_program(program)
+            self.flush()
+        except BaseException:
+            self._pending.clear()
+            self.executor.execute("ROLLBACK")
+            raise
+        self.executor.execute("COMMIT")
         return self.ids
 
     def _load_program(self, program: Program) -> None:
@@ -330,13 +358,16 @@ def load_repository(
     create_schema: bool = True,
     with_indexes: bool = True,
     batch_size: Optional[int] = DEFAULT_LOAD_BATCH_SIZE,
+    atomic: bool = False,
 ) -> ObjectIds:
     """Create the schema (optionally) and load ``repository`` through ``executor``.
 
     ``batch_size`` buffers inserts per table and flushes them through the
-    executor's ``executemany``; ``None`` loads row at a time.
+    executor's ``executemany``; ``None`` loads row at a time.  ``atomic=True``
+    wraps the data load (after the schema DDL) in one transaction — all
+    rows commit together or, on failure, none do.
     """
     loader = DatabaseLoader(mapping, executor, batch_size=batch_size)
     if create_schema:
         loader.create_schema(with_indexes=with_indexes)
-    return loader.load(repository)
+    return loader.load(repository, atomic=atomic)

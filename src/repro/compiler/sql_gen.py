@@ -576,7 +576,10 @@ class _ExprTranslator:
             if predicate is not None:
                 where.append(self.value(predicate, context))
             return self._build_select(select_value, context, where)
-        assert expr.source is not None
+        if expr.source is None:
+            raise PushdownError(
+                f"aggregate {expr.func} has no source collection to push down"
+            )
         if wanted_column is not None:
             raise PushdownError(
                 "attribute access on a non-UNIQUE aggregate cannot be pushed down"

@@ -19,7 +19,10 @@ paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
   paper compares (Section 5), with the event-timeline virtual clock and the
   overlap-aware pipelining scheduler;
 * :mod:`repro.relalg.client` — native (C-like) vs. bridged (JDBC-like) client
-  API layers, plus the pipelined submit/gather ``AsyncClient``.
+  API layers, plus the pipelined submit/gather ``AsyncClient``;
+* :mod:`repro.relalg.wal` — write-ahead durability: the append-only log, the
+  checkpoint sidecar, crash recovery and the byte-identical state
+  fingerprints the crash harness checks against.
 """
 
 from repro.relalg.backends import (
@@ -47,9 +50,11 @@ from repro.relalg.parallel import ProcessScanExecutor
 from repro.relalg.errors import (
     ExecutionError,
     IntegrityError,
+    RecoveryError,
     RelalgError,
     SchemaError,
     SqlSyntaxError,
+    TransactionWarning,
 )
 from repro.relalg.executor import QueryStats, ResultSet, SelectExecutor
 from repro.relalg.interp import InterpretedSelectExecutor
@@ -73,7 +78,15 @@ from repro.relalg.storage import (
     Table,
     TableIndex,
     TableStatistics,
+    Transaction,
     stable_hash,
+)
+from repro.relalg.wal import (
+    WriteAheadLog,
+    fingerprint_hash,
+    restore_state,
+    snapshot_state,
+    state_fingerprint,
 )
 
 __all__ = [
@@ -107,6 +120,7 @@ __all__ = [
     "ProcessScanExecutor",
     "QueryPlan",
     "QueryStats",
+    "RecoveryError",
     "RelalgError",
     "ResultSet",
     "SchemaError",
@@ -120,11 +134,18 @@ __all__ = [
     "TableSchema",
     "TableStatistics",
     "TimelineEvent",
+    "Transaction",
+    "TransactionWarning",
     "VirtualClock",
+    "WriteAheadLog",
     "backend",
+    "fingerprint_hash",
     "lower_plan",
     "parse_sql",
     "plan_select",
+    "restore_state",
+    "snapshot_state",
     "stable_hash",
+    "state_fingerprint",
     "tokenize_sql",
 ]

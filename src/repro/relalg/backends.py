@@ -474,6 +474,8 @@ class SimulatedBackend:
         n_partitions: int = 1,
         parallelism: int = 1,
         executor: Optional[str] = None,
+        wal_path: Optional[str] = None,
+        wal_autocheckpoint: Optional[int] = 4_000_000,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -510,6 +512,8 @@ class SimulatedBackend:
             n_partitions=n_partitions,
             parallel=engine_parallel,
             executor=engine_executor,
+            wal_path=wal_path,
+            wal_autocheckpoint=wal_autocheckpoint,
         )
         self.clock = VirtualClock()
         self.statements_executed = 0
@@ -777,6 +781,8 @@ def backend(
     n_partitions: int = 1,
     parallelism: int = 1,
     executor: Optional[str] = None,
+    wal_path: Optional[str] = None,
+    wal_autocheckpoint: Optional[int] = 4_000_000,
 ) -> SimulatedBackend:
     """Create a simulated backend by profile name (e.g. ``'oracle7'``).
 
@@ -791,7 +797,9 @@ def backend(
     hardware — ``"thread"`` (historical default when ``parallelism > 1``),
     ``"process"`` (shared-nothing worker processes; the wall clock can
     actually track the virtual makespan) or ``"sequential"`` (virtual-only
-    parallelism, no OS fan-out).
+    parallelism, no OS fan-out).  ``wal_path`` attaches a write-ahead log to
+    the backend's database (ignored when ``database`` is supplied), making
+    its commits crash-durable; ``wal_autocheckpoint`` bounds that log.
     """
     try:
         profile = BACKEND_PROFILES[name]
@@ -807,4 +815,6 @@ def backend(
         n_partitions=n_partitions,
         parallelism=parallelism,
         executor=executor,
+        wal_path=wal_path,
+        wal_autocheckpoint=wal_autocheckpoint,
     )

@@ -143,6 +143,19 @@ class DatabaseClient:
             raise ExecutionError("query() requires a SELECT statement")
         return result
 
+    def begin(self) -> None:
+        """Open a transaction (a normal ``execute``: round trip + marshalling
+        charged like any other statement)."""
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        """Commit the open transaction (charged like any other statement)."""
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (charged like any other statement)."""
+        self.execute("ROLLBACK")
+
     def explain(self, sql: str) -> str:
         """EXPLAIN a SELECT through this client (planning introspection only;
         no marshalling or backend costs are charged).  Non-SELECT statements
@@ -381,6 +394,19 @@ class AsyncClient:
         if not result.rows:
             raise LookupError("fetch_record: query returned no rows")
         return result.rows[0]
+
+    def begin(self) -> None:
+        """Open a transaction (a sync point: gathers the pipeline first, so
+        in-flight autocommit statements never land inside the transaction)."""
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        """Commit the open transaction (a sync point)."""
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (a sync point)."""
+        self.execute("ROLLBACK")
 
     def explain(self, sql: str) -> str:
         """EXPLAIN through the wrapped client (introspection; never charged)."""

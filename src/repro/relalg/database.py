@@ -52,10 +52,31 @@ row at a time through the parser and the per-row insert path.
 (:mod:`repro.relalg.interp`) instead; the benchmarks use it as the baseline
 the compiled engine is measured against, and the differential tests use it as
 the unpartitioned reference.
+
+**Transactions and durability.**  ``BEGIN`` / ``COMMIT`` / ``ROLLBACK``
+statements (or the :meth:`begin`/:meth:`commit`/:meth:`rollback` shortcuts)
+group DML into an atomic unit: while a transaction is open the session reads
+its own writes through the unchanged executor paths, every mutation pushes
+an undo record (:class:`~repro.relalg.storage.Transaction`), rollback
+restores rows, indexes, tombstones and statistics byte-for-byte, and the
+partition fan-out stays snapshot-consistent — partition versions advance
+only at commit, shard snapshots forwarded to worker processes contain only
+committed rows, and process fan-out falls back to the sequential scan while
+uncommitted DML is staged (so the local session still sees its writes).
+DDL inside a transaction and nested ``BEGIN`` are refused with a typed
+:class:`ExecutionError`.  ``Database(wal_path=...)`` adds crash durability
+through the write-ahead log (:mod:`repro.relalg.wal`): row-image records per
+DML statement, fsync at every commit point, recovery-on-open that replays
+committed transactions and discards uncommitted tails, and a checkpoint/
+truncate path (automatic past ``wal_autocheckpoint`` bytes, or explicit via
+:meth:`checkpoint`) that bounds the log.  Without ``wal_path`` every
+transactional path is pure in-memory and the autocommit behaviour is
+byte-identical to the WAL-less engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -65,7 +86,12 @@ from repro.relalg.compile import (
     compile_insert_binder,
     compile_row_expr,
 )
-from repro.relalg.errors import ExecutionError, SchemaError
+from repro.relalg.errors import (
+    ExecutionError,
+    RecoveryError,
+    SchemaError,
+    TransactionWarning,
+)
 from repro.relalg.executor import QueryStats, ResultSet
 from repro.relalg.interp import InterpretedSelectExecutor
 from repro.relalg.parallel import ProcessScanExecutor
@@ -77,16 +103,27 @@ from repro.relalg.planner import (
 )
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlast import (
+    BeginStatement,
+    CommitStatement,
     CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
     DropTableStatement,
     InsertStatement,
+    RollbackStatement,
     SelectStatement,
     Statement,
 )
 from repro.relalg.sqlparser import parse_sql
-from repro.relalg.storage import Table
+from repro.relalg.storage import Table, Transaction
+from repro.relalg.wal import (
+    WriteAheadLog,
+    decode_row,
+    encode_row,
+    restore_state,
+    row_key,
+    snapshot_state,
+)
 
 __all__ = ["Database", "ExecutionSummary"]
 
@@ -138,6 +175,9 @@ class Database:
         n_partitions: int = 1,
         parallel: Optional[int] = None,
         executor: Union[str, "ProcessScanExecutor", None] = None,
+        wal_path: Optional[str] = None,
+        wal_autocheckpoint: Optional[int] = 4_000_000,
+        wal_hook=None,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -210,6 +250,18 @@ class Database:
         self._table_epochs: Dict[str, int] = {}
         self._plan_hits = 0
         self._plan_misses = 0
+        #: The open explicit transaction (None in autocommit).
+        self._txn: Optional[Transaction] = None
+        self._txn_counter = 0
+        #: The write-ahead log (None without ``wal_path``); ``_wal_replaying``
+        #: suppresses logging while recovery replays the log into the catalog.
+        self._wal: Optional[WriteAheadLog] = None
+        self._wal_replaying = False
+        self._wal_gen = 0
+        self._wal_autocheckpoint = wal_autocheckpoint
+        if wal_path is not None:
+            self._wal = WriteAheadLog(wal_path, hook=wal_hook)
+            self._recover_wal()
 
     # ------------------------------------------------------------------ #
     # schema management (programmatic)
@@ -222,6 +274,7 @@ class Database:
 
         ``n_partitions`` overrides the database default for this table.
         """
+        self._require_autocommit("CREATE TABLE")
         key = schema.name.lower()
         if key in self.tables:
             raise SchemaError(f"table {schema.name!r} already exists")
@@ -233,10 +286,24 @@ class Database:
         )
         self.tables[key] = table
         self._bump_table_epoch(key)
+        self._wal_log(
+            {
+                "t": "create_table",
+                "table": schema.name,
+                "n_partitions": table.n_partitions,
+                "columns": [
+                    [c.name, c.type.value, c.nullable, c.primary_key]
+                    for c in schema.columns
+                ],
+            },
+            "ddl",
+            sync=True,
+        )
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         """Remove a table (and its data and indexes)."""
+        self._require_autocommit("DROP TABLE")
         key = name.lower()
         if key not in self.tables:
             if if_exists:
@@ -244,6 +311,9 @@ class Database:
             raise SchemaError(f"unknown table {name!r}")
         dropped = self.tables.pop(key)
         self._bump_table_epoch(key)
+        self._wal_log(
+            {"t": "drop_table", "table": dropped.name}, "ddl", sync=True
+        )
         if self._process_executor is not None:
             # Drop the worker-side shard replicas with the table, so a
             # long-lived pool under DROP/CREATE churn does not accumulate
@@ -321,17 +391,307 @@ class Database:
         """Whether ``sql`` parses to a SELECT (uses the statement cache)."""
         return isinstance(self._parse_cached(sql), SelectStatement)
 
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is currently open."""
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Shortcut for ``execute("BEGIN")``."""
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        """Shortcut for ``execute("COMMIT")``."""
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        """Shortcut for ``execute("ROLLBACK")``."""
+        self.execute("ROLLBACK")
+
+    def _require_autocommit(self, operation: str) -> None:
+        if self._txn is not None:
+            raise ExecutionError(
+                f"{operation} is not allowed inside a transaction; "
+                f"COMMIT or ROLLBACK first"
+            )
+
+    def _begin_txn(self) -> Transaction:
+        if self._txn is not None:
+            raise ExecutionError(
+                "BEGIN inside an open transaction "
+                "(nested transactions are not supported)"
+            )
+        self._txn_counter += 1
+        txn = Transaction(self._txn_counter)
+        self._txn = txn
+        # DDL is refused mid-transaction, so the table set cannot change
+        # while these references are out.
+        for table in self.tables.values():
+            table.txn = txn
+        return txn
+
+    def _commit_txn(self) -> None:
+        txn = self._txn
+        self._txn = None
+        for table in self.tables.values():
+            table.txn = None
+        txn.commit()
+
+    def _rollback_txn(self) -> None:
+        txn = self._txn
+        self._txn = None
+        for table in self.tables.values():
+            table.txn = None
+        txn.rollback()
+
+    def _execute_begin(self) -> int:
+        txn = self._begin_txn()
+        self._wal_log({"t": "begin", "x": txn.txn_id}, "begin")
+        self.summary.record_other()
+        return 0
+
+    def _execute_commit(self) -> int:
+        if self._txn is None:
+            raise ExecutionError("COMMIT outside a transaction")
+        # Log-then-finalise: the fsync of the commit marker is the durability
+        # point.  If it fails (or a fault-injection hook "crashes" there) the
+        # transaction stays open and in-memory state untouched, so the caller
+        # can still ROLLBACK — and recovery discards the unmarked tail.
+        self._wal_log({"t": "commit", "x": self._txn.txn_id}, "commit", sync=True)
+        self._commit_txn()
+        self.summary.record_other()
+        self._maybe_autocheckpoint()
+        return 0
+
+    def _execute_rollback(self) -> int:
+        if self._txn is None:
+            raise ExecutionError("ROLLBACK outside a transaction")
+        txn_id = self._txn.txn_id
+        self._rollback_txn()
+        # The abort record is bookkeeping, not durability: recovery discards
+        # an uncommitted tail with or without it, so no fsync is needed.
+        self._wal_log({"t": "abort", "x": txn_id}, "abort")
+        self.summary.record_other()
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # write-ahead log
+    # ------------------------------------------------------------------ #
+
+    def _wal_log(self, record: Dict[str, Any], label: str, sync: bool = False) -> None:
+        """Append one record (and optionally fsync) unless WAL-less/replaying."""
+        if self._wal is None or self._wal_replaying:
+            return
+        self._wal.append(record, label)
+        if sync:
+            self._wal.sync(label)
+
+    def checkpoint(self) -> None:
+        """Serialise the catalog to the sidecar and truncate the log.
+
+        The snapshot is written atomically under the next generation number
+        before the log is reset, so a crash anywhere in between recovers to
+        exactly the current committed state: a renamed-but-untruncated log is
+        one generation stale and gets discarded (its effects are inside the
+        checkpoint), an unrenamed snapshot is ignored and the log replays.
+        """
+        if self._wal is None:
+            raise ExecutionError(
+                "checkpoint() requires a write-ahead log (Database(wal_path=...))"
+            )
+        self._require_autocommit("checkpoint()")
+        generation = self._wal_gen + 1
+        self._wal.write_checkpoint(snapshot_state(self, generation))
+        self._wal.reset(generation)
+        self._wal_gen = generation
+
+    def _maybe_autocheckpoint(self) -> None:
+        if (
+            self._wal is None
+            or self._wal_replaying
+            or self._wal_autocheckpoint is None
+            or self._txn is not None
+            or self._wal.size < self._wal_autocheckpoint
+        ):
+            return
+        self.checkpoint()
+
+    def _recover_wal(self) -> None:
+        """Replay the log into the (empty) catalog and open it for appending.
+
+        Committed transactions replay through the real transaction machinery
+        (deferred compaction lands at the same points as in the original
+        run), autocommit records replay directly, uncommitted tails and torn
+        trailing lines are truncated away, and a log one generation behind
+        its checkpoint — a crash window of :meth:`checkpoint` — is discarded
+        wholesale.
+        """
+        wal = self._wal
+        self._wal_replaying = True
+        try:
+            checkpoint = wal.load_checkpoint()
+            if checkpoint is not None:
+                self._wal_gen = int(checkpoint["gen"])
+                restore_state(self, checkpoint)
+            entries = list(wal.scan())
+            if not entries or entries[0][0].get("t") != "log":
+                # Missing, empty or torn-at-the-header log: nothing to
+                # replay beyond the checkpoint; start a fresh generation.
+                wal.reset(self._wal_gen)
+                return
+            log_gen = int(entries[0][0].get("gen", 0))
+            if log_gen < self._wal_gen:
+                # Crash between checkpoint rename and log truncate: the
+                # log's contents are already inside the checkpoint.
+                wal.reset(self._wal_gen)
+                return
+            if log_gen > self._wal_gen:
+                raise RecoveryError(
+                    f"write-ahead log {wal.path!r} is at generation {log_gen} "
+                    f"but the checkpoint covers generation {self._wal_gen}; "
+                    f"the checkpoint file is missing or stale"
+                )
+            last_good = entries[0][1]
+            open_txn: Optional[int] = None
+            buffered: List[Dict[str, Any]] = []
+            for record, end_offset in entries[1:]:
+                kind = record.get("t")
+                if kind == "begin":
+                    if open_txn is not None:
+                        break
+                    open_txn = int(record["x"])
+                    buffered = []
+                elif kind in ("ins", "del"):
+                    xid = int(record["x"])
+                    if xid == 0:
+                        if open_txn is not None:
+                            break
+                        self._replay_dml(record)
+                        last_good = end_offset
+                    elif xid == open_txn:
+                        buffered.append(record)
+                    else:
+                        break
+                elif kind == "commit":
+                    if open_txn != int(record["x"]):
+                        break
+                    self._replay_txn(buffered)
+                    open_txn, buffered = None, []
+                    last_good = end_offset
+                elif kind == "abort":
+                    if open_txn != int(record["x"]):
+                        break
+                    open_txn, buffered = None, []
+                    last_good = end_offset
+                elif kind == "create_table":
+                    if open_txn is not None:
+                        break
+                    self._replay_create_table(record)
+                    last_good = end_offset
+                elif kind == "create_index":
+                    if open_txn is not None:
+                        break
+                    self.table(record["table"]).create_index(
+                        record["name"], record["column"]
+                    )
+                    self._bump_table_epoch(record["table"].lower())
+                    last_good = end_offset
+                elif kind == "drop_table":
+                    if open_txn is not None:
+                        break
+                    self.drop_table(record["table"], if_exists=True)
+                    last_good = end_offset
+                else:
+                    # Unknown record kind: treat like a torn tail rather
+                    # than guessing at its semantics.
+                    break
+            wal.truncate(last_good)
+            wal.open_for_append()
+        finally:
+            self._wal_replaying = False
+
+    def _replay_create_table(self, record: Dict[str, Any]) -> None:
+        schema = TableSchema(
+            name=record["table"],
+            columns=[
+                Column(
+                    name=name,
+                    type=ColumnType(type_name),
+                    nullable=nullable,
+                    primary_key=primary_key,
+                )
+                for name, type_name, nullable, primary_key in record["columns"]
+            ],
+        )
+        self.create_table(schema, n_partitions=record["n_partitions"])
+
+    def _replay_dml(self, record: Dict[str, Any]) -> None:
+        table = self.table(record["tb"])
+        rows = [decode_row(row) for row in record["rows"]]
+        if record["t"] == "ins":
+            table.insert_many(rows)
+            return
+        # Replay a DELETE by its logged row images: by induction the
+        # replayed table holds bit-identical rows to the original run, so
+        # consuming the image multiset in scan order tombstones exactly the
+        # positions the original delete did.
+        budget: Dict[Any, int] = {}
+        for row in rows:
+            key = row_key(row)
+            budget[key] = budget.get(key, 0) + 1
+
+        def predicate(row: Tuple[Any, ...]) -> bool:
+            key = row_key(row)
+            remaining = budget.get(key, 0)
+            if remaining:
+                budget[key] = remaining - 1
+                return True
+            return False
+
+        table.delete_where(predicate)
+
+    def _replay_txn(self, records: List[Dict[str, Any]]) -> None:
+        self._begin_txn()
+        try:
+            for record in records:
+                self._replay_dml(record)
+        except Exception:
+            self._rollback_txn()
+            raise
+        self._commit_txn()
+
     def execute_statement(
         self, statement: Statement, params: Sequence[Any] = ()
     ) -> Union[ResultSet, int]:
         """Execute an already parsed statement (no plan cache: no SQL key)."""
         if isinstance(statement, SelectStatement):
             return self._execute_select(statement, params, sql=None)
+        if isinstance(statement, BeginStatement):
+            return self._execute_begin()
+        if isinstance(statement, CommitStatement):
+            return self._execute_commit()
+        if isinstance(statement, RollbackStatement):
+            return self._execute_rollback()
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, CreateIndexStatement):
+            self._require_autocommit("CREATE INDEX")
             self.table(statement.table).create_index(statement.name, statement.column)
             self._bump_table_epoch(statement.table.lower())
+            self._wal_log(
+                {
+                    "t": "create_index",
+                    "name": statement.name,
+                    "table": statement.table,
+                    "column": statement.column,
+                },
+                "ddl",
+                sync=True,
+            )
             self.summary.record_other()
             return 0
         if isinstance(statement, DropTableStatement):
@@ -502,7 +862,26 @@ class Database:
         Closing is safe to repeat and safe on databases that never fanned
         out; the context-manager protocol (``with Database(...) as db:``)
         calls it on exit so pools cannot leak.
+
+        An open transaction is **rolled back** (with a
+        :class:`TransactionWarning`), never silently committed: the in-memory
+        state returns to the last commit point, and because the WAL tail past
+        the last commit marker carries no durability, the on-disk log stays
+        recoverable either way.
         """
+        if self._txn is not None:
+            warnings.warn(
+                f"database {self.name!r} closed with an open transaction; "
+                f"rolling back",
+                TransactionWarning,
+                stacklevel=2,
+            )
+            txn_id = self._txn.txn_id
+            self._rollback_txn()
+            self._wal_log({"t": "abort", "x": txn_id}, "abort")
+        if self._wal is not None:
+            wal, self._wal = self._wal, None
+            wal.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -537,8 +916,14 @@ class Database:
             result = executor.execute(statement)
         elif self.executor == "process":
             plan = self._plan_for(statement, sql)
+            process_executor = self._process_pool()
+            if self._txn is not None and self._txn.staged:
+                # Worker shards hold only committed partition versions, so a
+                # fan-out would hide this session's staged writes; scan
+                # sequentially until the transaction resolves.
+                process_executor = None
             result = plan.execute(
-                params, QueryStats(), process_executor=self._process_pool()
+                params, QueryStats(), process_executor=process_executor
             )
         else:
             plan = self._plan_for(statement, sql)
@@ -595,6 +980,20 @@ class Database:
         if not rows:
             return 0
         inserted = table.insert_many(rows)
+        if self._wal is not None and not self._wal_replaying:
+            xid = self._txn.txn_id if self._txn is not None else 0
+            self._wal_log(
+                {
+                    "t": "ins",
+                    "x": xid,
+                    "tb": table.name,
+                    "rows": [encode_row(row) for row in rows],
+                },
+                "ins" if xid else "auto-ins",
+                sync=xid == 0,
+            )
+            if self._txn is None:
+                self._maybe_autocheckpoint()
         self.summary.record_insert(inserted)
         return inserted
 
@@ -602,8 +1001,13 @@ class Database:
         self, statement: DeleteStatement, params: Sequence[Any]
     ) -> int:
         table = self.table(statement.table)
+        # Collect deleted row images while a WAL is attached: the images are
+        # the log record (replay re-deletes exactly these rows).
+        collect: Optional[List[Tuple[Any, ...]]] = (
+            [] if self._wal is not None and not self._wal_replaying else None
+        )
         if statement.where is None:
-            deleted = table.delete_where(lambda row: True)
+            deleted = table.delete_where(lambda row: True, collect=collect)
         else:
             # Compile the predicate once per statement over a single-binding
             # slot layout (the table's row tuples are the slot rows directly)
@@ -626,7 +1030,21 @@ class Database:
                 value = predicate_fn(row, ctx)
                 return bool(value) and value is not None
 
-            deleted = table.delete_where(predicate)
+            deleted = table.delete_where(predicate, collect=collect)
+        if collect:
+            xid = self._txn.txn_id if self._txn is not None else 0
+            self._wal_log(
+                {
+                    "t": "del",
+                    "x": xid,
+                    "tb": table.name,
+                    "rows": [encode_row(row) for row in collect],
+                },
+                "del" if xid else "auto-del",
+                sync=xid == 0,
+            )
+            if self._txn is None:
+                self._maybe_autocheckpoint()
         self.summary.record_other()
         return deleted
 

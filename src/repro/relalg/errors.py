@@ -10,6 +10,8 @@ __all__ = [
     "SchemaError",
     "IntegrityError",
     "ExecutionError",
+    "RecoveryError",
+    "TransactionWarning",
 ]
 
 
@@ -36,4 +38,26 @@ class IntegrityError(RelalgError):
 
 
 class ExecutionError(RelalgError):
-    """Raised when a statement fails during execution (e.g. type mismatch)."""
+    """Raised when a statement fails during execution (e.g. type mismatch).
+
+    Also covers transaction-protocol misuse: nested ``BEGIN``, ``COMMIT`` /
+    ``ROLLBACK`` without an open transaction, and DDL inside a transaction.
+    """
+
+
+class RecoveryError(RelalgError):
+    """Raised when the write-ahead log or its checkpoint cannot be recovered.
+
+    Torn tails (a crash mid-append) are *not* errors — recovery truncates
+    them; this error marks genuinely inconsistent durable state, e.g. a log
+    whose generation is newer than the checkpoint that should cover it.
+    """
+
+
+class TransactionWarning(UserWarning):
+    """Emitted when :meth:`Database.close` rolls back an open transaction.
+
+    Closing mid-transaction is almost always an application bug (a missed
+    COMMIT); the close path rolls the transaction back — never silently
+    commits — and warns so the bug is visible without crashing shutdown.
+    """

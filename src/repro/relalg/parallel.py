@@ -22,6 +22,13 @@ processes:
   <repro.relalg.storage.Partition.version>`, and the next fan-out forwards
   only the stale shards — each to the single worker that owns it —
   piggybacked on the scan request (one message per worker per statement).
+  The version counter describes **committed** state only (an open
+  transaction bumps it at COMMIT, never while staging), and
+  :meth:`Table.partition_snapshot <repro.relalg.storage.Table.partition_snapshot>`
+  filters staged rows out through the undo chain, so a forwarded shard never
+  contains uncommitted data; the database additionally falls back to the
+  sequential scan while its own transaction has staged DML, so the local
+  session still reads its own writes.
 * A scan request fans the driving level's partitions out to their owners;
   every worker scans its shards, applies the driving level's re-compiled
   residual filters and returns the surviving rows plus the scanned count per

@@ -37,6 +37,9 @@ __all__ = [
     "InsertStatement",
     "DeleteStatement",
     "DropTableStatement",
+    "BeginStatement",
+    "CommitStatement",
+    "RollbackStatement",
     "Statement",
     "AGGREGATE_FUNCTIONS",
 ]
@@ -274,6 +277,21 @@ class DropTableStatement:
     if_exists: bool = False
 
 
+@dataclass(frozen=True)
+class BeginStatement:
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit transaction."""
+
+
+@dataclass(frozen=True)
+class CommitStatement:
+    """``COMMIT [TRANSACTION | WORK]`` — make the open transaction durable."""
+
+
+@dataclass(frozen=True)
+class RollbackStatement:
+    """``ROLLBACK [TRANSACTION | WORK]`` — undo the open transaction."""
+
+
 Statement = Union[
     SelectStatement,
     CreateTableStatement,
@@ -281,4 +299,7 @@ Statement = Union[
     InsertStatement,
     DeleteStatement,
     DropTableStatement,
+    BeginStatement,
+    CommitStatement,
+    RollbackStatement,
 ]

@@ -7,6 +7,9 @@ Supported statements::
     DROP TABLE [IF EXISTS] name
     INSERT INTO table [(col, …)] VALUES (expr, …) [, (expr, …) …]
     DELETE FROM table [WHERE expr]
+    BEGIN [TRANSACTION | WORK]
+    COMMIT [TRANSACTION | WORK]
+    ROLLBACK [TRANSACTION | WORK]
     SELECT [DISTINCT] items FROM table [alias] [, table [alias] …]
         [JOIN table [alias] ON expr …]
         [WHERE expr] [GROUP BY expr, …] [HAVING expr]
@@ -26,10 +29,12 @@ from typing import Any, List, Optional, Tuple
 
 from repro.relalg.errors import SqlSyntaxError
 from repro.relalg.sqlast import (
+    BeginStatement,
     BinaryOperation,
     BinaryOperator,
     ColumnDef,
     ColumnRef,
+    CommitStatement,
     CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
@@ -42,6 +47,7 @@ from repro.relalg.sqlast import (
     Literal,
     OrderItem,
     Placeholder,
+    RollbackStatement,
     ScalarSubquery,
     SelectItem,
     SelectStatement,
@@ -64,7 +70,7 @@ _KEYWORDS = {
     "ASC", "DESC", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS", "DISTINCT",
     "JOIN", "INNER", "LEFT", "ON", "CREATE", "TABLE", "INDEX", "DROP",
     "INSERT", "INTO", "VALUES", "DELETE", "PRIMARY", "KEY", "IF", "EXISTS",
-    "TRUE", "FALSE",
+    "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
 }
 
 _TWO_CHAR = {"<=", ">=", "<>", "!="}
@@ -255,6 +261,8 @@ class SqlParser:
             statement = self._parse_insert()
         elif token.text == "DELETE":
             statement = self._parse_delete()
+        elif token.text in ("BEGIN", "COMMIT", "ROLLBACK"):
+            statement = self._parse_transaction()
         else:
             raise SqlSyntaxError(
                 f"unsupported statement {token.text}", token.position
@@ -375,6 +383,20 @@ class SqlParser:
         if self._accept_keyword("WHERE"):
             where = self.parse_expression()
         return DeleteStatement(table=table, where=where)
+
+    # -- transactions -----------------------------------------------------------
+
+    def _parse_transaction(self) -> Statement:
+        token = self._advance()
+        # The optional noise words are accepted and ignored, matching the
+        # ``BEGIN WORK`` / ``COMMIT TRANSACTION`` spellings of the paper's
+        # four backends.
+        self._accept_keyword("TRANSACTION", "WORK")
+        if token.text == "BEGIN":
+            return BeginStatement()
+        if token.text == "COMMIT":
+            return CommitStatement()
+        return RollbackStatement()
 
     # -- SELECT -----------------------------------------------------------------
 

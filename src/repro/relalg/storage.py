@@ -34,6 +34,23 @@ derive from the live index buckets, and a monotonically increasing
 ``mutations`` counter lets callers reason about the staleness of a snapshot
 they took earlier (the planner records its estimates at plan time; plans are
 deliberately not invalidated by DML).
+
+Transactions hook in at this layer as **per-partition undo chains**
+(:class:`Transaction`).  While a transaction is open (``Table.txn`` set by
+:class:`~repro.relalg.database.Database` on ``BEGIN``), DML applies directly
+— the transaction reads its own writes through the unchanged scan/probe
+paths — but each mutation pushes an inverse record onto the undo chain, and
+the two side effects that would leak uncommitted state are deferred to
+commit: ``Partition.version`` stays at its *committed* value (so the
+process-executor shard sync, which forwards shards by version, never ships
+uncommitted rows), and tombstone compaction is postponed (compaction
+renumbers positions, which would invalidate the undo records).  ``ROLLBACK``
+walks the chain in reverse and restores rows, index buckets (at their
+original ascending-position slots), live counts, tombstones and the
+``mutations`` counter byte-for-byte; :meth:`Table.committed_rows`
+reconstructs the committed snapshot of a shard *without* touching live state
+— the snapshot-isolated view an in-flight reader (or another session) sees
+while the transaction stages DML.
 """
 
 from __future__ import annotations
@@ -44,7 +61,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.relalg.errors import IntegrityError, SchemaError
+from repro.relalg.errors import ExecutionError, IntegrityError, SchemaError
 from repro.relalg.schema import TableSchema
 
 __all__ = [
@@ -54,6 +71,7 @@ __all__ = [
     "Table",
     "TableIndex",
     "TableStatistics",
+    "Transaction",
     "stable_hash",
 ]
 
@@ -176,6 +194,34 @@ class HashIndex:
             return _EMPTY_VIEW
         return PositionsView(bucket)
 
+    def restore(self, value: Any, position: int) -> None:
+        """Re-insert an entry at its original ascending-position bucket slot.
+
+        Bucket iteration order is ascending-position everywhere else in the
+        engine (adds append at ever-growing positions, compaction rebuilds in
+        row order), and probe results inherit that order.  A rollback that
+        resurrects a deleted row must therefore splice the old position back
+        into the middle of its bucket, not append it at the end — otherwise
+        a rolled-back transaction would leave observably reordered probe
+        results behind.
+        """
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            self._buckets[value] = {position: None}
+            return
+        if next(reversed(bucket)) < position:
+            bucket[position] = None
+            return
+        rebuilt: Dict[int, None] = {}
+        spliced = False
+        for existing in bucket:
+            if not spliced and existing > position:
+                rebuilt[position] = None
+                spliced = True
+            rebuilt[existing] = None
+        bucket.clear()
+        bucket.update(rebuilt)
+
     def clear(self) -> None:
         """Drop every entry (used when the owning partition compacts)."""
         self._buckets.clear()
@@ -198,11 +244,14 @@ class Partition:
         self.live_count = 0
         #: lowered column name → partition-local :class:`HashIndex`.
         self.indexes: Dict[str, HashIndex] = {}
-        #: Monotonic mutation counter of this shard, bumped by every insert,
-        #: delete and compaction that touches it.  The process-pool executor
-        #: (:mod:`repro.relalg.parallel`) compares it against the version a
-        #: worker last received to decide whether the shard must be re-routed
-        #: to its owning worker — the partition-granular staleness seam.
+        #: Monotonic **committed-state** counter of this shard, bumped by
+        #: every autocommit insert/delete, by compaction, and once per shard
+        #: at transaction COMMIT — never while a transaction merely stages
+        #: DML (a rollback then leaves the counter, correctly, untouched).
+        #: The process-pool executor (:mod:`repro.relalg.parallel`) compares
+        #: it against the version a worker last received to decide whether
+        #: the shard must be re-routed to its owning worker — the partition-
+        #: granular staleness seam, forwarding only committed versions.
         self.version = 0
 
     @property
@@ -320,6 +369,121 @@ class TableStatistics:
         return self.index_distinct.get(column.lower())
 
 
+class Transaction:
+    """The undo state of one open transaction.
+
+    The database opens a transaction on ``BEGIN`` by pointing every table's
+    ``txn`` attribute at one of these; the tables then push inverse records
+    here as DML applies.  Records are kept in application order and undone in
+    reverse, grouped implicitly per partition (each record names its
+    partition — the per-partition undo chain seeded off the partition's
+    committed version):
+
+    * ``("ins", table, pid, start, count)`` — ``count`` rows were appended to
+      partition ``pid`` starting at position ``start``.  Undo removes their
+      index entries and truncates the rows (reverse order guarantees they sit
+      at the tail when their record is reached).
+    * ``("del", table, pid, position, row)`` — ``row`` was tombstoned at
+      ``position``.  Undo restores the row, its index entries (at their
+      original bucket slots) and the live count.
+
+    ``Partition.version`` is *not* bumped while staging — it advances only in
+    :meth:`commit`, so the version counter always describes committed state
+    and a shard forwarded by version to a worker process can never contain
+    uncommitted rows.  Deferred compaction runs at commit time too.
+    """
+
+    __slots__ = ("txn_id", "undo", "_touched", "_mutations_before")
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.undo: List[Tuple[Any, ...]] = []
+        #: id(table) → (table, set of touched partition ids).
+        self._touched: Dict[int, Tuple["Table", set]] = {}
+        self._mutations_before: Dict[int, int] = {}
+
+    # -- staging ----------------------------------------------------------------
+
+    def _touch(self, table: "Table", pid: int) -> None:
+        entry = self._touched.get(id(table))
+        if entry is None:
+            self._touched[id(table)] = (table, {pid})
+            self._mutations_before[id(table)] = table.mutations
+        else:
+            entry[1].add(pid)
+
+    def note_insert(self, table: "Table", pid: int, start: int, count: int) -> None:
+        self._touch(table, pid)
+        self.undo.append(("ins", table, pid, start, count))
+
+    def note_delete(
+        self, table: "Table", pid: int, position: int, row: Tuple[Any, ...]
+    ) -> None:
+        self._touch(table, pid)
+        self.undo.append(("del", table, pid, position, row))
+
+    @property
+    def staged(self) -> bool:
+        """Whether the transaction has applied any uncommitted DML."""
+        return bool(self.undo)
+
+    def touches(self, table: "Table") -> bool:
+        return id(table) in self._touched
+
+    def touched_partitions(self, table: "Table") -> set:
+        entry = self._touched.get(id(table))
+        return entry[1] if entry is not None else set()
+
+    # -- resolution -------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Publish the staged state: bump versions, run deferred compaction."""
+        for table, pids in self._touched.values():
+            column_indexes = table._index_column_map()
+            for pid in sorted(pids):
+                partition = table.partitions[pid]
+                partition.version += 1
+                partition.maybe_compact(column_indexes)
+        self.undo.clear()
+        self._touched.clear()
+        self._mutations_before.clear()
+
+    def rollback(self) -> None:
+        """Undo every staged mutation, restoring committed state exactly."""
+        for record in reversed(self.undo):
+            if record[0] == "ins":
+                _, table, pid, start, count = record
+                partition = table.partitions[pid]
+                if len(partition.rows) != start + count:
+                    raise ExecutionError(
+                        f"transaction undo corrupted: partition {pid} of table "
+                        f"{table.name!r} has {len(partition.rows)} rows where "
+                        f"the staged batch ends at {start + count}"
+                    )
+                for offset in range(count):
+                    position = start + offset
+                    row = partition.rows[position]
+                    # A row inserted and then deleted inside the same
+                    # transaction was already resurrected by the delete's
+                    # (later, hence earlier-undone) record.
+                    for index in table.indexes.values():
+                        index.parts[pid].remove(row[index.column_index], position)
+                del partition.rows[start:]
+                partition.live_count -= count
+            else:
+                _, table, pid, position, row = record
+                partition = table.partitions[pid]
+                partition.rows[position] = row
+                partition.live_count += 1
+                for index in table.indexes.values():
+                    index.parts[pid].restore(row[index.column_index], position)
+        self.undo.clear()
+        for key, (table, _pids) in self._touched.items():
+            table.mutations = self._mutations_before[key]
+        self._touched.clear()
+        self._mutations_before.clear()
+
+
 #: Process-global table identities (see :attr:`Table.uid`).
 _TABLE_UIDS = itertools.count(1)
 
@@ -345,6 +509,9 @@ class Table:
         self.indexes: Dict[str, TableIndex] = {}
         #: DML counter: rows inserted + rows deleted over the table lifetime.
         self.mutations = 0
+        #: The open :class:`Transaction` staging DML against this table, or
+        #: ``None`` (autocommit).  Set by the database on BEGIN/COMMIT/ROLLBACK.
+        self.txn: Optional[Transaction] = None
         self._column_indexes: Dict[str, int] = {}
         pk = schema.primary_key_columns()
         #: Column positions making up the partition key (``None`` → whole row).
@@ -437,7 +604,10 @@ class Table:
         position = len(partition.rows)
         partition.rows.append(row)
         partition.live_count += 1
-        partition.version += 1
+        if self.txn is None:
+            partition.version += 1
+        else:
+            self.txn.note_insert(self, pid, position, 1)
         for index in self.indexes.values():
             index.parts[pid].add(row[index.column_index], position)
         self.mutations += 1
@@ -483,7 +653,10 @@ class Table:
             start = len(partition.rows)
             partition.rows.extend(batch)
             partition.live_count += len(batch)
-            partition.version += 1
+            if self.txn is None:
+                partition.version += 1
+            else:
+                self.txn.note_insert(self, pid, start, len(batch))
             for index in self.indexes.values():
                 column_index = index.column_index
                 add = index.parts[pid].add
@@ -492,13 +665,23 @@ class Table:
         self.mutations += len(validated)
         return len(validated)
 
-    def delete_where(self, predicate) -> int:
+    def delete_where(
+        self,
+        predicate,
+        collect: Optional[List[Tuple[Any, ...]]] = None,
+    ) -> int:
         """Delete all live rows for which ``predicate(row_tuple)`` is true.
 
         Each partition checks its own tombstone ratio afterwards and compacts
-        independently.
+        independently.  Inside a transaction both side effects are deferred
+        to commit: versions stay at their committed value and compaction is
+        postponed (it would renumber the positions the undo chain records).
+        ``collect``, when given, receives the deleted row images in deletion
+        order (partition-major, position order) — the write-ahead log records
+        them for deterministic replay.
         """
         column_indexes = self._index_column_map()
+        txn = self.txn
         deleted = 0
         for pid, partition in enumerate(self.partitions):
             partition_deleted = 0
@@ -510,8 +693,12 @@ class Table:
                     partition.live_count -= 1
                     for index in self.indexes.values():
                         index.parts[pid].remove(row[index.column_index], position)
+                    if txn is not None:
+                        txn.note_delete(self, pid, position, row)
+                    if collect is not None:
+                        collect.append(row)
                     partition_deleted += 1
-            if partition_deleted:
+            if partition_deleted and txn is None:
                 partition.version += 1
                 partition.maybe_compact(column_indexes)
             deleted += partition_deleted
@@ -609,11 +796,52 @@ class Table:
         :meth:`scan_chunks` would deliver them — so a worker process scanning
         the snapshot reproduces the sequential executor's row order for that
         partition byte for byte.
+
+        The snapshot is always the **committed** state: while a transaction
+        stages DML, the shard's uncommitted rows are filtered out through the
+        undo chain (:meth:`committed_rows`), so the version/rows pair that
+        gets forwarded to a worker process can never contain state that a
+        rollback would retract.  (The in-process executors additionally fall
+        back to sequential scans mid-transaction so the *local* session keeps
+        reading its own writes.)
         """
         partition = self.partitions[pid]
+        txn = self.txn
+        if txn is not None and pid in txn.touched_partitions(self):
+            return partition.version, self.committed_rows(pid)
         return partition.version, [
             row for row in partition.rows if row is not None
         ]
+
+    def committed_rows(self, pid: int) -> List[Tuple[Any, ...]]:
+        """Live rows of one shard as of the last commit.
+
+        With no open transaction this is exactly the live scan.  With one
+        open, the shard's slice of the undo chain is applied in reverse to a
+        *copy* of the row list — reconstructing, without touching live state,
+        the snapshot-isolated view another session (or a forwarded worker
+        shard) sees while the transaction stages DML.
+        """
+        partition = self.partitions[pid]
+        txn = self.txn
+        if txn is None or pid not in txn.touched_partitions(self):
+            return [row for row in partition.rows if row is not None]
+        rows = list(partition.rows)
+        for record in reversed(txn.undo):
+            if record[1] is not self or record[2] != pid:
+                continue
+            if record[0] == "ins":
+                start, count = record[3], record[4]
+                if len(rows) != start + count:
+                    raise ExecutionError(
+                        f"transaction undo corrupted: partition {pid} of "
+                        f"table {self.name!r} has {len(rows)} rows where the "
+                        f"staged batch ends at {start + count}"
+                    )
+                del rows[start:]
+            else:
+                rows[record[3]] = record[4]
+        return [row for row in rows if row is not None]
 
     def probe_chunks(
         self, column: str, key: Any

@@ -1,0 +1,395 @@
+"""Transaction semantics and write-ahead durability of the relalg engine.
+
+Covers the BEGIN / COMMIT / ROLLBACK surface end to end: statement parsing,
+read-your-writes inside a transaction, byte-identical rollback (rows, index
+buckets, tombstones and table statistics, all via the state fingerprint),
+snapshot isolation of the committed view, the autocommit-only DDL rule,
+close()-time rollback, WAL recovery and checkpointing, the client and
+backend pass-through, and the loader's atomic bulk-load mode.
+"""
+
+import warnings
+
+import pytest
+
+from repro.bench.scenarios import build_scenario, identical_table_contents
+from repro.compiler import DatabaseLoader, load_repository
+from repro.relalg import (
+    AsyncClient,
+    Database,
+    ExecutionError,
+    IntegrityError,
+    NativeClient,
+    RecoveryError,
+    TransactionWarning,
+    backend,
+    fingerprint_hash,
+    state_fingerprint,
+)
+
+_DDL = "CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)"
+_INS = "INSERT INTO t (id, g, x) VALUES (?, ?, ?)"
+
+
+def _state(database):
+    return fingerprint_hash(state_fingerprint(database))
+
+
+def _fresh(**kwargs):
+    database = Database(n_partitions=4, **kwargs)
+    database.execute(_DDL)
+    database.execute("CREATE INDEX t_g ON t (g)")
+    database.executemany(_INS, [(i, i % 3, float(i)) for i in range(1, 41)])
+    return database
+
+
+def _count(database):
+    return database.query("SELECT COUNT(*) FROM t").scalar()
+
+
+class TestTransactionStatements:
+    def test_begin_commit_makes_changes_permanent(self):
+        with _fresh() as db:
+            db.execute("BEGIN")
+            assert db.in_transaction
+            db.execute(_INS, (100, 0, 1.0))
+            db.execute("COMMIT")
+            assert not db.in_transaction
+            assert _count(db) == 41
+
+    def test_transaction_and_work_suffixes_parse(self):
+        with _fresh() as db:
+            for begin, end in (
+                ("BEGIN TRANSACTION", "COMMIT TRANSACTION"),
+                ("BEGIN WORK", "ROLLBACK WORK"),
+                ("begin", "commit work"),
+            ):
+                db.execute(begin)
+                assert db.in_transaction
+                db.execute(end)
+                assert not db.in_transaction
+
+    def test_python_level_helpers(self):
+        with _fresh() as db:
+            db.begin()
+            db.execute("DELETE FROM t WHERE g = ?", [0])
+            db.rollback()
+            assert _count(db) == 40
+
+    def test_read_your_writes_inside_transaction(self):
+        with _fresh() as db:
+            db.begin()
+            db.execute(_INS, (200, 1, 2.0))
+            db.execute("DELETE FROM t WHERE id = ?", [1])
+            assert _count(db) == 40
+            assert db.query("SELECT g FROM t WHERE id = ?", [200]).scalar() == 1
+            assert db.query("SELECT COUNT(*) FROM t WHERE id = ?", [1]).scalar() == 0
+            db.rollback()
+
+    def test_nested_begin_rejected(self):
+        with _fresh() as db:
+            db.begin()
+            with pytest.raises(ExecutionError, match="nested"):
+                db.execute("BEGIN")
+            assert db.in_transaction  # the open transaction survives
+            db.rollback()
+
+    def test_commit_and_rollback_outside_transaction_rejected(self):
+        with _fresh() as db:
+            with pytest.raises(ExecutionError, match="COMMIT outside"):
+                db.execute("COMMIT")
+            with pytest.raises(ExecutionError, match="ROLLBACK outside"):
+                db.execute("ROLLBACK")
+
+
+class TestRollbackRestoresState:
+    def test_rollback_is_byte_identical(self):
+        with _fresh() as db:
+            # Tombstones near the compaction threshold make the restore
+            # interesting: deferred compaction must not fire mid-transaction.
+            db.execute("DELETE FROM t WHERE g = ?", [2])
+            before = _state(db)
+            db.begin()
+            db.executemany(_INS, [(500 + i, i % 3, -1.0) for i in range(25)])
+            db.execute("DELETE FROM t WHERE x > ?", [10.0])
+            db.execute("DELETE FROM t WHERE g = ?", [1])
+            db.rollback()
+            assert _state(db) == before
+
+    def test_commit_then_new_rollback_only_undoes_second_txn(self):
+        with _fresh() as db:
+            db.begin()
+            db.execute(_INS, (300, 2, 3.0))
+            db.commit()
+            committed = _state(db)
+            db.begin()
+            db.execute("DELETE FROM t WHERE id = ?", [300])
+            db.rollback()
+            assert _state(db) == committed
+
+    def test_mid_batch_integrity_error_inside_transaction(self):
+        """A duplicate key mid-executemany leaves the batch unapplied and the
+        transaction alive; rollback then restores the pre-BEGIN state."""
+        with _fresh() as db:
+            before = _state(db)
+            db.begin()
+            db.execute(_INS, (400, 0, 4.0))
+            with pytest.raises(IntegrityError, match="duplicate primary key"):
+                db.executemany(_INS, [(401, 0, 1.0), (5, 0, 1.0), (402, 0, 1.0)])
+            assert db.in_transaction
+            # The failed batch vanished; the transaction's own insert stays
+            # visible until the rollback.
+            assert db.query(
+                "SELECT COUNT(*) FROM t WHERE id >= ?", [400]
+            ).scalar() == 1
+            db.rollback()
+            assert _state(db) == before
+
+    def test_rollback_restores_statistics_and_indexes(self):
+        with _fresh() as db:
+            stats_before = db.table("t").statistics()
+            db.begin()
+            db.executemany(_INS, [(600 + i, 0, 0.5) for i in range(10)])
+            db.execute("DELETE FROM t WHERE g = ?", [0])
+            db.rollback()
+            assert db.table("t").statistics() == stats_before
+            assert db.query("SELECT COUNT(*) FROM t WHERE g = ?", [0]).scalar() > 0
+
+
+class TestAutocommitOnlyOperations:
+    def test_ddl_inside_transaction_rejected(self, tmp_path):
+        with _fresh(wal_path=str(tmp_path / "d.wal")) as db:
+            db.begin()
+            for sql in (
+                "CREATE TABLE u (id INTEGER PRIMARY KEY)",
+                "CREATE INDEX t_x ON t (x)",
+                "DROP TABLE t",
+            ):
+                with pytest.raises(ExecutionError, match="inside a transaction"):
+                    db.execute(sql)
+            with pytest.raises(ExecutionError, match="inside a transaction"):
+                db.checkpoint()
+            assert db.in_transaction  # still usable after every refusal
+            db.execute(_INS, (700, 0, 7.0))
+            db.commit()
+            assert _count(db) == 41
+
+    def test_checkpoint_without_wal_rejected(self):
+        with _fresh() as db:
+            with pytest.raises(ExecutionError, match="write-ahead log"):
+                db.checkpoint()
+
+
+class TestSnapshotIsolation:
+    def test_partition_snapshot_hides_staged_rows(self):
+        with _fresh() as db:
+            table = db.table("t")
+            committed = [
+                table.partition_snapshot(pid)[1]
+                for pid in range(table.n_partitions)
+            ]
+            db.begin()
+            db.executemany(_INS, [(800 + i, i % 3, 8.0) for i in range(16)])
+            db.execute("DELETE FROM t WHERE g = ?", [1])
+            staged_view = [
+                table.partition_snapshot(pid)[1]
+                for pid in range(table.n_partitions)
+            ]
+            assert staged_view == committed
+            assert staged_view == [
+                table.committed_rows(pid) for pid in range(table.n_partitions)
+            ]
+            db.rollback()
+
+    def test_process_fanout_falls_back_while_staged(self, process_pool):
+        """With staged writes, the process executor's shards only hold
+        committed versions — the query must still see the staged rows."""
+        with Database(n_partitions=4, executor=process_pool) as db:
+            db.execute(_DDL)
+            db.executemany(_INS, [(i, i % 3, float(i)) for i in range(1, 41)])
+            assert _count(db) == 40  # warm the shard sync on the pool
+            db.begin()
+            db.execute(_INS, (900, 0, 9.0))
+            assert _count(db) == 41
+            db.commit()
+            assert _count(db) == 41
+
+
+class TestCloseWithOpenTransaction:
+    def test_close_rolls_back_with_warning(self, tmp_path):
+        wal_path = tmp_path / "close.wal"
+        db = _fresh(wal_path=str(wal_path))
+        db.begin()
+        db.execute(_INS, (1000, 0, 1.0))
+        with pytest.warns(TransactionWarning, match="rolling back"):
+            db.close()
+        with Database(n_partitions=4, wal_path=str(wal_path)) as recovered:
+            assert _count(recovered) == 40
+
+    def test_context_exit_rolls_back(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TransactionWarning)
+            with _fresh() as db:
+                db.begin()
+                db.execute(_INS, (1001, 0, 1.0))
+        assert not db.in_transaction
+
+
+class TestWriteAheadLog:
+    def test_recovery_is_byte_identical(self, tmp_path):
+        wal_path = tmp_path / "r.wal"
+        db = _fresh(wal_path=str(wal_path))
+        db.begin()
+        db.executemany(_INS, [(1100 + i, i % 3, 0.25) for i in range(12)])
+        db.execute("DELETE FROM t WHERE g = ?", [2])
+        db.commit()
+        db.begin()
+        db.execute(_INS, (1200, 0, 0.0))
+        db.rollback()
+        expected = _state(db)
+        db.close()
+        with Database(n_partitions=4, wal_path=str(wal_path)) as recovered:
+            assert _state(recovered) == expected
+
+    def test_wal_run_matches_pure_in_memory_run(self, tmp_path):
+        with _fresh() as plain, _fresh(wal_path=str(tmp_path / "m.wal")) as walled:
+            for db in (plain, walled):
+                db.begin()
+                db.execute("DELETE FROM t WHERE x < ?", [5.0])
+                db.commit()
+            assert _state(walled) == _state(plain)
+
+    def test_checkpoint_truncates_and_recovers(self, tmp_path):
+        wal_path = tmp_path / "c.wal"
+        db = _fresh(wal_path=str(wal_path), wal_autocheckpoint=None)
+        grown = wal_path.stat().st_size
+        db.checkpoint()
+        assert (tmp_path / "c.wal.ckpt").exists()
+        assert wal_path.stat().st_size < grown
+        db.execute(_INS, (1300, 1, 13.0))
+        expected = _state(db)
+        db.close()
+        with Database(n_partitions=4, wal_path=str(wal_path)) as recovered:
+            assert _state(recovered) == expected
+
+    def test_autocheckpoint_triggers_by_log_size(self, tmp_path):
+        wal_path = tmp_path / "a.wal"
+        with Database(n_partitions=4, wal_path=str(wal_path),
+                      wal_autocheckpoint=2_000) as db:
+            db.execute(_DDL)
+            for i in range(40):
+                db.execute(_INS, (i, i % 3, float(i)))
+            assert (tmp_path / "a.wal.ckpt").exists()
+            assert wal_path.stat().st_size < 2_000 + 500
+
+    def test_stale_checkpoint_generation_rejected(self, tmp_path):
+        """A log generation newer than the checkpoint's is unrecoverable —
+        restoring an old checkpoint under a new log must fail loudly, not
+        replay new records onto old state."""
+        wal_path = tmp_path / "g.wal"
+        ckpt_path = tmp_path / "g.wal.ckpt"
+        db = _fresh(wal_path=str(wal_path), wal_autocheckpoint=None)
+        db.checkpoint()
+        stale = ckpt_path.read_bytes()
+        db.execute(_INS, (1400, 0, 14.0))
+        db.checkpoint()
+        db.execute(_INS, (1401, 0, 14.0))
+        db.close()
+        ckpt_path.write_bytes(stale)
+        with pytest.raises(RecoveryError, match="generation"):
+            Database(n_partitions=4, wal_path=str(wal_path))
+
+
+class TestClientPassThrough:
+    def test_native_client_charges_transaction_statements(self):
+        client = NativeClient(backend("oracle7"))
+        client.execute(_DDL)
+        client.backend.reset_clock()
+        client.begin()
+        charged = client.elapsed
+        assert charged > 0.0
+        client.execute(_INS, (1, 0, 1.0))
+        client.commit()
+        assert client.elapsed > charged
+        assert client.backend.database.query("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_rollback_through_client(self):
+        client = NativeClient(backend("ms_access"))
+        client.execute(_DDL)
+        client.begin()
+        client.execute(_INS, (1, 0, 1.0))
+        client.rollback()
+        assert client.backend.database.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_async_client_begin_is_a_sync_point(self):
+        pipeline = AsyncClient(NativeClient(backend("oracle7")), window=4)
+        pipeline.execute(_DDL)
+        for i in range(1, 4):
+            pipeline.submit(_INS, (i, 0, float(i)))
+        # begin() must gather the in-flight autocommit inserts first, so none
+        # of them lands inside (and could be undone with) the transaction.
+        pipeline.begin()
+        database = pipeline.client.backend.database
+        assert database.in_transaction
+        assert database.query("SELECT COUNT(*) FROM t").scalar() == 3
+        pipeline.submit(_INS, (10, 1, 10.0))
+        pipeline.rollback()
+        assert not database.in_transaction
+        assert database.query("SELECT COUNT(*) FROM t").scalar() == 3
+
+
+class TestAtomicBulkLoad:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(pe_counts=(1, 2))
+
+    def test_atomic_load_matches_plain_load(self, scenario):
+        with Database(n_partitions=2) as plain, Database(n_partitions=2) as atomic:
+            load_repository(scenario.repository, scenario.mapping, plain,
+                            batch_size=16)
+            load_repository(scenario.repository, scenario.mapping, atomic,
+                            batch_size=16, atomic=True)
+            assert not atomic.in_transaction
+            assert identical_table_contents(plain, atomic)
+            assert _state(atomic) == _state(plain)
+
+    def test_failed_atomic_load_rolls_back(self, scenario):
+        class FailingExecutor:
+            """Delegates to a database, failing one execute() mid-load."""
+
+            def __init__(self, database, fail_at):
+                self.database = database
+                self.calls = 0
+                self.fail_at = fail_at
+
+            def execute(self, sql, params=()):
+                self.calls += 1
+                if self.calls == self.fail_at:
+                    raise RuntimeError("simulated load failure")
+                return self.database.execute(sql, params)
+
+            def executemany(self, sql, rows):
+                self.calls += 1
+                if self.calls == self.fail_at:
+                    raise RuntimeError("simulated load failure")
+                return self.database.executemany(sql, rows)
+
+        with Database(n_partitions=2) as db:
+            executor = FailingExecutor(db, fail_at=10_000)
+            loader = DatabaseLoader(scenario.mapping, executor, batch_size=16)
+            loader.create_schema()
+            after_schema = _state(db)
+            executor.fail_at = executor.calls + 12  # mid-load, past BEGIN
+            with pytest.raises(RuntimeError, match="simulated load failure"):
+                loader.load(scenario.repository, atomic=True)
+            assert not db.in_transaction
+            assert _state(db) == after_schema
+
+    def test_atomic_load_is_durable(self, scenario, tmp_path):
+        wal_path = tmp_path / "load.wal"
+        with Database(n_partitions=2, wal_path=str(wal_path)) as db:
+            load_repository(scenario.repository, scenario.mapping, db,
+                            batch_size=16, atomic=True)
+            expected = _state(db)
+        with Database(n_partitions=2, wal_path=str(wal_path)) as recovered:
+            assert _state(recovered) == expected
