@@ -749,6 +749,55 @@ def bench_e10(scenario, repeats: int, failures: list) -> dict:
     return report
 
 
+def _e11_run(database):
+    """The E9 statements, returning both rows and the full QueryStats."""
+    results = [database.query(sql, params) for sql, params in _E9_QUERIES]
+    return [r.rows for r in results], [r.stats for r in results]
+
+
+def bench_e11(repeats: int, failures: list) -> dict:
+    """Vectorized columnar scans vs. row-at-a-time (wall clock).
+
+    The same scan-heavy E9 workload through the same sequential executor,
+    with only the scan representation changed: batch-compiled predicates
+    over cached columnar chunks vs. the row-at-a-time closure pipeline.
+    Rows *and* QueryStats must be byte-identical — the columnar path does
+    the same logical work, only batched — so the wall-clock gap is pure
+    interpreter-dispatch overhead.
+    """
+    rowwise = _e9_database(vectorized=False)
+    vectorized = _e9_database()
+
+    row_results = _e11_run(rowwise)
+    vec_results = _e11_run(vectorized)
+    if vec_results[0] != row_results[0]:
+        failures.append("E11: vectorized rows diverge from row-at-a-time")
+    if vec_results[1] != row_results[1]:
+        failures.append("E11: vectorized QueryStats diverge from row-at-a-time")
+
+    row_wall = _wall(lambda: _e11_run(rowwise), repeats)
+    vec_wall = _wall(lambda: _e11_run(vectorized), repeats)
+    rowwise.close()
+    vectorized.close()
+
+    speedup = row_wall / vec_wall
+    if speedup < 1.0:
+        failures.append(
+            f"E11: vectorized scan is slower than row-at-a-time "
+            f"({speedup:.3f}x, expected >= 1.0x)"
+        )
+    return {
+        "rows": _E9_ROWS,
+        "partitions": _E9_PARTITIONS,
+        "statements": len(_E9_QUERIES),
+        "rowwise_wall_s": round(row_wall, 6),
+        "vectorized_wall_s": round(vec_wall, 6),
+        "speedup": round(speedup, 3),
+        "results_identical": vec_results == row_results,
+        "meets_local_target": speedup >= 1.5,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -788,6 +837,7 @@ def main(argv=None) -> int:
             "E8_overlap": bench_e8(medium, failures),
             "E9_wallclock": bench_e9(args.repeats, failures),
             "E10_durability": bench_e10(medium, args.repeats, failures),
+            "E11_columnar": bench_e11(args.repeats, failures),
         },
     }
 
@@ -836,6 +886,10 @@ def main(argv=None) -> int:
           f"{e10['recovery']['full_log']['log_bytes']}B log, "
           f"{e10['recovery']['checkpointed']['wall_s']}s checkpointed; "
           f"consistent: {e10['contents_identical']}")
+    e11 = report["scenarios"]["E11_columnar"]
+    print(f"E11 columnar scan: vectorized {e11['vectorized_wall_s']}s vs "
+          f"row-at-a-time {e11['rowwise_wall_s']}s ({e11['speedup']}x); "
+          f"identical: {e11['results_identical']}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

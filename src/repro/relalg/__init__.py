@@ -71,7 +71,9 @@ from repro.relalg.planner import (
 )
 from repro.relalg.schema import Column, ColumnType, TableSchema
 from repro.relalg.sqlparser import SqlParser, parse_sql, tokenize_sql
+from repro.relalg.compile import compile_batch_predicate
 from repro.relalg.storage import (
+    CHUNK_ROWS,
     HashIndex,
     Partition,
     PositionsView,
@@ -95,6 +97,7 @@ __all__ = [
     "BACKEND_PROFILES",
     "BackendProfile",
     "BridgedClient",
+    "CHUNK_ROWS",
     "ClientCosts",
     "Column",
     "ColumnType",
@@ -139,6 +142,7 @@ __all__ = [
     "VirtualClock",
     "WriteAheadLog",
     "backend",
+    "compile_batch_predicate",
     "fingerprint_hash",
     "lower_plan",
     "parse_sql",

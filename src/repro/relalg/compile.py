@@ -44,10 +44,12 @@ from repro.relalg.sqlast import (
 from repro.relalg.storage import Table
 
 __all__ = [
+    "BatchPredicate",
     "ExecContext",
     "SlotLayout",
     "RowFn",
     "GroupFn",
+    "compile_batch_predicate",
     "compile_row_expr",
     "compile_group_expr",
     "compile_insert_binder",
@@ -341,6 +343,436 @@ def _compile_subquery(expr: ScalarSubquery, tables: Dict[str, Table]) -> RowFn:
         return result.rows[0][0]
 
     return subquery_fn
+
+
+# --------------------------------------------------------------------------- #
+# batch compilation (vectorized columnar scans)
+# --------------------------------------------------------------------------- #
+
+#: A compiled batch predicate over one columnar chunk:
+#: ``fn(columns, n, ctx) -> surviving row indexes`` (ascending, chunk-local),
+#: or ``None`` meaning every row survived.
+BatchPredicate = Callable[
+    [Sequence[List[Any]], int, "ExecContext"], Optional[List[int]]
+]
+
+#: ``("const", fn(ctx) -> value)`` — row-independent subexpression, or
+#: ``("vec", fn(columns, n, ctx) -> values, needed column positions)``.
+_BatchNode = Tuple[Any, ...]
+
+
+def _gather(
+    cols: Sequence[List[Any]], needed: frozenset, idxs: List[int]
+) -> List[Optional[List[Any]]]:
+    """Project ``cols`` down to the rows in ``idxs``.
+
+    Only the positions a subtree actually reads (``needed``) are gathered;
+    the rest stay ``None``, keeping conditional evaluation (AND/OR/COALESCE
+    narrowing) linear in the surviving-row count rather than the chunk width.
+    """
+    sub: List[Optional[List[Any]]] = [None] * len(cols)
+    for j in needed:
+        column = cols[j]
+        sub[j] = [column[i] for i in idxs]
+    return sub
+
+
+_BATCH_PY_OPS = {
+    BinaryOperator.ADD: lambda a, b: a + b,
+    BinaryOperator.SUB: lambda a, b: a - b,
+    BinaryOperator.MUL: lambda a, b: a * b,
+    BinaryOperator.DIV: lambda a, b: a / b,
+    BinaryOperator.NE: lambda a, b: a != b,
+    BinaryOperator.LT: lambda a, b: a < b,
+    BinaryOperator.LE: lambda a, b: a <= b,
+    BinaryOperator.GT: lambda a, b: a > b,
+    BinaryOperator.GE: lambda a, b: a >= b,
+}
+
+
+def _batch_binop(op: BinaryOperator, left: _BatchNode,
+                 right: _BatchNode) -> _BatchNode:
+    """Batch form of a non-logical binary operator.
+
+    The fast inner comprehension uses the raw Python operator; if it raises
+    (mixed-type comparison, division by zero) the chunk is re-evaluated
+    through :func:`_apply_binop`, which raises the row engine's exact error
+    at the exact offending row — the happy path stays allocation-lean while
+    the error path stays byte-identical.
+    """
+    lkind, lfn = left[0], left[1]
+    rkind, rfn = right[0], right[1]
+    if op is BinaryOperator.EQ:
+        # Mirror the row path's specialised eq_fn: the right operand is only
+        # evaluated when the left came out non-NULL.
+        if lkind == "const" and rkind == "const":
+            def eq_const(ctx: ExecContext) -> Any:
+                a = lfn(ctx)
+                if a is None:
+                    return None
+                b = rfn(ctx)
+                if b is None:
+                    return None
+                return a == b
+
+            return ("const", eq_const)
+        if lkind == "const":
+            def eq_cv(cols, n, ctx):
+                a = lfn(ctx)
+                if a is None:
+                    return [None] * n
+                return [None if v is None else a == v
+                        for v in rfn(cols, n, ctx)]
+
+            return ("vec", eq_cv, right[2])
+        if rkind == "const":
+            def eq_vc(cols, n, ctx):
+                a = lfn(cols, n, ctx)
+                out: List[Any] = [None] * n
+                idxs = [i for i, v in enumerate(a) if v is not None]
+                if not idxs:
+                    return out
+                b = rfn(ctx)
+                if b is None:
+                    return out
+                for i in idxs:
+                    out[i] = a[i] == b
+                return out
+
+            return ("vec", eq_vc, left[2])
+
+        def eq_vv(cols, n, ctx):
+            return [
+                None if (x is None or y is None) else x == y
+                for x, y in zip(lfn(cols, n, ctx), rfn(cols, n, ctx))
+            ]
+
+        return ("vec", eq_vv, left[2] | right[2])
+    if lkind == "const" and rkind == "const":
+        return ("const", lambda ctx: _apply_binop(op, lfn(ctx), rfn(ctx)))
+    py = _BATCH_PY_OPS[op]
+    if lkind == "const":
+        def op_cv(cols, n, ctx):
+            a = lfn(ctx)
+            b = rfn(cols, n, ctx)
+            if a is None:
+                return [None] * n
+            try:
+                return [None if y is None else py(a, y) for y in b]
+            except (TypeError, ZeroDivisionError):
+                return [_apply_binop(op, a, y) for y in b]
+
+        return ("vec", op_cv, right[2])
+    if rkind == "const":
+        def op_vc(cols, n, ctx):
+            a = lfn(cols, n, ctx)
+            b = rfn(ctx)
+            if b is None:
+                return [None] * n
+            try:
+                return [None if x is None else py(x, b) for x in a]
+            except (TypeError, ZeroDivisionError):
+                return [_apply_binop(op, x, b) for x in a]
+
+        return ("vec", op_vc, left[2])
+
+    def op_vv(cols, n, ctx):
+        a = lfn(cols, n, ctx)
+        b = rfn(cols, n, ctx)
+        try:
+            return [
+                None if (x is None or y is None) else py(x, y)
+                for x, y in zip(a, b)
+            ]
+        except (TypeError, ZeroDivisionError):
+            return [_apply_binop(op, x, y) for x, y in zip(a, b)]
+
+    return ("vec", op_vv, left[2] | right[2])
+
+
+def _batch_logical(op: BinaryOperator, left: _BatchNode,
+                   right: _BatchNode) -> _BatchNode:
+    """Batch AND/OR with the row path's short-circuit evaluation order.
+
+    The right operand is evaluated only over the rows the left side did not
+    already decide (left-truthy rows for AND, left-falsy for OR), via
+    :func:`_gather` — so a right side that would raise (missing parameter,
+    type error) raises exactly when the row engine would.
+    """
+    lkind, lfn = left[0], left[1]
+    rkind, rfn = right[0], right[1]
+    conjunction = op is BinaryOperator.AND
+    if lkind == "const" and rkind == "const":
+        if conjunction:
+            return ("const",
+                    lambda ctx: _is_true(lfn(ctx)) and _is_true(rfn(ctx)))
+        return ("const",
+                lambda ctx: _is_true(lfn(ctx)) or _is_true(rfn(ctx)))
+    if lkind == "const":
+        def logical_cv(cols, n, ctx):
+            decided = _is_true(lfn(ctx))
+            if conjunction and not decided:
+                return [False] * n
+            if not conjunction and decided:
+                return [True] * n
+            return [_is_true(v) for v in rfn(cols, n, ctx)]
+
+        return ("vec", logical_cv, right[2])
+
+    def logical_v(cols, n, ctx):
+        lv = lfn(cols, n, ctx)
+        if conjunction:
+            out = [False] * n
+            undecided = [i for i, v in enumerate(lv) if _is_true(v)]
+        else:
+            out = [_is_true(v) for v in lv]
+            undecided = [i for i in range(n) if not out[i]]
+        if not undecided:
+            return out
+        if rkind == "const":
+            if _is_true(rfn(ctx)):
+                for i in undecided:
+                    out[i] = True
+            return out
+        sub = _gather(cols, right[2], undecided)
+        rv = rfn(sub, len(undecided), ctx)
+        for i, v in zip(undecided, rv):
+            out[i] = _is_true(v)
+        return out
+
+    needed = left[2] | (right[2] if rkind == "vec" else frozenset())
+    return ("vec", logical_v, needed)
+
+
+def _batch_node(expr: SqlExpr, layout: SlotLayout, offset: int,
+                end: int) -> Optional[_BatchNode]:
+    """Compile ``expr`` into a batch node, or ``None`` if not vectorizable.
+
+    ``[offset, end)`` is the slot range of the driving binding — the only
+    columns a chunk materialises.  Anything outside it (join slots), scalar
+    subqueries and unknown functions fall back to the row-at-a-time path by
+    returning ``None``.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return ("const", lambda ctx: value)
+    if isinstance(expr, Placeholder):
+        index = expr.index
+        needed = index + 1
+
+        def param_fn(ctx: ExecContext) -> Any:
+            params = ctx.params
+            if index >= len(params):
+                raise ExecutionError(
+                    f"statement uses {needed} parameter(s) but only "
+                    f"{len(params)} were supplied"
+                )
+            return params[index]
+
+        return ("const", param_fn)
+    if isinstance(expr, ColumnRef):
+        slot = layout.resolve(expr)
+        if not offset <= slot < end:
+            return None
+        j = slot - offset
+        return ("vec", lambda cols, n, ctx: cols[j], frozenset((j,)))
+    if isinstance(expr, UnaryOperation):
+        operand = _batch_node(expr.operand, layout, offset, end)
+        if operand is None:
+            return None
+        okind, ofn = operand[0], operand[1]
+        if expr.op == "NOT":
+            if okind == "const":
+                return ("const", lambda ctx: (
+                    None if (v := ofn(ctx)) is None else not _is_true(v)
+                ))
+            return ("vec", lambda cols, n, ctx: [
+                None if v is None else not _is_true(v)
+                for v in ofn(cols, n, ctx)
+            ], operand[2])
+        if okind == "const":
+            return ("const", lambda ctx: (
+                None if (v := ofn(ctx)) is None else -v
+            ))
+        return ("vec", lambda cols, n, ctx: [
+            None if v is None else -v for v in ofn(cols, n, ctx)
+        ], operand[2])
+    if isinstance(expr, BinaryOperation):
+        left = _batch_node(expr.left, layout, offset, end)
+        if left is None:
+            return None
+        right = _batch_node(expr.right, layout, offset, end)
+        if right is None:
+            return None
+        if expr.op in (BinaryOperator.AND, BinaryOperator.OR):
+            return _batch_logical(expr.op, left, right)
+        return _batch_binop(expr.op, left, right)
+    if isinstance(expr, IsNull):
+        operand = _batch_node(expr.operand, layout, offset, end)
+        if operand is None:
+            return None
+        okind, ofn = operand[0], operand[1]
+        negated = expr.negated
+        if okind == "const":
+            if negated:
+                return ("const", lambda ctx: ofn(ctx) is not None)
+            return ("const", lambda ctx: ofn(ctx) is None)
+        if negated:
+            return ("vec", lambda cols, n, ctx: [
+                v is not None for v in ofn(cols, n, ctx)
+            ], operand[2])
+        return ("vec", lambda cols, n, ctx: [
+            v is None for v in ofn(cols, n, ctx)
+        ], operand[2])
+    if isinstance(expr, InList):
+        operand = _batch_node(expr.operand, layout, offset, end)
+        if operand is None:
+            return None
+        item_nodes = [
+            _batch_node(item, layout, offset, end) for item in expr.items
+        ]
+        # Row-dependent list members would need per-row re-evaluation; leave
+        # those predicates to the row engine.
+        if any(node is None or node[0] != "const" for node in item_nodes):
+            return None
+        item_fns = [node[1] for node in item_nodes]
+        okind, ofn = operand[0], operand[1]
+        negated = expr.negated
+        if okind == "const":
+            def in_const(ctx: ExecContext) -> Any:
+                value = ofn(ctx)
+                members = [fn(ctx) for fn in item_fns]
+                found = value in members
+                return (not found) if negated else found
+
+            return ("const", in_const)
+
+        def in_vec(cols, n, ctx):
+            values = ofn(cols, n, ctx)
+            members = [fn(ctx) for fn in item_fns]
+            if negated:
+                return [v not in members for v in values]
+            return [v in members for v in values]
+
+        return ("vec", in_vec, operand[2])
+    if isinstance(expr, FunctionExpr):
+        return _batch_function(expr, layout, offset, end)
+    # ScalarSubquery (needs per-row plan execution + stats merging), Star and
+    # anything unrecognised: row-at-a-time only.
+    return None
+
+
+def _batch_function(expr: FunctionExpr, layout: SlotLayout, offset: int,
+                    end: int) -> Optional[_BatchNode]:
+    if expr.is_aggregate:
+        return None
+    name = expr.name.upper()
+    arg_nodes = [
+        _batch_node(arg, layout, offset, end) for arg in expr.args
+    ]
+    if any(node is None for node in arg_nodes):
+        return None
+    if name == "COALESCE":
+        if all(node[0] == "const" for node in arg_nodes):
+            fns = [node[1] for node in arg_nodes]
+
+            def coalesce_const(ctx: ExecContext) -> Any:
+                for fn in fns:
+                    value = fn(ctx)
+                    if value is not None:
+                        return value
+                return None
+
+            return ("const", coalesce_const)
+        needed = frozenset().union(
+            *(node[2] for node in arg_nodes if node[0] == "vec")
+        )
+
+        def coalesce_vec(cols, n, ctx):
+            out: List[Any] = [None] * n
+            pending = list(range(n))
+            for node in arg_nodes:
+                if not pending:
+                    break
+                if node[0] == "const":
+                    value = node[1](ctx)
+                    if value is not None:
+                        for i in pending:
+                            out[i] = value
+                        pending = []
+                    continue
+                if len(pending) == n:
+                    values = node[1](cols, n, ctx)
+                else:
+                    sub = _gather(cols, node[2], pending)
+                    values = node[1](sub, len(pending), ctx)
+                still: List[int] = []
+                for i, v in zip(pending, values):
+                    if v is None:
+                        still.append(i)
+                    else:
+                        out[i] = v
+                pending = still
+            return out
+
+        return ("vec", coalesce_vec, needed)
+    fn = _SCALAR_FUNCTIONS.get(name)
+    if fn is None or len(arg_nodes) != 1:
+        return None
+    node = arg_nodes[0]
+    if node[0] == "const":
+        afn = node[1]
+        return ("const", lambda ctx: fn(afn(ctx)))
+    afn = node[1]
+    return ("vec", lambda cols, n, ctx: [
+        fn(v) for v in afn(cols, n, ctx)
+    ], node[2])
+
+
+def compile_batch_predicate(
+    exprs: Sequence[SqlExpr], layout: SlotLayout, offset: int, end: int
+) -> Optional[BatchPredicate]:
+    """Compile a conjunct list into one batch predicate, or ``None``.
+
+    The predicate evaluates the conjuncts in order over a columnar chunk of
+    the driving binding (slots ``[offset, end)``), narrowing the surviving
+    row set between conjuncts exactly as the row engine's per-row
+    short-circuit does: a later conjunct only ever sees — and can only ever
+    raise for — rows that passed every earlier one.  It returns ascending
+    chunk-local row indexes, or ``None`` when every row survived.
+
+    Returns ``None`` (not vectorizable) when any conjunct contains a scalar
+    subquery, a column outside the driving binding, a row-dependent IN list
+    or an unknown function — the caller then keeps the row-at-a-time path.
+    """
+    compiled: List[_BatchNode] = []
+    for expr in exprs:
+        node = _batch_node(expr, layout, offset, end)
+        if node is None:
+            return None
+        compiled.append(node)
+
+    def predicate(cols, n, ctx):
+        if not n:
+            return []
+        sel: Optional[List[int]] = None
+        for node in compiled:
+            if sel is not None and not sel:
+                return sel
+            if node[0] == "const":
+                if not _is_true(node[1](ctx)):
+                    sel = []
+                continue
+            if sel is None:
+                values = node[1](cols, n, ctx)
+                sel = [i for i, v in enumerate(values) if _is_true(v)]
+            else:
+                sub = _gather(cols, node[2], sel)
+                values = node[1](sub, len(sel), ctx)
+                sel = [i for i, v in zip(sel, values) if _is_true(v)]
+        return sel
+
+    return predicate
 
 
 # --------------------------------------------------------------------------- #

@@ -115,7 +115,7 @@ from repro.relalg.sqlast import (
     Statement,
 )
 from repro.relalg.sqlparser import parse_sql
-from repro.relalg.storage import Table, Transaction
+from repro.relalg.storage import CHUNK_ROWS, Table, Transaction
 from repro.relalg.wal import (
     WriteAheadLog,
     decode_row,
@@ -178,6 +178,8 @@ class Database:
         wal_path: Optional[str] = None,
         wal_autocheckpoint: Optional[int] = 4_000_000,
         wal_hook=None,
+        vectorized: bool = True,
+        vectorized_chunk_size: int = CHUNK_ROWS,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -190,6 +192,11 @@ class Database:
         if parallel is not None and parallel < 2:
             raise ValueError(
                 f"parallel must be >= 2 workers (or None), got {parallel}"
+            )
+        if vectorized_chunk_size < 1:
+            raise ValueError(
+                f"vectorized_chunk_size must be positive, "
+                f"got {vectorized_chunk_size}"
             )
         shared_executor: Optional[ProcessScanExecutor] = None
         if isinstance(executor, ProcessScanExecutor):
@@ -224,6 +231,12 @@ class Database:
         self.parallel = parallel
         #: Partition fan-out kind: "sequential", "thread" or "process".
         self.executor = executor
+        #: Whether eligible plans drive their scans vectorized over columnar
+        #: chunks (plan-time eligibility; row-at-a-time results and stats are
+        #: preserved byte for byte).  ``False`` pins the row engine — the
+        #: differential reference the fuzzers sweep against.
+        self.vectorized = vectorized
+        self.vectorized_chunk_size = vectorized_chunk_size
         self._pool = None
         #: The process pool (owned and lazily created, or shared/borrowed).
         self._process_executor = shared_executor
@@ -905,6 +918,19 @@ class Database:
     # statement handlers
     # ------------------------------------------------------------------ #
 
+    def _vectorized_now(self) -> bool:
+        """Whether this statement may drive scans vectorized *right now*.
+
+        Columnar chunks are built from the live row lists, which include
+        rows a transaction has merely staged; snapshot-correct chunk reads
+        under staged DML would need per-statement rebuilds, so the engine
+        simply falls back to row-at-a-time until the transaction resolves —
+        the same conservative seam the process executor uses.
+        """
+        return self.vectorized and (
+            self._txn is None or not self._txn.staged
+        )
+
     def _execute_select(
         self,
         statement: SelectStatement,
@@ -923,12 +949,20 @@ class Database:
                 # sequentially until the transaction resolves.
                 process_executor = None
             result = plan.execute(
-                params, QueryStats(), process_executor=process_executor
+                params,
+                QueryStats(),
+                process_executor=process_executor,
+                vectorized=self._vectorized_now(),
+                chunk_size=self.vectorized_chunk_size,
             )
         else:
             plan = self._plan_for(statement, sql)
             result = plan.execute(
-                params, QueryStats(), pool=self._execution_pool()
+                params,
+                QueryStats(),
+                pool=self._execution_pool(),
+                vectorized=self._vectorized_now(),
+                chunk_size=self.vectorized_chunk_size,
             )
         self.summary.record_select(result.stats)
         return result

@@ -12,7 +12,15 @@ Execution proceeds in two phases (see the module docstrings of
    counting the physical work in :class:`QueryStats` exactly as the seed
    engine did on the index/scan paths (the simulated backends convert the
    counters into virtual elapsed time, and the A1 ablation reports them
-   directly).
+   directly).  When the plan is vector-eligible (a scan-driven level whose
+   filters batch-compile) and the caller passes ``vectorized=True``, the
+   driving level reads columnar chunks instead of row tuples — same rows,
+   same stats, one Python-level dispatch per chunk instead of per row.
+
+This facade always executes row-at-a-time; the vectorized drive mode is
+chosen by :class:`~repro.relalg.database.Database` (the default there),
+which also forces the row path while a transaction has staged writes so
+reads see them.
 
 :class:`Database` caches plans per SQL text; :class:`SelectExecutor` is the
 uncached single-statement facade that keeps the original executor API.  The

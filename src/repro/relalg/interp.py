@@ -169,9 +169,13 @@ class InterpretedSelectExecutor:
                 # A NULL probe key never matches (`col = NULL` is NULL, i.e.
                 # falsy) — the seed's index path wrongly returned NULL rows
                 # here while its scan path filtered them out; both engines
-                # now agree with the scan semantics.
+                # now agree with the scan semantics.  A NaN key never matches
+                # either (`NaN = NaN` is false), but the bucket lookup would
+                # hit when the probe is the stored NaN object itself.
                 candidates: Iterable[Tuple[Any, ...]] = (
-                    () if value is None else table.lookup(column, value)
+                    ()
+                    if value is None or value != value
+                    else table.lookup(column, value)
                 )
                 self.stats.index_lookups += 1
                 filters = [p for p in applicable if p is not used]

@@ -9,7 +9,8 @@ processes:
 * :class:`ProcessScanExecutor` keeps a persistent pool of **spawn-safe
   worker processes**.  Each worker owns a disjoint subset of every table's
   partition shards (shard ``pid`` belongs to worker ``pid % workers``) as
-  plain row lists — shared-nothing, no locks, no shared memory.
+  plain columnar value lists — shared-nothing, no locks, no shared memory —
+  scanned vectorized whenever the driving filters batch-compile.
 * Compiled plans are closures over live tables and cannot pickle, so the
   executor ships the :class:`~repro.relalg.planner.PlanSpec` lowering of a
   plan instead: plain expression ASTs plus the slot layout.  Workers
@@ -50,7 +51,12 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.relalg.compile import ExecContext, SlotLayout, compile_row_expr
+from repro.relalg.compile import (
+    ExecContext,
+    SlotLayout,
+    compile_batch_predicate,
+    compile_row_expr,
+)
 from repro.relalg.errors import ExecutionError
 from repro.relalg.planner import PlanSpec, QueryPlan, lower_plan
 from repro.relalg.rowset import QueryStats
@@ -91,44 +97,74 @@ def _compile_driving_scan(spec: PlanSpec):
     rebuild the slot layout from column names, re-compile the filter ASTs
     with :func:`~repro.relalg.compile.compile_row_expr` (an empty catalog is
     safe — specs with scalar subqueries in the driving filters are never
-    shipped, see :attr:`PlanSpec.process_eligible`).
+    shipped, see :attr:`PlanSpec.process_eligible`).  When the filters also
+    batch-compile (:func:`~repro.relalg.compile.compile_batch_predicate`),
+    the worker scans its columnar shards vectorized — one predicate dispatch
+    per shard — and only materialises the surviving rows.
     """
     layout = SlotLayout.from_column_names(spec.bindings)
     driving = spec.driving
     filter_fns = [
         compile_row_expr(expr, layout, {}) for expr in driving.filter_asts
     ]
-    return driving.table_uid, driving.offset, driving.end, spec.width, filter_fns
+    batch_fn = (
+        compile_batch_predicate(
+            driving.filter_asts, layout, driving.offset, driving.end
+        )
+        if driving.filter_asts
+        else None
+    )
+    return (
+        driving.table_uid, driving.offset, driving.end, spec.width,
+        filter_fns, batch_fn,
+    )
+
+
+def _shard_rows(shard) -> List[Tuple[Any, ...]]:
+    """The row-tuple view of a columnar shard, materialised once and cached."""
+    rows = shard[2]
+    if rows is None:
+        count, cols = shard[0], shard[1]
+        rows = list(zip(*cols)) if count else []
+        shard[2] = rows
+    return rows
 
 
 def _worker_scan(shards, entry, params, pids):
     """Scan + filter the requested shards; returns per-partition chunks."""
-    table_uid, offset, end, width, filter_fns = entry
+    table_uid, offset, end, width, filter_fns, batch_fn = entry
     ctx = ExecContext({}, list(params), QueryStats())
     results: List[Tuple[int, List[Tuple[Any, ...]], int]] = []
     for pid in pids:
-        rows_data = shards.get((table_uid, pid))
-        if rows_data is None:
+        shard = shards.get((table_uid, pid))
+        if shard is None:
             raise ExecutionError(
                 f"worker owns no shard (table uid {table_uid}, partition "
                 f"{pid}); sync protocol violated"
             )
-        survivors: List[Tuple[Any, ...]] = []
-        scanned = 0
-        if filter_fns:
+        scanned = shard[0]
+        if not filter_fns:
+            survivors = _shard_rows(shard)
+        elif batch_fn is not None:
+            cols = shard[1]
+            sel = batch_fn(cols, scanned, ctx)
+            if sel is None:
+                survivors = _shard_rows(shard)
+            else:
+                survivors = list(
+                    zip(*([column[i] for i in sel] for column in cols))
+                )
+        else:
+            survivors = []
             row: List[Any] = [None] * width
             keep = survivors.append
-            for candidate in rows_data:
-                scanned += 1
+            for candidate in _shard_rows(shard):
                 row[offset:end] = candidate
                 for predicate in filter_fns:
                     if not predicate(row, ctx):
                         break
                 else:
                     keep(candidate)
-        else:
-            survivors = list(rows_data)
-            scanned = len(survivors)
         results.append((pid, survivors, scanned))
     return results
 
@@ -138,11 +174,15 @@ def _worker_main(conn) -> None:
 
     State is a dict of shard replicas keyed ``(table uid, partition id)``
     plus a bounded cache of re-compiled driving-scan levels keyed by spec
-    generation.  The protocol is strict request/response over one pipe:
-    every message gets exactly one ``("ok", ...)`` or ``("err", message)``
-    reply except ``("stop",)``, which exits the loop.
+    generation.  Shards arrive and are held **columnar** — ``[row count,
+    per-column value lists, lazily cached row tuples]`` — so the vectorized
+    scan needs no per-row materialisation and the pickled sync payload
+    carries a fixed number of flat lists instead of one tuple per row.  The
+    protocol is strict request/response over one pipe: every message gets
+    exactly one ``("ok", ...)`` or ``("err", message)`` reply except
+    ``("stop",)``, which exits the loop.
     """
-    shards: Dict[Tuple[int, int], List[Tuple[Any, ...]]] = {}
+    shards: Dict[Tuple[int, int], List[Any]] = {}
     compiled: Dict[int, Any] = {}
     while True:
         try:
@@ -155,8 +195,8 @@ def _worker_main(conn) -> None:
         try:
             if kind == "scan":
                 _, spec_id, spec, params, pids, sync, cache_limit = message
-                for uid, pid, rows in sync:
-                    shards[(uid, pid)] = rows
+                for uid, pid, count, cols in sync:
+                    shards[(uid, pid)] = [count, cols, None]
                 if spec is not None:
                     # A shipped payload means the parent believes this worker
                     # does not hold the spec: (re)insert it so the FIFO
@@ -380,8 +420,10 @@ class ProcessScanExecutor:
                 key = (table.uid, pid)
                 version = table.partitions[pid].version
                 if handle.versions.get(key) != version:
-                    _version, rows = table.partition_snapshot(pid)
-                    sync.append((table.uid, pid, rows))
+                    _version, count, cols = (
+                        table.partition_snapshot_columns(pid)
+                    )
+                    sync.append((table.uid, pid, count, cols))
                     handle.versions[key] = version
             payload = None if spec_id in handle.specs else spec
             try:

@@ -65,6 +65,7 @@ from repro.relalg.errors import ExecutionError, IntegrityError, SchemaError
 from repro.relalg.schema import TableSchema
 
 __all__ = [
+    "CHUNK_ROWS",
     "HashIndex",
     "Partition",
     "PositionsView",
@@ -74,6 +75,12 @@ __all__ = [
     "Transaction",
     "stable_hash",
 ]
+
+#: Rows per columnar chunk (see :meth:`Partition.column_chunks`).  Large
+#: enough to amortise the per-chunk dispatch of the vectorized scan path,
+#: small enough that the per-column value lists of one chunk stay cache
+#: friendly.
+CHUNK_ROWS = 2048
 
 #: Compact a partition when at least this many tombstones have accumulated …
 _COMPACT_MIN_DEAD = 64
@@ -237,13 +244,21 @@ class HashIndex:
 class Partition:
     """One shard of a table: a row list plus per-partition hash indexes."""
 
-    __slots__ = ("rows", "live_count", "indexes", "version")
+    __slots__ = (
+        "rows", "live_count", "indexes", "version", "_chunks", "_chunk_size",
+    )
 
     def __init__(self) -> None:
         self.rows: List[Optional[Tuple[Any, ...]]] = []
         self.live_count = 0
         #: lowered column name → partition-local :class:`HashIndex`.
         self.indexes: Dict[str, HashIndex] = {}
+        #: Lazily built columnar chunk cache (see :meth:`column_chunks`);
+        #: ``None`` whenever the row list has mutated since the last build.
+        self._chunks: Optional[
+            List[Tuple[List[Tuple[Any, ...]], List[List[Any]]]]
+        ] = None
+        self._chunk_size = 0
         #: Monotonic **committed-state** counter of this shard, bumped by
         #: every autocommit insert/delete, by compaction, and once per shard
         #: at transaction COMMIT — never while a transaction merely stages
@@ -264,6 +279,36 @@ class Partition:
             if row is not None:
                 yield row
 
+    def invalidate_chunks(self) -> None:
+        """Discard the columnar chunk cache (call after any row mutation)."""
+        self._chunks = None
+
+    def column_chunks(
+        self, chunk_size: int = CHUNK_ROWS,
+    ) -> List[Tuple[List[Tuple[Any, ...]], List[List[Any]]]]:
+        """Live rows as ``(row_block, column_lists)`` chunks, insertion order.
+
+        Each chunk covers at most ``chunk_size`` live rows; ``row_block`` is
+        the list of row tuples and ``column_lists[j][i] == row_block[i][j]``.
+        Tombstones are squeezed out at build time, so chunks see exactly the
+        rows :meth:`scan` would yield, in the same order.  The result is
+        cached until the next mutation (every DML/compaction/rollback path
+        calls :meth:`invalidate_chunks`); a different ``chunk_size`` forces a
+        rebuild.
+        """
+        chunks = self._chunks
+        if chunks is None or self._chunk_size != chunk_size:
+            live = [row for row in self.rows if row is not None]
+            chunks = []
+            for start in range(0, len(live), chunk_size):
+                block = live[start:start + chunk_size]
+                chunks.append(
+                    (block, [list(column) for column in zip(*block)])
+                )
+            self._chunks = chunks
+            self._chunk_size = chunk_size
+        return chunks
+
     def compact(self, column_indexes: Dict[str, int]) -> int:
         """Drop tombstones and rebuild this partition's indexes in place.
 
@@ -274,6 +319,7 @@ class Partition:
         if not dead:
             return 0
         self.version += 1
+        self._chunks = None
         self.rows = [row for row in self.rows if row is not None]
         for index in self.indexes.values():
             index.clear()
@@ -470,11 +516,13 @@ class Transaction:
                         index.parts[pid].remove(row[index.column_index], position)
                 del partition.rows[start:]
                 partition.live_count -= count
+                partition.invalidate_chunks()
             else:
                 _, table, pid, position, row = record
                 partition = table.partitions[pid]
                 partition.rows[position] = row
                 partition.live_count += 1
+                partition.invalidate_chunks()
                 for index in table.indexes.values():
                     index.parts[pid].restore(row[index.column_index], position)
         self.undo.clear()
@@ -604,6 +652,7 @@ class Table:
         position = len(partition.rows)
         partition.rows.append(row)
         partition.live_count += 1
+        partition.invalidate_chunks()
         if self.txn is None:
             partition.version += 1
         else:
@@ -653,6 +702,7 @@ class Table:
             start = len(partition.rows)
             partition.rows.extend(batch)
             partition.live_count += len(batch)
+            partition.invalidate_chunks()
             if self.txn is None:
                 partition.version += 1
             else:
@@ -698,9 +748,11 @@ class Table:
                     if collect is not None:
                         collect.append(row)
                     partition_deleted += 1
-            if partition_deleted and txn is None:
-                partition.version += 1
-                partition.maybe_compact(column_indexes)
+            if partition_deleted:
+                partition.invalidate_chunks()
+                if txn is None:
+                    partition.version += 1
+                    partition.maybe_compact(column_indexes)
             deleted += partition_deleted
         self.mutations += deleted
         return deleted
@@ -812,6 +864,24 @@ class Table:
         return partition.version, [
             row for row in partition.rows if row is not None
         ]
+
+    def partition_snapshot_columns(
+        self, pid: int,
+    ) -> Tuple[int, int, List[List[Any]]]:
+        """``(version, live-row count, per-column value lists)`` of one shard.
+
+        The columnar form of :meth:`partition_snapshot`, shipped to process
+        workers: ``columns[j][i]`` is column ``j`` of the shard's ``i``-th
+        live row (committed state, same order guarantees).  Shipping a fixed
+        number of flat value lists instead of one tuple per row trims the
+        per-row container overhead out of the pickled sync payload and lets
+        workers run the vectorized scan without materialising rows that the
+        driving filter rejects.
+        """
+        version, rows = self.partition_snapshot(pid)
+        if not rows:
+            return version, 0, [[] for _ in self.schema.columns]
+        return version, len(rows), [list(column) for column in zip(*rows)]
 
     def committed_rows(self, pid: int) -> List[Tuple[Any, ...]]:
         """Live rows of one shard as of the last commit.

@@ -1,0 +1,131 @@
+"""SQL NULL semantics of aggregates, pinned against explicit expected
+values and across every engine flavour.
+
+SQL-92 aggregate rules the engine must follow:
+
+* ``COUNT(*)`` counts rows; ``COUNT(col)`` counts non-NULL values only.
+* ``SUM``/``MIN``/``MAX``/``AVG`` skip NULL inputs; over an all-NULL (or
+  empty) input set they return NULL, never 0.
+* ``AVG`` divides by the non-NULL count, not the row count.
+* ``DISTINCT`` inside an aggregate deduplicates the non-NULL values.
+* ``SELECT DISTINCT`` treats NULL as one distinct value.
+
+Every statement runs on the interpreted reference, the row-at-a-time
+compiled engine, the vectorized compiled engine (the default) and a
+multi-partition vectorized database; all four must return the same rows,
+and they must equal the hand-computed expectation.
+"""
+
+import pytest
+
+from repro.relalg import Database
+
+_M_ROWS = [
+    # (id, g, x):  g=1 is all-NULL in x, g=2 is mixed, g=3 has no NULLs.
+    (1, 1, None),
+    (2, 1, None),
+    (3, 1, None),
+    (4, 2, 10.0),
+    (5, 2, None),
+    (6, 2, 30.0),
+    (7, 3, 5.0),
+    (8, 3, 5.0),
+    (9, None, 7.0),
+]
+
+
+def _databases():
+    flavours = {
+        "interpreted": Database(engine="interpreted"),
+        "rowwise": Database(engine="compiled", n_partitions=1, vectorized=False),
+        "vectorized": Database(engine="compiled", n_partitions=1),
+        "partitioned": Database(engine="compiled", n_partitions=4),
+    }
+    for database in flavours.values():
+        database.execute(
+            "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)"
+        )
+        database.executemany(
+            "INSERT INTO m (id, g, x) VALUES (?, ?, ?)", _M_ROWS
+        )
+    return flavours
+
+
+@pytest.fixture(name="flavours")
+def _flavours_fixture():
+    flavours = _databases()
+    yield flavours
+    for database in flavours.values():
+        database.close()
+
+
+def _assert_everywhere(flavours, sql, params, expected_rows):
+    for name, database in flavours.items():
+        result = database.query(sql, params)
+        assert result.rows == expected_rows, (name, sql)
+
+
+class TestAggregateNullSkipping:
+    def test_count_star_vs_count_column(self, flavours):
+        _assert_everywhere(
+            flavours,
+            "SELECT g, COUNT(*), COUNT(x) FROM m GROUP BY g ORDER BY g",
+            [],
+            # NULL grouping keys sort last in this engine's ORDER BY.
+            [(1, 3, 0), (2, 3, 2), (3, 2, 2), (None, 1, 1)],
+        )
+
+    def test_sum_min_max_skip_nulls_and_all_null_group_is_null(self, flavours):
+        _assert_everywhere(
+            flavours,
+            "SELECT g, SUM(x), MIN(x), MAX(x) FROM m GROUP BY g ORDER BY g",
+            [],
+            [
+                (1, None, None, None),
+                (2, 40.0, 10.0, 30.0),
+                (3, 10.0, 5.0, 5.0),
+                (None, 7.0, 7.0, 7.0),
+            ],
+        )
+
+    def test_avg_divides_by_non_null_count(self, flavours):
+        # g=2 has rows (10.0, NULL, 30.0): AVG is 40/2 = 20, not 40/3.
+        _assert_everywhere(
+            flavours,
+            "SELECT g, AVG(x) FROM m GROUP BY g ORDER BY g",
+            [],
+            [(1, None), (2, 20.0), (3, 5.0), (None, 7.0)],
+        )
+
+    def test_count_distinct_excludes_nulls(self, flavours):
+        # x values: {NULL×4, 10.0, 30.0, 5.0×2, 7.0} → 4 distinct non-NULL.
+        _assert_everywhere(
+            flavours,
+            "SELECT COUNT(DISTINCT x), COUNT(x), COUNT(*) FROM m",
+            [],
+            [(4, 5, 9)],
+        )
+
+    def test_ungrouped_aggregates_over_empty_input(self, flavours):
+        _assert_everywhere(
+            flavours,
+            "SELECT COUNT(*), COUNT(x), SUM(x), MIN(x), MAX(x), AVG(x) "
+            "FROM m WHERE id > ?",
+            [100],
+            [(0, 0, None, None, None, None)],
+        )
+
+    def test_select_distinct_keeps_one_null(self, flavours):
+        _assert_everywhere(
+            flavours,
+            "SELECT DISTINCT g FROM m ORDER BY g",
+            [],
+            [(1,), (2,), (3,), (None,)],
+        )
+
+    def test_stats_identical_between_vectorized_and_rowwise(self, flavours):
+        sql = "SELECT g, COUNT(*), SUM(x), AVG(x) FROM m GROUP BY g ORDER BY g"
+        rowwise = flavours["rowwise"].query(sql)
+        vectorized = flavours["vectorized"].query(sql)
+        assert vectorized.rows == rowwise.rows
+        assert vectorized.stats == rowwise.stats

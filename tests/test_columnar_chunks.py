@@ -1,0 +1,133 @@
+"""Columnar chunk layout and its boundary conditions.
+
+The vectorized scan path reads per-partition columnar chunks
+(:meth:`Partition.column_chunks`) that are rebuilt lazily from the live
+rows after any mutation.  These tests pin the boundaries where a batch
+layout can silently go wrong: chunk size one, partitions smaller than one
+chunk, tombstones in the middle of a chunk, and DML invalidating a cached
+chunk inside an open transaction (where the engine must fall back to
+row-at-a-time so staged writes stay visible).
+"""
+
+import pytest
+
+from repro.relalg import CHUNK_ROWS, Database
+
+_DDL = "CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)"
+_INS = "INSERT INTO t (id, g, x) VALUES (?, ?, ?)"
+
+
+def _filled(n_rows=50, **kwargs):
+    database = Database(n_partitions=4, **kwargs)
+    database.execute(_DDL)
+    database.executemany(
+        _INS, [(i, i % 5, float(i) / 2) for i in range(1, n_rows + 1)]
+    )
+    return database
+
+
+class TestChunkLayout:
+    def test_chunks_transpose_live_rows_in_order(self):
+        with _filled(n_rows=10) as database:
+            partition = database.tables["t"].partitions[0]
+            chunks = partition.column_chunks(chunk_size=4)
+            rebuilt = [row for block, _cols in chunks for row in block]
+            assert rebuilt == [r for r in partition.rows if r is not None]
+            for block, cols in chunks:
+                assert len(cols) == 3
+                for j, column in enumerate(cols):
+                    assert column == [row[j] for row in block]
+
+    def test_chunk_size_one_yields_one_row_per_chunk(self):
+        with _filled(n_rows=9) as database:
+            partition = database.tables["t"].partitions[1]
+            chunks = partition.column_chunks(chunk_size=1)
+            assert len(chunks) == partition.live_count
+            assert all(len(block) == 1 for block, _cols in chunks)
+
+    def test_partition_smaller_than_one_chunk_is_a_single_chunk(self):
+        with _filled(n_rows=6) as database:
+            partition = database.tables["t"].partitions[2]
+            assert partition.live_count < CHUNK_ROWS
+            chunks = partition.column_chunks()
+            assert len(chunks) <= 1
+            if chunks:
+                assert len(chunks[0][0]) == partition.live_count
+
+    def test_cache_reused_until_invalidated(self):
+        with _filled() as database:
+            partition = database.tables["t"].partitions[0]
+            first = partition.column_chunks(chunk_size=8)
+            assert partition.column_chunks(chunk_size=8) is first
+            # A different chunk size rebuilds; a mutation invalidates.
+            assert partition.column_chunks(chunk_size=16) is not first
+            database.execute(_INS, [1000, 0, 0.0])
+            fresh = [
+                p.column_chunks(chunk_size=16)
+                for p in database.tables["t"].partitions
+            ]
+            assert sum(len(b) for chunks in fresh for b, _ in chunks) == 51
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, CHUNK_ROWS])
+class TestChunkedQueriesMatchRowwise:
+    def test_tombstones_mid_chunk(self, chunk_size):
+        # Delete a stripe of rows (far below the compaction threshold, so
+        # the row lists keep tombstones in the middle of every chunk), then
+        # compare the vectorized scan against row-at-a-time.
+        with _filled(vectorized_chunk_size=chunk_size) as vectorized, _filled(
+            vectorized=False
+        ) as rowwise:
+            for database in (vectorized, rowwise):
+                deleted = database.execute("DELETE FROM t WHERE g = ?", [2])
+                assert deleted == 10
+            for sql, params in [
+                ("SELECT id, x FROM t WHERE x > ? ORDER BY id", [5.0]),
+                ("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g", []),
+                ("SELECT id FROM t ORDER BY id", []),
+            ]:
+                got = vectorized.query(sql, params)
+                expected = rowwise.query(sql, params)
+                assert got.rows == expected.rows, sql
+                assert got.stats == expected.stats, sql
+
+    def test_dml_inside_open_transaction(self, chunk_size):
+        with _filled(vectorized_chunk_size=chunk_size) as database:
+            count_sql = "SELECT COUNT(*) FROM t WHERE x > ?"
+            # Warm the chunk caches with a vectorized scan.
+            assert database.query(count_sql, [10.0]).rows == [(30,)]
+            database.begin()
+            database.execute(_INS, [2000, 1, 99.0])
+            database.execute("DELETE FROM t WHERE id = ?", [1])
+            # Inside the transaction the engine reads its own staged writes
+            # (the vectorized path is disabled while writes are staged).
+            assert database.query(count_sql, [10.0]).rows == [(31,)]
+            assert database.query(
+                "SELECT id FROM t WHERE id = ?", [2000]
+            ).rows == [(2000,)]
+            assert database.query(
+                "SELECT id FROM t WHERE id = ?", [1]
+            ).rows == []
+            database.rollback()
+            # After rollback the staged rows are gone and the (invalidated,
+            # rebuilt) chunks serve the original data again.
+            assert database.query(count_sql, [10.0]).rows == [(30,)]
+            assert database.query(
+                "SELECT id FROM t WHERE id = ?", [2000]
+            ).rows == []
+            assert database.query(
+                "SELECT id FROM t WHERE id = ?", [1]
+            ).rows == [(1,)]
+
+    def test_commit_inside_transaction_then_vectorized_reads(self, chunk_size):
+        with _filled(vectorized_chunk_size=chunk_size) as database:
+            assert database.query("SELECT COUNT(*) FROM t").rows == [(50,)]
+            database.begin()
+            database.executemany(
+                _INS, [(3000 + i, 9, -1.0) for i in range(5)]
+            )
+            database.commit()
+            result = database.query(
+                "SELECT id FROM t WHERE g = ? ORDER BY id", [9]
+            )
+            assert result.rows == [(3000 + i,) for i in range(5)]

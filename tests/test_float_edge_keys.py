@@ -1,0 +1,168 @@
+"""Float edge-case keys — ``-0.0`` and ``NaN`` — through every keyed layer.
+
+Three layers key rows by value, each with its own equality notion, and they
+must agree on the edge cases where IEEE-754 equality and bit identity
+diverge:
+
+* ``stable_hash`` partition routing: ``-0.0 == 0.0`` so both must land in
+  the same partition (a pruned equality probe must never miss a match);
+  ``NaN`` never equals anything, so any fixed deterministic bucket is fine.
+* :class:`HashIndex` buckets are plain dict keys: Python dict lookup uses
+  hash-then-``==`` with an identity shortcut, so ``0.0`` probes find rows
+  indexed under ``-0.0`` and a stored NaN is reachable through the same
+  NaN object (the engine always probes with the stored object on
+  maintenance paths such as delete and rollback).
+* WAL ``row_key`` is ``repr``-based: strictly *finer* than ``==``
+  (``-0.0`` and ``0.0`` are different keys, every NaN is ``'nan'``), which
+  is exactly what replaying a DELETE against bit-identical replayed rows
+  requires.
+"""
+
+import math
+
+import pytest
+
+from repro.relalg import Database, HashIndex, stable_hash
+from repro.relalg.wal import fingerprint_hash, row_key, state_fingerprint
+
+NAN = float("nan")
+
+
+class TestStableHashRouting:
+    def test_negative_zero_routes_with_positive_zero(self):
+        assert stable_hash(-0.0) == stable_hash(0.0)
+        # Cross-type numeric equality keeps the pruning contract too.
+        assert stable_hash(0) == stable_hash(0.0) == stable_hash(False)
+
+    def test_nan_bucket_is_fixed_and_object_independent(self):
+        # hash(nan) is id-based on CPython 3.10+; stable_hash must not be.
+        assert stable_hash(float("nan")) == stable_hash(float("nan"))
+        assert stable_hash(NAN) == stable_hash(math.nan)
+
+    def test_nested_containers_inherit_the_edge_cases(self):
+        assert stable_hash((-0.0, "a")) == stable_hash((0.0, "a"))
+        assert stable_hash([float("nan")]) == stable_hash([float("nan")])
+
+
+class TestHashIndexEdgeKeys:
+    def test_zero_probes_find_negative_zero_entries(self):
+        index = HashIndex("idx", "x")
+        index.add(-0.0, 3)
+        assert list(index.lookup(0.0)) == [3]
+        assert list(index.lookup(-0.0)) == [3]
+        # Removal through the equal-but-not-identical key clears the entry.
+        index.remove(0.0, 3)
+        assert list(index.lookup(-0.0)) == []
+
+    def test_nan_entries_reachable_through_the_stored_object(self):
+        index = HashIndex("idx", "x")
+        stored = float("nan")
+        index.add(stored, 7)
+        assert list(index.lookup(stored)) == [7]
+        # A different NaN object never compares equal: not found.  The
+        # engine's index maintenance always probes with the stored object,
+        # so this is the contract the storage layer relies on.
+        assert list(index.lookup(float("nan"))) == []
+        index.remove(stored, 7)
+        assert list(index.lookup(stored)) == []
+
+
+def _edge_database(**kwargs):
+    database = Database(n_partitions=4, **kwargs)
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT, s VARCHAR)"
+    )
+    database.execute("CREATE INDEX idx_t_x ON t (x)")
+    database.executemany(
+        "INSERT INTO t (id, x, s) VALUES (?, ?, ?)",
+        [
+            (1, -0.0, "neg"),
+            (2, 0.0, "pos"),
+            (3, NAN, "nan"),
+            (4, 1.5, "plain"),
+        ],
+    )
+    return database
+
+
+class TestQueryLayerAgreement:
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_zero_probe_finds_both_zero_signs(self, vectorized):
+        with _edge_database(vectorized=vectorized) as database:
+            for probe in (0.0, -0.0):
+                rows = database.query(
+                    "SELECT id FROM t WHERE x = ? ORDER BY id", [probe]
+                ).rows
+                assert rows == [(1,), (2,)], probe
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_nan_probe_matches_nothing(self, vectorized):
+        with _edge_database(vectorized=vectorized) as database:
+            assert database.query(
+                "SELECT id FROM t WHERE x = ?", [NAN]
+            ).rows == []
+
+    def test_interpreted_engine_agrees(self):
+        with _edge_database() as compiled, Database(
+            engine="interpreted"
+        ) as interpreted:
+            interpreted.execute(
+                "CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT, s VARCHAR)"
+            )
+            interpreted.executemany(
+                "INSERT INTO t (id, x, s) VALUES (?, ?, ?)",
+                [(1, -0.0, "neg"), (2, 0.0, "pos"), (3, NAN, "nan"), (4, 1.5, "plain")],
+            )
+            for sql, params in [
+                ("SELECT id FROM t WHERE x = ? ORDER BY id", [0.0]),
+                ("SELECT id FROM t WHERE x = ? ORDER BY id", [NAN]),
+                ("SELECT id FROM t WHERE x > ? ORDER BY id", [-1.0]),
+            ]:
+                assert (
+                    compiled.query(sql, params).rows
+                    == interpreted.query(sql, params).rows
+                ), (sql, params)
+
+    def test_process_executor_agrees(self, process_pool):
+        with _edge_database() as sequential, _edge_database(
+            executor=process_pool
+        ) as process:
+            for sql, params in [
+                ("SELECT id, s FROM t WHERE x = ? ORDER BY id", [0.0]),
+                ("SELECT id, s FROM t WHERE x = ? ORDER BY id", [NAN]),
+                ("SELECT id, s FROM t ORDER BY id", []),
+            ]:
+                reference = sequential.query(sql, params)
+                result = process.query(sql, params)
+                assert result.rows == reference.rows, (sql, params)
+                assert result.stats == reference.stats, (sql, params)
+
+
+class TestWalRowKeyEdgeCases:
+    def test_row_key_separates_zero_signs_and_unifies_nans(self):
+        assert row_key((1, -0.0)) != row_key((1, 0.0))
+        assert row_key((1, float("nan"))) == row_key((1, float("nan")))
+        # int 0 and float 0.0 are different stored values: different keys.
+        assert row_key((1, 0)) != row_key((1, 0.0))
+
+    def test_recovery_round_trips_edge_keys_bit_identically(self, tmp_path):
+        wal_path = tmp_path / "edge.wal"
+        database = _edge_database(wal_path=str(wal_path))
+        # Deleting by == removes both zero signs; the logged row images must
+        # replay against the bit-identical recovered rows.
+        database.execute("DELETE FROM t WHERE x = ?", [0.0])
+        database.executemany(
+            "INSERT INTO t (id, x, s) VALUES (?, ?, ?)",
+            [(5, -0.0, "back"), (6, NAN, "nan2")],
+        )
+        expected = fingerprint_hash(state_fingerprint(database))
+        database.close()
+        with Database(n_partitions=4, wal_path=str(wal_path)) as recovered:
+            assert fingerprint_hash(state_fingerprint(recovered)) == expected
+            rows = recovered.query("SELECT id, s FROM t ORDER BY id").rows
+            assert rows == [
+                (3, "nan"), (4, "plain"), (5, "back"), (6, "nan2"),
+            ]
+            # The recovered -0.0 kept its sign bit.
+            back = recovered.query("SELECT x FROM t WHERE id = ?", [5]).rows
+            assert math.copysign(1.0, back[0][0]) == -1.0

@@ -185,7 +185,9 @@ class TestSqlFilterEquivalence:
 # as the interpreter: no hash-join probe (the seed engine does not have
 # them) and a join order that follows the syntactic binding order (the seed
 # engine cannot reorder by estimated cardinality).  In both carve-out cases
-# only the returned-row counter is compared.
+# only the returned-row counter is compared.  A ``vectorized=False``
+# compiled database at ``n_partitions=1`` additionally pins the columnar
+# batch path byte-identical (rows and full QueryStats) to row-at-a-time.
 
 _FUZZ_CASES = 200
 _FUZZ_PARTITION_COUNTS = (1, 4, 7)
@@ -221,6 +223,11 @@ def _random_schema(rng):
         )
         for i in range(n_r)
     ]
+    if rng.random() < 0.2:
+        # NULL-heavy variant: every m.x is NULL, so aggregate NULL skipping
+        # (SUM/MIN/MAX over an all-NULL column, COUNT(x) vs COUNT(*)) is
+        # exercised on whole groups rather than only on sparse rows.
+        m_rows = [(i, g, None, s) for (i, g, _x, s) in m_rows]
     return ddl, m_rows, r_rows
 
 
@@ -233,16 +240,18 @@ def _load_schema(database, ddl, m_rows, r_rows):
 
 def _random_databases(rng):
     """The same random schema + data, one compiled database per partition
-    count plus the unpartitioned interpreted reference."""
+    count (vectorized, the default), a row-at-a-time compiled database at
+    ``n_partitions=1`` and the unpartitioned interpreted reference."""
     compiled = {
         parts: Database(engine="compiled", n_partitions=parts)
         for parts in _FUZZ_PARTITION_COUNTS
     }
+    rowwise = Database(engine="compiled", n_partitions=1, vectorized=False)
     interpreted = Database(engine="interpreted")
     ddl, m_rows, r_rows = _random_schema(rng)
-    for database in list(compiled.values()) + [interpreted]:
+    for database in list(compiled.values()) + [rowwise, interpreted]:
         _load_schema(database, ddl, m_rows, r_rows)
-    return compiled, interpreted
+    return compiled, rowwise, interpreted
 
 
 def _random_select(rng):
@@ -276,8 +285,8 @@ def _random_select(rng):
         return f"SELECT DISTINCT g FROM m ORDER BY g{direction}", []
     if kind == "aggregate":
         return (
-            f"SELECT g, COUNT(*), SUM(x), MIN(x), MAX(x) FROM m "
-            f"GROUP BY g ORDER BY g{direction}",
+            f"SELECT g, COUNT(*), COUNT(x), SUM(x), MIN(x), MAX(x), AVG(x) "
+            f"FROM m GROUP BY g ORDER BY g{direction}",
             [],
         )
     if kind == "group_join":
@@ -337,7 +346,7 @@ def _run_engine_differential_case(seed):
     against the interpreted reference, shared by the corpus replay and the
     random exploration."""
     rng = random.Random(seed)
-    compiled, interpreted = _random_databases(rng)
+    compiled, rowwise, interpreted = _random_databases(rng)
     single = compiled[1]
     for _ in range(4):
         sql, params = _random_select(rng)
@@ -357,6 +366,14 @@ def _run_engine_differential_case(seed):
                 got = result
             else:
                 assert _rows_equivalent(result.rows, expected.rows), (sql, parts)
+        # The vectorized default must be invisible: the row-at-a-time
+        # compiled engine returns byte-identical rows AND QueryStats at the
+        # same partition count (the columnar path does the same logical
+        # work, only batched).
+        row_result = rowwise.query(sql, params)
+        assert row_result.columns == got.columns, sql
+        assert row_result.rows == got.rows, sql
+        assert row_result.stats == got.stats, sql
         if uses_hash_join or not plan.follows_syntactic_order:
             # The seed engine has no hash joins and no statistics-driven
             # join reordering; on those plans its nested loops do
@@ -367,7 +384,7 @@ def _run_engine_differential_case(seed):
             assert got.stats == expected.stats, sql
     # No DDL ran after the warm-up, so every cached plan stayed valid:
     # one miss per distinct SQL text, never a re-miss from invalidation.
-    for database in compiled.values():
+    for database in list(compiled.values()) + [rowwise]:
         info = database.plan_cache_info()
         assert info["misses"] == info["size"]
 
@@ -376,8 +393,9 @@ def _run_engine_differential_case(seed):
 # Executor-differential fuzzer: sequential vs. thread vs. process executors
 # --------------------------------------------------------------------------- #
 #
-# Every seeded case builds the same random schema in nine databases — the
-# executor matrix {sequential, thread, process} × n_partitions {1, 4, 7} —
+# Every seeded case builds the same random schema in twelve databases — the
+# executor matrix {sequential, rowwise (vectorized off), thread, process}
+# × n_partitions {1, 4, 7} —
 # and replays one random statement stream of SELECTs (including multi-table
 # GROUP BY/HAVING) *interleaved with DML* (INSERT/DELETE between SELECTs,
 # exercising the process executor's shard re-sync) against all of them.  At
@@ -447,6 +465,7 @@ def _run_executor_differential_case(seed, process_pool):
         for parts in _EXECUTOR_FUZZ_PARTITIONS:
             groups[parts] = {
                 "sequential": Database(n_partitions=parts),
+                "rowwise": Database(n_partitions=parts, vectorized=False),
                 "thread": Database(n_partitions=parts, parallel=3),
                 "process": Database(n_partitions=parts, executor=process_pool),
             }
@@ -469,12 +488,12 @@ def _run_executor_differential_case(seed, process_pool):
                         level["access"] == "hash-probe"
                         for level in plan.describe()
                     )
-                    for kind in ("thread", "process"):
+                    for kind in ("rowwise", "thread", "process"):
                         result = group[kind].query(sql, payload)
                         label = (seed, sql, parts, kind)
                         assert result.columns == reference.columns, label
                         assert result.rows == reference.rows, label
-                        if kind == "process" or not uses_hash_join:
+                        if kind != "thread" or not uses_hash_join:
                             assert result.stats == reference.stats, label
                             assert (
                                 result.stats.partition_rows_scanned
@@ -496,6 +515,7 @@ def _run_executor_differential_case(seed, process_pool):
                         else:
                             affected[kind] = database.execute(sql, payload)
                     label = (seed, sql, parts)
+                    assert affected["rowwise"] == affected["sequential"], label
                     assert affected["thread"] == affected["sequential"], label
                     assert affected["process"] == affected["sequential"], label
     finally:

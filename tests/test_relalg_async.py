@@ -359,7 +359,7 @@ class TestFuzzerReplayThroughAsyncClient:
     @pytest.mark.parametrize("seed", range(0, 42, 7))
     def test_fuzzer_seeds_replayed_identically(self, seed):
         rng = random.Random(seed)
-        compiled, interpreted = _random_databases(rng)
+        compiled, _rowwise, interpreted = _random_databases(rng)
         selects = [_random_select(rng) for _ in range(4)]
         async_client = AsyncClient(
             NativeClient(

@@ -133,8 +133,10 @@ class TestPlanSpecLowering:
             parse_sql("SELECT id FROM m WHERE g = ? AND x > ?"), db.tables
         )
         spec = lower_plan(plan)
-        table_uid, offset, end, width, filter_fns = _compile_driving_scan(spec)
+        entry = _compile_driving_scan(spec)
+        table_uid, offset, end, width, filter_fns, batch_fn = entry
         assert table_uid == db.table("m").uid
+        assert batch_fn is not None  # plain comparisons batch-compile
         assert (offset, end, width) == (0, 4, 4)
         ctx = ExecContext({}, [3, 20.0], QueryStats())
         survivors = []
