@@ -798,6 +798,145 @@ def bench_e11(repeats: int, failures: list) -> dict:
     }
 
 
+#: The E12 aggregation-heavy variant of the E9 workload: unfiltered (or
+#: barely filtered) GROUP BYs with many aggregates per row, so per-group
+#: fold work — not the driving scan — dominates the wall clock.
+_E12_AGG_QUERIES = [
+    (
+        "SELECT region, COUNT(*), COUNT(incl), SUM(incl), MIN(incl), "
+        "MAX(excl), AVG(excl) FROM samples GROUP BY region ORDER BY region",
+        [],
+    ),
+    (
+        "SELECT pe, region, COUNT(*), SUM(incl), AVG(incl) FROM samples "
+        "GROUP BY pe, region ORDER BY pe, region",
+        [],
+    ),
+    (
+        "SELECT region, COUNT(*), MAX(incl) FROM samples WHERE excl > ? "
+        "GROUP BY region ORDER BY region",
+        [40.0],
+    ),
+]
+
+#: The join-heavy variant: every sample row flows through an (unindexed →
+#: hash-join) probe into the regions dimension before being aggregated.
+_E12_JOIN_QUERIES = [
+    (
+        "SELECT r.label, COUNT(*), SUM(s.incl), MAX(s.excl) "
+        "FROM samples s, regions r WHERE s.region = r.region "
+        "GROUP BY r.label ORDER BY label",
+        [],
+    ),
+    (
+        "SELECT s.id, r.label FROM samples s, regions r "
+        "WHERE s.region = r.region AND s.incl > ? ORDER BY s.id LIMIT 50",
+        [95.0],
+    ),
+]
+
+_E12_REGIONS = 24
+
+
+def _e12_database(**kwargs):
+    database = _e9_database(**kwargs)
+    # No PRIMARY KEY / index on regions.region: the join must take the
+    # hash-join access path the batch probe rides, not an index probe.
+    database.execute("CREATE TABLE regions (region INTEGER, label VARCHAR)")
+    database.executemany(
+        "INSERT INTO regions (region, label) VALUES (?, ?)",
+        [(i, f"region-{i:02d}") for i in range(_E12_REGIONS)],
+    )
+    return database
+
+
+def _e12_run(database, queries):
+    results = [database.query(sql, params) for sql, params in queries]
+    return [r.rows for r in results], [r.stats for r in results]
+
+
+def _e12_disable_batch_rungs(database, queries):
+    """Warm the plan cache, then strip the post-scan batch rungs.
+
+    The resulting database runs PR 7's pipeline exactly — vectorized
+    driving scan, row-at-a-time aggregation/probing/projection — which
+    isolates this PR's contribution from the scan vectorization win E11
+    already measures.
+    """
+    for sql, params in queries:
+        database.query(sql, params)
+    for _snapshot, plan in database._plan_cache.values():
+        plan.vector_aggregate = None
+        plan.vector_join_key = None
+        plan.vector_projector = None
+
+
+def bench_e12(repeats: int, failures: list) -> dict:
+    """Vectorized aggregation / join probing vs. row-at-a-time (wall clock).
+
+    The aggregation-heavy and join-heavy E9 variants through the sequential
+    executor three ways: the full batch pipeline, the scan-only pipeline
+    (batch rungs stripped from warmed plans — PR 7 behavior) and the
+    row-at-a-time engine.  Rows *and* QueryStats must be byte-identical
+    across all three; the local target is the batch aggregation beating
+    row-at-a-time aggregation ≥ 1.5× on the aggregation-heavy workload.
+    """
+    report: dict = {
+        "rows": _E9_ROWS,
+        "partitions": _E9_PARTITIONS,
+        "workloads": {},
+    }
+    for name, queries in (
+        ("aggregate", _E12_AGG_QUERIES),
+        ("join", _E12_JOIN_QUERIES),
+    ):
+        full = _e12_database()
+        scan_only = _e12_database()
+        rowwise = _e12_database(vectorized=False)
+        _e12_disable_batch_rungs(scan_only, queries)
+
+        full_results = _e12_run(full, queries)
+        scan_results = _e12_run(scan_only, queries)
+        row_results = _e12_run(rowwise, queries)
+        if full_results[0] != row_results[0] or (
+            scan_results[0] != row_results[0]
+        ):
+            failures.append(f"E12/{name}: rows diverge from row-at-a-time")
+        if full_results[1] != row_results[1] or (
+            scan_results[1] != row_results[1]
+        ):
+            failures.append(
+                f"E12/{name}: QueryStats diverge from row-at-a-time"
+            )
+
+        full_wall = _wall(lambda: _e12_run(full, queries), repeats)
+        scan_wall = _wall(lambda: _e12_run(scan_only, queries), repeats)
+        row_wall = _wall(lambda: _e12_run(rowwise, queries), repeats)
+        full.close()
+        scan_only.close()
+        rowwise.close()
+
+        report["workloads"][name] = {
+            "statements": len(queries),
+            "rowwise_wall_s": round(row_wall, 6),
+            "scan_only_wall_s": round(scan_wall, 6),
+            "vectorized_wall_s": round(full_wall, 6),
+            "speedup_vs_scan_only": round(scan_wall / full_wall, 3),
+            "speedup_vs_rowwise": round(row_wall / full_wall, 3),
+            "results_identical": (
+                full_results == row_results and scan_results == row_results
+            ),
+        }
+    agg_speedup = report["workloads"]["aggregate"]["speedup_vs_scan_only"]
+    if agg_speedup < 1.5:
+        failures.append(
+            f"E12: batch aggregation speedup {agg_speedup}x below the "
+            f"1.5x local target"
+        )
+    report["meets_local_target"] = agg_speedup >= 1.5
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -838,6 +977,7 @@ def main(argv=None) -> int:
             "E9_wallclock": bench_e9(args.repeats, failures),
             "E10_durability": bench_e10(medium, args.repeats, failures),
             "E11_columnar": bench_e11(args.repeats, failures),
+            "E12_vector_agg": bench_e12(args.repeats, failures),
         },
     }
 
@@ -890,6 +1030,14 @@ def main(argv=None) -> int:
     print(f"E11 columnar scan: vectorized {e11['vectorized_wall_s']}s vs "
           f"row-at-a-time {e11['rowwise_wall_s']}s ({e11['speedup']}x); "
           f"identical: {e11['results_identical']}")
+    e12 = report["scenarios"]["E12_vector_agg"]
+    print("E12 batch pipeline: "
+          + ", ".join(
+              f"{name} {entry['speedup_vs_scan_only']}x vs scan-only "
+              f"({entry['speedup_vs_rowwise']}x vs rowwise, identical: "
+              f"{entry['results_identical']})"
+              for name, entry in e12["workloads"].items()
+          ))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -49,7 +49,10 @@ __all__ = [
     "SlotLayout",
     "RowFn",
     "GroupFn",
+    "compile_batch_aggregate",
+    "compile_batch_expr",
     "compile_batch_predicate",
+    "compile_batch_projection",
     "compile_row_expr",
     "compile_group_expr",
     "compile_insert_binder",
@@ -773,6 +776,254 @@ def compile_batch_predicate(
         return sel
 
     return predicate
+
+
+def compile_batch_expr(
+    expr: SqlExpr, layout: SlotLayout, offset: int, end: int
+) -> Optional[_BatchNode]:
+    """Compile one expression into a batch node, or ``None``.
+
+    Public entry point over the node compiler: ``("const", fn(ctx))`` for
+    row-independent expressions, ``("vec", fn(columns, n, ctx), needed)``
+    for column-dependent ones.  ``[offset, end)`` is the slot range the
+    caller can materialise as columns; expressions reaching outside it (or
+    containing scalar subqueries, row-dependent IN lists or unknown
+    functions) return ``None`` and stay on the row-at-a-time path.
+    """
+    return _batch_node(expr, layout, offset, end)
+
+
+def compile_batch_projection(
+    statement: Any, layout: SlotLayout
+) -> Optional[Callable[[List[Tuple[Any, ...]], "ExecContext"],
+                       List[Tuple[Any, ...]]]]:
+    """Compile the select list into one whole-result batch projector.
+
+    Generalises the all-ColumnRef ``batch_projector`` fast path: arithmetic,
+    COALESCE and scalar functions evaluate column-at-a-time over the joined
+    rows (``fn(rows, ctx) -> projected rows``).  Returns ``None`` when any
+    item fails to batch-compile (scalar subqueries, unknown functions) — the
+    caller keeps the per-row projector.
+
+    The closure is pure with respect to ``ctx`` (nothing that batch-compiles
+    touches the statistics counters), so a caller catching an error here may
+    replay the per-row projector to reproduce the row engine's exact error
+    and evaluation order.
+    """
+    width = layout.width
+    parts: List[Tuple[Any, ...]] = []
+    for item in statement.items:
+        expr = item.expr
+        if isinstance(expr, Star):
+            for binding, _table in layout.bindings:
+                if expr.table is not None and expr.table.lower() != binding:
+                    continue
+                offset, end = layout.range_of(binding)
+                parts.extend(("slot", j) for j in range(offset, end))
+            continue
+        if isinstance(expr, ColumnRef):
+            parts.append(("slot", layout.resolve(expr)))
+            continue
+        node = _batch_node(expr, layout, 0, width)
+        if node is None:
+            return None
+        parts.append(node)
+    needed: set = set()
+    for part in parts:
+        if part[0] == "slot":
+            needed.add(part[1])
+        elif part[0] == "vec":
+            needed |= part[2]
+
+    def project_batch(rows, ctx):
+        n = len(rows)
+        if not n:
+            return []
+        cols: List[Optional[List[Any]]] = [None] * width
+        for j in needed:
+            cols[j] = [row[j] for row in rows]
+        out_cols = []
+        for part in parts:
+            kind = part[0]
+            if kind == "slot":
+                out_cols.append(cols[part[1]])
+            elif kind == "const":
+                out_cols.append([part[1](ctx)] * n)
+            else:
+                out_cols.append(part[1](cols, n, ctx))
+        return list(zip(*out_cols))
+
+    return project_batch
+
+
+#: Final folds over one group's NULL-stripped (and DISTINCT-deduped) value
+#: list — the exact reductions :func:`_compile_aggregate_function` applies,
+#: shared by the batch aggregator so accumulation order (and hence float
+#: results) stays byte-identical.
+_BATCH_AGG_FOLDS: Dict[str, Callable[[List[Any]], Any]] = {
+    "COUNT": lambda values: len(values),
+    "SUM": lambda values: sum(values) if values else None,
+    "AVG": lambda values: (sum(values) / len(values)) if values else None,
+    "MIN": lambda values: min(values) if values else None,
+    "MAX": lambda values: max(values) if values else None,
+}
+
+
+def compile_batch_aggregate(
+    statement: Any,
+    layout: SlotLayout,
+    item_group_fns: List[GroupFn],
+    having_fn: Optional[GroupFn],
+) -> Optional[Callable[[List[Tuple[Any, ...]], "ExecContext"],
+                       Optional[List[Tuple[Any, ...]]]]]:
+    """Compile grouped aggregation into one batch fold over the joined rows.
+
+    Instead of materialising ``List[row]`` groups and re-walking each group
+    once per aggregate closure, the batch path gathers the referenced
+    columns once, assigns group ids in a single pass and folds each
+    COUNT/SUM/MIN/MAX/AVG per-column into per-group accumulators —
+    reproducing the row engine's semantics exactly: NULLs are skipped in row
+    order, DISTINCT dedups on first occurrence via ``_hashable``, group keys
+    are ``_hashable``-wrapped tuples in first-seen order, and float sums
+    accumulate in enumeration order.
+
+    Select items that are not plain batchable aggregates (expressions *of*
+    aggregates, grouping keys in the select list, scalar subqueries) fall
+    back to their compiled group closure over the materialised group rows,
+    evaluated group-major exactly like the row path.  HAVING always uses the
+    row path's group closure.  Returns ``None`` at compile time when the
+    group keys do not batch-compile or no item does; the returned closure
+    itself returns ``None`` (having had no observable effect) when a fold
+    raises — the caller then replays the row-at-a-time aggregation, which
+    reproduces the exact row-path error or result.
+    """
+    width = layout.width
+    key_nodes: List[_BatchNode] = []
+    for expr in statement.group_by:
+        node = _batch_node(expr, layout, 0, width)
+        if node is None:
+            return None
+        key_nodes.append(node)
+    #: ("count*",) | ("fold", final_fold, arg_node, distinct) | ("group", fn)
+    item_plans: List[Tuple[Any, ...]] = []
+    batched = 0
+    for index, item in enumerate(statement.items):
+        expr = item.expr
+        plan: Optional[Tuple[Any, ...]] = None
+        if isinstance(expr, FunctionExpr) and expr.is_aggregate:
+            name = expr.name.upper()
+            if name == "COUNT" and (
+                not expr.args or isinstance(expr.args[0], Star)
+            ):
+                plan = ("count*",)
+            elif name in _BATCH_AGG_FOLDS and expr.args:
+                node = _batch_node(expr.args[0], layout, 0, width)
+                if node is not None:
+                    plan = ("fold", _BATCH_AGG_FOLDS[name], node,
+                            expr.distinct)
+        if plan is None:
+            plan = ("group", item_group_fns[index])
+        else:
+            batched += 1
+        item_plans.append(plan)
+    if not batched:
+        return None
+    needed: set = set()
+    for node in key_nodes:
+        if node[0] == "vec":
+            needed |= node[2]
+    for plan in item_plans:
+        if plan[0] == "fold" and plan[2][0] == "vec":
+            needed |= plan[2][2]
+    need_group_rows = having_fn is not None or any(
+        plan[0] == "group" for plan in item_plans
+    )
+
+    def batch_aggregate(rows, ctx):
+        # The pre-pass (column gathering, group assignment, aggregate folds)
+        # is pure: nothing here touches ctx.stats, so bailing out with None
+        # lets the caller replay the row path for the byte-identical result —
+        # including errors the row path would only raise later (or, when a
+        # HAVING filters the offending group, never).
+        try:
+            n = len(rows)
+            cols: List[Optional[List[Any]]] = [None] * width
+            for j in needed:
+                cols[j] = [row[j] for row in rows]
+            group_ids: Dict[Tuple[Any, ...], int] = {}
+            order_count = 0
+            member_idxs: List[List[int]] = []
+            if key_nodes:
+                key_cols = []
+                for node in key_nodes:
+                    if node[0] == "const":
+                        key_cols.append([_hashable(node[1](ctx))] * n)
+                    else:
+                        key_cols.append(
+                            [_hashable(v) for v in node[1](cols, n, ctx)]
+                        )
+                if len(key_cols) == 1:
+                    keys: Any = ((k,) for k in key_cols[0])
+                else:
+                    keys = zip(*key_cols)
+                for i, key in enumerate(keys):
+                    gid = group_ids.get(key)
+                    if gid is None:
+                        group_ids[key] = gid = order_count
+                        order_count += 1
+                        member_idxs.append([i])
+                    else:
+                        member_idxs[gid].append(i)
+            else:
+                member_idxs.append(list(range(n)))
+                order_count = 1
+            folded: List[Optional[List[Any]]] = [None] * len(item_plans)
+            for index, plan in enumerate(item_plans):
+                kind = plan[0]
+                if kind == "count*":
+                    folded[index] = [len(idxs) for idxs in member_idxs]
+                elif kind == "fold":
+                    _, final_fold, node, distinct = plan
+                    if node[0] == "const":
+                        col = [node[1](ctx)] * n
+                    else:
+                        col = node[1](cols, n, ctx)
+                    per_group = []
+                    for idxs in member_idxs:
+                        values = [
+                            v for i in idxs if (v := col[i]) is not None
+                        ]
+                        if distinct and values:
+                            seen: set = set()
+                            unique = []
+                            for value in values:
+                                key = _hashable(value)
+                                if key not in seen:
+                                    seen.add(key)
+                                    unique.append(value)
+                            values = unique
+                        per_group.append(final_fold(values))
+                    folded[index] = per_group
+        except Exception:
+            return None
+        # Emission is group-major — HAVING first, then the items left to
+        # right — exactly the row path's order, so closures with side
+        # effects (scalar subqueries bumping counters) stay byte-identical.
+        out: List[Tuple[Any, ...]] = []
+        for gid in range(order_count):
+            group = (
+                [rows[i] for i in member_idxs[gid]] if need_group_rows
+                else None
+            )
+            if having_fn is not None and not _is_true(having_fn(group, ctx)):
+                continue
+            out.append(tuple(
+                plan[1](group, ctx) if plan[0] == "group" else folded[index][gid]
+                for index, plan in enumerate(item_plans)
+            ))
+        return out
+
+    return batch_aggregate
 
 
 # --------------------------------------------------------------------------- #

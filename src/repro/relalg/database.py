@@ -189,12 +189,27 @@ class Database:
             raise ValueError(
                 f"n_partitions must be positive, got {n_partitions}"
             )
-        if parallel is not None and parallel < 2:
-            raise ValueError(
-                f"parallel must be >= 2 workers (or None), got {parallel}"
+        if parallel is not None:
+            # Typed: a bad worker count should fail the constructor with the
+            # engine's own error, not a bare TypeError from pool setup.
+            if type(parallel) is not int:
+                raise ExecutionError(
+                    f"parallel must be an int >= 2 (or None), "
+                    f"got {type(parallel).__name__}"
+                )
+            if parallel < 2:
+                raise ExecutionError(
+                    f"parallel must be >= 2 workers (or None), got {parallel}"
+                )
+        if type(vectorized_chunk_size) is not int:
+            # Typed: reject here instead of failing deep inside chunk
+            # building (range() with a non-int chunk size).
+            raise ExecutionError(
+                f"vectorized_chunk_size must be an int, "
+                f"got {type(vectorized_chunk_size).__name__}"
             )
         if vectorized_chunk_size < 1:
-            raise ValueError(
+            raise ExecutionError(
                 f"vectorized_chunk_size must be positive, "
                 f"got {vectorized_chunk_size}"
             )
@@ -841,6 +856,19 @@ class Database:
             lines.append(
                 f"{indent}  (join order was re-ordered by estimated cardinality)"
             )
+        if plan.vector_report:
+            suffix = "" if self.vectorized else " (disabled: vectorized=False)"
+            lines.append(f"{indent}vectorization{suffix}:")
+            for rung in ("scan", "join-probe", "aggregate", "projection",
+                         "top-k"):
+                status = plan.vector_report.get(rung)
+                if status is not None:
+                    lines.append(f"{indent}  {rung}: {status}")
+            if plan.partial_aggregate_spec is not None:
+                lines.append(
+                    f"{indent}  partial-aggregation: mergeable "
+                    f"(process workers fold shard-local group state)"
+                )
         return lines
 
     # ------------------------------------------------------------------ #

@@ -16,6 +16,14 @@ Execution proceeds in two phases (see the module docstrings of
    filters batch-compile) and the caller passes ``vectorized=True``, the
    driving level reads columnar chunks instead of row tuples — same rows,
    same stats, one Python-level dispatch per chunk instead of per row.
+   Batch execution then continues past the driving scan wherever the plan
+   proved eligibility: surviving chunks probe the hash-join build side in
+   batch, grouped aggregates fold per-column into per-group accumulators
+   (:func:`~repro.relalg.compile.compile_batch_aggregate`), non-aggregate
+   projections evaluate whole output columns at once, and ``ORDER BY`` +
+   ``LIMIT`` selects the top k through a bounded heap instead of a full
+   sort.  Every rung falls back to the row path per statement — never
+   per chunk — so results, errors and stats stay byte-identical.
 
 This facade always executes row-at-a-time; the vectorized drive mode is
 chosen by :class:`~repro.relalg.database.Database` (the default there),

@@ -59,7 +59,8 @@ from repro.relalg.compile import (
 )
 from repro.relalg.errors import ExecutionError
 from repro.relalg.planner import PlanSpec, QueryPlan, lower_plan
-from repro.relalg.rowset import QueryStats
+from repro.relalg.rowset import QueryStats, _hashable
+from repro.relalg.storage import gather_rows
 
 __all__ = [
     "ProcessScanExecutor",
@@ -116,7 +117,7 @@ def _compile_driving_scan(spec: PlanSpec):
     )
     return (
         driving.table_uid, driving.offset, driving.end, spec.width,
-        filter_fns, batch_fn,
+        filter_fns, batch_fn, spec.partial_aggregate,
     )
 
 
@@ -130,42 +131,112 @@ def _shard_rows(shard) -> List[Tuple[Any, ...]]:
     return rows
 
 
+def _scan_shard(shards, entry, ctx, pid):
+    """Scan + filter one owned shard: ``(surviving rows, scanned count)``."""
+    table_uid, offset, end, width, filter_fns, batch_fn, _agg = entry
+    shard = shards.get((table_uid, pid))
+    if shard is None:
+        raise ExecutionError(
+            f"worker owns no shard (table uid {table_uid}, partition "
+            f"{pid}); sync protocol violated"
+        )
+    scanned = shard[0]
+    if not filter_fns:
+        survivors = _shard_rows(shard)
+    elif batch_fn is not None:
+        cols = shard[1]
+        sel = batch_fn(cols, scanned, ctx)
+        if sel is None:
+            survivors = _shard_rows(shard)
+        else:
+            survivors = gather_rows(cols, sel)
+    else:
+        survivors = []
+        row: List[Any] = [None] * width
+        keep = survivors.append
+        for candidate in _shard_rows(shard):
+            row[offset:end] = candidate
+            for predicate in filter_fns:
+                if not predicate(row, ctx):
+                    break
+            else:
+                keep(candidate)
+    return survivors, scanned
+
+
 def _worker_scan(shards, entry, params, pids):
     """Scan + filter the requested shards; returns per-partition chunks."""
-    table_uid, offset, end, width, filter_fns, batch_fn = entry
     ctx = ExecContext({}, list(params), QueryStats())
     results: List[Tuple[int, List[Tuple[Any, ...]], int]] = []
     for pid in pids:
-        shard = shards.get((table_uid, pid))
-        if shard is None:
-            raise ExecutionError(
-                f"worker owns no shard (table uid {table_uid}, partition "
-                f"{pid}); sync protocol violated"
-            )
-        scanned = shard[0]
-        if not filter_fns:
-            survivors = _shard_rows(shard)
-        elif batch_fn is not None:
-            cols = shard[1]
-            sel = batch_fn(cols, scanned, ctx)
-            if sel is None:
-                survivors = _shard_rows(shard)
-            else:
-                survivors = list(
-                    zip(*([column[i] for i in sel] for column in cols))
-                )
-        else:
-            survivors = []
-            row: List[Any] = [None] * width
-            keep = survivors.append
-            for candidate in _shard_rows(shard):
-                row[offset:end] = candidate
-                for predicate in filter_fns:
-                    if not predicate(row, ctx):
-                        break
-                else:
-                    keep(candidate)
+        survivors, scanned = _scan_shard(shards, entry, ctx, pid)
         results.append((pid, survivors, scanned))
+    return results
+
+
+def _fold_partial_aggregate(survivors, key_slots, items):
+    """Fold one shard's surviving rows into partial per-group states.
+
+    Group keys are ``_hashable``-wrapped column tuples in shard-local
+    first-seen row order — the exact keys (and, restricted to this shard,
+    the exact order) the sequential fold assigns.  Item states are the
+    mergeable partial forms the parent recombines in partition order:
+    plain counts, ``(sum, count)`` pairs for SUM/AVG, the shard min/max
+    (or ``None`` when every value is NULL) and the shard-local first value.
+    """
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    order: List[Tuple[Any, ...]] = []
+    if key_slots:
+        for row in survivors:
+            key = tuple(_hashable(row[j]) for j in key_slots)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = []
+                order.append(key)
+            group.append(row)
+    elif survivors:
+        groups[()] = survivors
+        order.append(())
+    results = []
+    for key in order:
+        rows = groups[key]
+        states: List[Any] = []
+        for kind, slot in items:
+            if kind == "count*":
+                states.append(len(rows))
+            elif kind == "count":
+                states.append(sum(1 for row in rows if row[slot] is not None))
+            elif kind in ("sum", "avg"):
+                values = [v for row in rows if (v := row[slot]) is not None]
+                states.append((sum(values), len(values)))
+            elif kind == "min":
+                values = [v for row in rows if (v := row[slot]) is not None]
+                states.append(min(values) if values else None)
+            elif kind == "max":
+                values = [v for row in rows if (v := row[slot]) is not None]
+                states.append(max(values) if values else None)
+            else:  # "first": the shard's first row decides
+                states.append(rows[0][slot])
+        results.append((key, states))
+    return results
+
+
+def _worker_aggregate(shards, entry, params, pids):
+    """Scan, filter and partially aggregate the requested shards.
+
+    Returns ``(pid, folded groups, scanned count, survivor count)`` per
+    partition — the shard-side half of provably-mergeable partial
+    aggregation (see
+    :func:`~repro.relalg.planner._classify_partial_aggregate`); the parent
+    merges the states in partition order.
+    """
+    key_slots, items = entry[6]
+    ctx = ExecContext({}, list(params), QueryStats())
+    results: List[Tuple[int, List[Any], int, int]] = []
+    for pid in pids:
+        survivors, scanned = _scan_shard(shards, entry, ctx, pid)
+        folded = _fold_partial_aggregate(survivors, key_slots, items)
+        results.append((pid, folded, scanned, len(survivors)))
     return results
 
 
@@ -194,7 +265,8 @@ def _worker_main(conn) -> None:
             return
         try:
             if kind == "scan":
-                _, spec_id, spec, params, pids, sync, cache_limit = message
+                (_, spec_id, spec, params, pids, sync, cache_limit,
+                 mode) = message
                 for uid, pid, count, cols in sync:
                     shards[(uid, pid)] = [count, cols, None]
                 if spec is not None:
@@ -212,7 +284,8 @@ def _worker_main(conn) -> None:
                         f"worker has no compiled spec {spec_id} and none "
                         f"was shipped; sync protocol violated"
                     )
-                reply = ("ok", _worker_scan(shards, entry, params, pids))
+                run = _worker_aggregate if mode == "agg" else _worker_scan
+                reply = ("ok", run(shards, entry, params, pids))
             elif kind == "forget":
                 uids = set(message[1])
                 for key in [k for k in shards if k[0] in uids]:
@@ -399,12 +472,34 @@ class ProcessScanExecutor:
         Raises :class:`ExecutionError` when a worker fails (died, hung,
         protocol error); the pool is rebuilt by the next statement.
         """
+        return self._fanout(plan, params, "rows")
+
+    def aggregate_chunks(
+        self, plan: QueryPlan, params: Sequence[Any]
+    ) -> Optional[List[Tuple[int, List[Any], int, int]]]:
+        """Scan *and partially aggregate* a plan's driving level on the pool.
+
+        For plans carrying a :attr:`PlanSpec.partial_aggregate` recipe the
+        workers fold their shards' surviving rows into per-group partial
+        states and return ``(pid, groups, scanned count, survivor count)``
+        per partition in partition order — only fold state crosses the
+        process boundary, not the surviving rows.  Returns ``None`` when the
+        plan cannot be shipped or carries no recipe: the caller falls back
+        to :meth:`scan_chunks` (and, failing that, local execution).
+        """
+        return self._fanout(plan, params, "agg")
+
+    def _fanout(
+        self, plan: QueryPlan, params: Sequence[Any], mode: str
+    ) -> Optional[List[Tuple[Any, ...]]]:
         spec = getattr(plan, "_process_spec", None)
         if spec is None:
             spec = lower_plan(plan)
             plan._process_spec = spec
             plan._process_spec_id = next(_SPEC_IDS)
         if not spec.process_eligible:
+            return None
+        if mode == "agg" and spec.partial_aggregate is None:
             return None
         spec_id = plan._process_spec_id
         table = plan.levels[0].table
@@ -430,7 +525,7 @@ class ProcessScanExecutor:
                 handle.conn.send(
                     (
                         "scan", spec_id, payload, list(params), pids, sync,
-                        self.spec_cache_limit,
+                        self.spec_cache_limit, mode,
                     )
                 )
             except (BrokenPipeError, OSError) as exc:
@@ -442,15 +537,15 @@ class ProcessScanExecutor:
             if payload is not None:
                 handle.note_spec(spec_id, self.spec_cache_limit)
             jobs.append((handle, pids))
-        chunks: Dict[int, Tuple[List[Tuple[Any, ...]], int]] = {}
+        chunks: Dict[int, Tuple[Any, ...]] = {}
         worker_error: Optional[str] = None
         for handle, _pids in jobs:
             status, body = self._recv(handle)
             if status == "err":
                 worker_error = worker_error or body
                 continue
-            for pid, rows, scanned in body:
-                chunks[pid] = (rows, scanned)
+            for pid, *rest in body:
+                chunks[pid] = tuple(rest)
         if worker_error is not None:
             raise ExecutionError(worker_error)
         return [

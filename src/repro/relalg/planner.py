@@ -51,7 +51,8 @@ engine lacks it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from heapq import nsmallest
 from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -61,7 +62,10 @@ from repro.relalg.compile import (
     GroupFn,
     RowFn,
     SlotLayout,
+    compile_batch_aggregate,
+    compile_batch_expr,
     compile_batch_predicate,
+    compile_batch_projection,
     compile_group_expr,
     compile_row_expr,
 )
@@ -82,7 +86,8 @@ from repro.relalg.sqlast import (
     TableRef,
     UnaryOperation,
 )
-from repro.relalg.storage import CHUNK_ROWS, Table, TableStatistics
+from repro.relalg.schema import ColumnType
+from repro.relalg.storage import CHUNK_ROWS, Table, TableStatistics, gather_columns
 
 __all__ = [
     "AccessPath",
@@ -243,6 +248,29 @@ class QueryPlan:
     #: vectorized path maps it over the joined rows in one C-level pass;
     #: ``None`` falls back to :attr:`projector`.
     batch_projector: Optional[Callable[[Tuple[Any, ...]], Tuple[Any, ...]]] = None
+    #: Batch grouped aggregation over the joined rows (see
+    #: :func:`~repro.relalg.compile.compile_batch_aggregate`); ``None`` when
+    #: ineligible.  The closure returns ``None`` (side-effect free) when a
+    #: fold errors — execution then replays :meth:`_aggregate` row-at-a-time.
+    vector_aggregate: Optional[Callable] = None
+    #: Whole-result batch projection for expression select lists (see
+    #: :func:`~repro.relalg.compile.compile_batch_projection`); the
+    #: all-slot case keeps the cheaper :attr:`batch_projector`.
+    vector_projector: Optional[Callable] = None
+    #: Batch hash-join probe key: the probe key of a two-level
+    #: scan→hash-join plan, compiled over the driving binding's slot range.
+    #: ``None`` when the plan shape or the key expression is ineligible.
+    vector_join_key: Optional[Tuple[Any, ...]] = None
+    #: Provably-mergeable partial aggregation the process-pool workers can
+    #: fold shard-side: ``(group_by ASTs, item kind/AST pairs)`` — plain
+    #: picklable data, shipped inside the :class:`PlanSpec`.  ``None``
+    #: whenever merging partial states could diverge from the sequential
+    #: fold (float SUM/AVG reassociation, DISTINCT, HAVING, joins).
+    partial_aggregate_spec: Optional[Tuple[Tuple[SqlExpr, ...],
+                                           Tuple[Tuple[Any, ...], ...]]] = None
+    #: Per-rung vectorization report for EXPLAIN: rung name → human-readable
+    #: status ("vectorized…", "row-at-a-time (reason)", "n/a (reason)").
+    vector_report: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
 
@@ -278,35 +306,69 @@ class QueryPlan:
         stats = stats if stats is not None else QueryStats()
         ctx = ExecContext(self.tables, params, stats)
         use_vectorized = vectorized and self.vector_eligible
-        if process_executor is not None and self.partitioned and (
-            (chunks := process_executor.scan_chunks(self, params)) is not None
-        ):
-            rows = self._enumerate(ctx, driving_chunks=chunks)
-        elif pool is not None and self.parallel_partition_count() > 1:
-            rows = self._enumerate_parallel(
-                ctx, pool, vectorized=use_vectorized, chunk_size=chunk_size
-            )
-        elif use_vectorized:
-            rows = self._enumerate(
-                ctx, driving_chunks=self._vector_chunks(ctx, chunk_size)
-            )
-        elif not self.partitioned:
-            rows = self._enumerate_single(ctx)
-        else:
-            rows = self._enumerate(ctx)
+        #: Batch hash-join probing rides any pre-filtered chunk stream (local
+        #: vectorized chunks or process-pool chunks); ``vectorized=False``
+        #: keeps the row-at-a-time probe as the differential reference.
+        batch_join = vectorized and self.vector_join_key is not None
+        result_rows: Optional[List[Tuple[Any, ...]]] = None
+        rows: List[Tuple[Any, ...]] = []
+        enumerated = False
+        if process_executor is not None and self.partitioned:
+            if vectorized and self.partial_aggregate_spec is not None:
+                partials = process_executor.aggregate_chunks(self, params)
+                if partials is not None:
+                    result_rows = self._merge_partial_aggregate(partials, ctx)
+                    enumerated = True
+            if not enumerated and (
+                (chunks := process_executor.scan_chunks(self, params))
+                is not None
+            ):
+                rows = (
+                    self._enumerate_vector_join(ctx, chunks) if batch_join
+                    else self._enumerate(ctx, driving_chunks=chunks)
+                )
+                enumerated = True
+        if not enumerated:
+            if pool is not None and self.parallel_partition_count() > 1:
+                rows = self._enumerate_parallel(
+                    ctx, pool, vectorized=use_vectorized, chunk_size=chunk_size
+                )
+            elif use_vectorized:
+                chunks = self._vector_chunks(ctx, chunk_size)
+                rows = (
+                    self._enumerate_vector_join(ctx, chunks) if batch_join
+                    else self._enumerate(ctx, driving_chunks=chunks)
+                )
+            elif not self.partitioned:
+                rows = self._enumerate_single(ctx)
+            else:
+                rows = self._enumerate(ctx)
 
-        if self.item_group_fns is not None:
-            result_rows = self._aggregate(rows, ctx)
+        if result_rows is not None:
+            pass  # process-pool partial aggregation already produced groups
+        elif self.item_group_fns is not None:
+            if use_vectorized and self.vector_aggregate is not None:
+                result_rows = self.vector_aggregate(rows, ctx)
+            if result_rows is None:
+                result_rows = self._aggregate(rows, ctx)
         elif self.identity_projection:
             result_rows = list(rows)
         elif use_vectorized and self.batch_projector is not None:
             result_rows = list(map(self.batch_projector, rows))
+        elif use_vectorized and self.vector_projector is not None:
+            result_rows = self.vector_projector(rows, ctx)
         else:
             projector = self.projector
             result_rows = [projector(row, ctx) for row in rows]
 
         if self.order_spec:
-            result_rows = self._order(rows, result_rows, ctx)
+            # Top-k: ORDER BY + LIMIT without DISTINCT (dedup runs after
+            # ordering, so truncating early would change the result) keeps a
+            # bounded heap instead of sorting everything.
+            top_k = (
+                self.limit if use_vectorized and not self.distinct else None
+            )
+            result_rows = self._order(rows, result_rows, ctx, top_k=top_k)
 
         if self.distinct:
             seen = set()
@@ -650,6 +712,164 @@ class QueryPlan:
                     )
                 yield out_pid, survivors, scanned
 
+    def _enumerate_vector_join(
+        self, ctx: ExecContext, driving_chunks
+    ) -> List[Tuple[Any, ...]]:
+        """Batch hash-join probing over a pre-filtered driving chunk stream.
+
+        The two-level scan→hash-join shape (:attr:`vector_join_key` set):
+        probe keys are evaluated column-at-a-time per chunk of surviving
+        driving rows, each key probes the shared hash table once, and joined
+        rows are built by tuple concatenation — replacing one key-closure
+        call, one dict probe and one slice-splice per outer row.  Work
+        accounting matches the row path exactly: one ``hash_probes`` per
+        surviving outer row, every iterated candidate charged to
+        ``rows_scanned``, the hash table built lazily on the first
+        surviving row, and residual probe-level filters applied per joined
+        row with the row path's own closures (in candidate order).
+        """
+        stats = ctx.stats
+        pscan = stats.partition_rows_scanned
+        level = self.levels[1]
+        access = level.access
+        filters = level.filters
+        d_level = self.levels[0]
+        d_offset, d_end = d_level.offset, d_level.end
+        driving_first = d_offset == 0
+        kkind, kfn = self.vector_join_key[0], self.vector_join_key[1]
+        needed = self.vector_join_key[2] if kkind == "vec" else ()
+        d_width = d_end - d_offset
+        hash_table = ctx.hash_tables.get(1)
+        out: List[Tuple[Any, ...]] = []
+        append = out.append
+        total = 0
+        probe_scanned = 0
+        for pid, survivors, scanned in driving_chunks:
+            if survivors:
+                if hash_table is None:
+                    hash_table = _build_hash_table(
+                        level.table, access.col_index, stats
+                    )
+                    ctx.hash_tables[1] = hash_table
+                n = len(survivors)
+                if kkind == "const":
+                    keys: Any = [kfn(ctx)] * n
+                else:
+                    cols = gather_columns(survivors, needed, d_width)
+                    keys = kfn(cols, n, ctx)
+                stats.hash_probes += n
+                get = hash_table.get
+                for srow, key in zip(survivors, keys):
+                    if key is None or key != key:
+                        continue  # NULL/NaN keys match nothing
+                    candidates = get(key, ())
+                    if not candidates:
+                        continue
+                    probe_scanned += len(candidates)
+                    if filters:
+                        for candidate in candidates:
+                            joined = (
+                                srow + candidate if driving_first
+                                else candidate + srow
+                            )
+                            for predicate in filters:
+                                if not predicate(joined, ctx):
+                                    break
+                            else:
+                                append(joined)
+                    elif driving_first:
+                        for candidate in candidates:
+                            append(srow + candidate)
+                    else:
+                        for candidate in candidates:
+                            append(candidate + srow)
+            if scanned and pid is not None:
+                pscan[pid] = pscan.get(pid, 0) + scanned
+            total += scanned
+        stats.rows_scanned += total + probe_scanned
+        stats.rows_joined += len(out)
+        return out
+
+    def _merge_partial_aggregate(
+        self, partials, ctx: ExecContext
+    ) -> List[Tuple[Any, ...]]:
+        """Merge the process-pool workers' per-partition aggregate states.
+
+        ``partials`` is ``(pid, groups, scanned, survivors)`` per partition
+        in partition order, where ``groups`` lists ``(key, item states)`` in
+        the shard's first-seen row order.  Merging in partition order
+        reconstructs the sequential fold exactly: group output order is
+        first appearance in partition-major row order, per-item states merge
+        with associative-by-construction rules (see
+        :func:`_classify_partial_aggregate`), and the scan/join counters are
+        charged as the local enumeration would have.
+        """
+        stats = ctx.stats
+        pscan = stats.partition_rows_scanned
+        kinds = [spec[0] for spec in self.partial_aggregate_spec[1]]
+        merged: Dict[Tuple[Any, ...], List[Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        total = 0
+        joined = 0
+        for pid, groups, scanned, survivors in partials:
+            if scanned:
+                pscan[pid] = pscan.get(pid, 0) + scanned
+            total += scanned
+            joined += survivors
+            for key, states in groups:
+                state = merged.get(key)
+                if state is None:
+                    merged[key] = list(states)
+                    order.append(key)
+                    continue
+                for i, kind in enumerate(kinds):
+                    incoming = states[i]
+                    if kind in ("count*", "count"):
+                        state[i] += incoming
+                    elif kind in ("sum", "avg"):
+                        state[i] = (
+                            state[i][0] + incoming[0],
+                            state[i][1] + incoming[1],
+                        )
+                    elif kind == "min":
+                        if incoming is not None and (
+                            state[i] is None or incoming < state[i]
+                        ):
+                            state[i] = incoming
+                    elif kind == "max":
+                        if incoming is not None and (
+                            state[i] is None or incoming > state[i]
+                        ):
+                            state[i] = incoming
+                    # "first": keep the earliest partition's value
+        stats.rows_scanned += total
+        stats.rows_joined += joined
+        if not order and not self.statement.group_by:
+            # An ungrouped aggregate of zero rows still yields one row —
+            # synthesise the empty-group fold the row path produces.
+            empty = []
+            for kind in kinds:
+                if kind in ("count*", "count"):
+                    empty.append(0)
+                else:
+                    empty.append(None)
+            return [tuple(empty)]
+        result: List[Tuple[Any, ...]] = []
+        for key in order:
+            state = merged[key]
+            values = []
+            for i, kind in enumerate(kinds):
+                if kind == "sum":
+                    values.append(state[i][0] if state[i][1] else None)
+                elif kind == "avg":
+                    values.append(
+                        state[i][0] / state[i][1] if state[i][1] else None
+                    )
+                else:
+                    values.append(state[i])
+            result.append(tuple(values))
+        return result
+
     def _enumerate_parallel(
         self, ctx: ExecContext, pool, vectorized: bool = False,
         chunk_size: int = CHUNK_ROWS,
@@ -674,16 +894,17 @@ class QueryPlan:
                     level.table, level.access.col_index, ctx.stats
                 )
 
+        batch_join = vectorized and self.vector_join_key is not None
+
         def run_partition(pid: int) -> Tuple[List[Tuple[Any, ...]], QueryStats]:
             sub_stats = QueryStats()
             sub_ctx = ExecContext(ctx.tables, ctx.params, sub_stats)
             sub_ctx.hash_tables = ctx.hash_tables
             if vectorized:
-                rows = self._enumerate(
-                    sub_ctx,
-                    driving_chunks=self._vector_chunks(
-                        sub_ctx, chunk_size, only_pid=pid
-                    ),
+                chunks = self._vector_chunks(sub_ctx, chunk_size, only_pid=pid)
+                rows = (
+                    self._enumerate_vector_join(sub_ctx, chunks) if batch_join
+                    else self._enumerate(sub_ctx, driving_chunks=chunks)
                 )
             else:
                 rows = self._enumerate(sub_ctx, restrict_partition=pid)
@@ -732,6 +953,7 @@ class QueryPlan:
         rows: List[Tuple[Any, ...]],
         result_rows: List[Tuple[Any, ...]],
         ctx: ExecContext,
+        top_k: Optional[int] = None,
     ) -> List[Tuple[Any, ...]]:
         spec = self.order_spec
 
@@ -745,7 +967,15 @@ class QueryPlan:
                 keys.append(_SortKey(value, ascending))
             return tuple(keys)
 
-        positions = sorted(range(len(result_rows)), key=key_for)
+        if top_k is not None:
+            # Bounded heap: ``nsmallest`` is stable (it decorates each
+            # element with its input position) and evaluates ``key_for``
+            # once per element in input order, so rows, NULL placement and
+            # any key-side counter effects are byte-identical to
+            # ``sorted(...)[:k]``.
+            positions = nsmallest(top_k, range(len(result_rows)), key=key_for)
+        else:
+            positions = sorted(range(len(result_rows)), key=key_for)
         return [result_rows[p] for p in positions]
 
 
@@ -829,6 +1059,11 @@ class PlanSpec:
     levels: Tuple[LevelSpec, ...]
     width: int
     process_eligible: bool
+    #: Slot-addressed partial-aggregation recipe (see
+    #: :func:`_classify_partial_aggregate`); ``None`` when the plan cannot
+    #: provably merge per-partition fold states.
+    partial_aggregate: Optional[Tuple[Tuple[int, ...],
+                                      Tuple[Tuple[Any, Any], ...]]] = None
 
     @property
     def driving(self) -> LevelSpec:
@@ -885,7 +1120,88 @@ def lower_plan(plan: QueryPlan) -> PlanSpec:
         levels=tuple(levels),
         width=layout.width,
         process_eligible=eligible,
+        partial_aggregate=plan.partial_aggregate_spec,
     )
+
+
+def _classify_partial_aggregate(
+    statement: SelectStatement, levels: List[_Level], layout: SlotLayout
+) -> Optional[Tuple[Tuple[int, ...], Tuple[Tuple[Any, Any], ...]]]:
+    """Slot-addressed recipe for provably-mergeable partial aggregation.
+
+    Process-pool workers can fold aggregate state per shard and let the
+    parent merge it — but only when merging partial states is *guaranteed*
+    to reproduce the sequential fold byte-for-byte.  That holds for:
+
+    - a single-level partitioned scan (joins would need cross-partition
+      rows), no HAVING (needs group rows), no DISTINCT-in-aggregate (needs
+      the cross-partition value sets);
+    - group keys and aggregate arguments that are plain column slots —
+      column reads cannot raise, so worker-side evaluation order can never
+      surface an error the row path would have raised elsewhere;
+    - SUM/AVG/MIN/MAX restricted to INTEGER columns: the schema validates
+      those to Python ints (bools rejected, integral floats coerced), whose
+      arithmetic is exact and associative.  Float folds reassociate under
+      merging (and NaN breaks MIN/MAX), so they fall back;
+    - COUNT over any column (NULL-skipping is order-free) and group-constant
+      select items that are plain columns ("first": the merge keeps the
+      earliest partition's shard-local first value, which *is* the group's
+      first row in partition-major order).
+
+    Returns ``(key_slots, ((kind, slot-or-None), ...))`` or ``None``.
+    Ungrouped statements additionally require every item to be an aggregate:
+    the empty-input synthesis in :meth:`QueryPlan._merge_partial_aggregate`
+    only knows the aggregate folds' empty values.
+    """
+    if len(levels) != 1 or type(levels[0].access) is not PartitionScan:
+        return None
+    if statement.having is not None:
+        return None
+    table = levels[0].table
+    key_slots: List[int] = []
+    for expr in statement.group_by:
+        if type(expr) is not ColumnRef:
+            return None
+        try:
+            key_slots.append(layout.resolve(expr))
+        except Exception:
+            return None
+    items: List[Tuple[Any, Any]] = []
+    for item in statement.items:
+        expr = item.expr
+        if isinstance(expr, FunctionExpr) and expr.is_aggregate:
+            name = expr.name.upper()
+            if expr.distinct:
+                return None
+            if name == "COUNT" and (
+                not expr.args or isinstance(expr.args[0], Star)
+            ):
+                items.append(("count*", None))
+                continue
+            if name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+                return None
+            if not expr.args or type(expr.args[0]) is not ColumnRef:
+                return None
+            try:
+                slot = layout.resolve(expr.args[0])
+            except Exception:
+                return None
+            if name == "COUNT":
+                items.append(("count", slot))
+                continue
+            if table.schema.columns[slot].type is not ColumnType.INTEGER:
+                return None
+            items.append((name.lower(), slot))
+            continue
+        if not statement.group_by:
+            return None
+        if type(expr) is not ColumnRef:
+            return None
+        try:
+            items.append(("first", layout.resolve(expr)))
+        except Exception:
+            return None
+    return tuple(key_slots), tuple(items)
 
 
 # --------------------------------------------------------------------------- #
@@ -912,7 +1228,11 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
     # levels always — keeps the row-at-a-time loops.
     vector_eligible = False
     vector_filter = None
-    if levels and type(levels[0].access) is PartitionScan:
+    report: Dict[str, str] = {}
+    if not levels or type(levels[0].access) is not PartitionScan:
+        kind = levels[0].access.kind if levels else "none"
+        report["scan"] = f"row-at-a-time (driving access is {kind})"
+    else:
         driving = levels[0]
         if not driving.filter_exprs:
             vector_eligible = True
@@ -921,7 +1241,36 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
                 driving.filter_exprs, layout, driving.offset, driving.end
             )
             vector_eligible = vector_filter is not None
+        report["scan"] = (
+            "vectorized (columnar chunks)" if vector_eligible
+            else "row-at-a-time (driving filters do not batch-compile)"
+        )
 
+    # Batch hash-join probing: the two-level scan→hash-join shape with a
+    # batch-compilable probe key.  Deeper plans keep the recursive row loop.
+    vector_join_key = None
+    if len(levels) < 2:
+        report["join-probe"] = "n/a (no join levels)"
+    elif type(levels[1].access) is not HashJoinBuild:
+        report["join-probe"] = (
+            f"row-at-a-time (inner access is {levels[1].access.kind})"
+        )
+    elif len(levels) > 2:
+        report["join-probe"] = "row-at-a-time (more than two join levels)"
+    elif not vector_eligible:
+        report["join-probe"] = "row-at-a-time (driving scan is row-at-a-time)"
+    else:
+        vector_join_key = compile_batch_expr(
+            levels[1].key_ast, layout, levels[0].offset, levels[0].end
+        )
+        report["join-probe"] = (
+            "vectorized (batch probe)" if vector_join_key is not None
+            else "row-at-a-time (probe key does not batch-compile)"
+        )
+
+    vector_aggregate = None
+    vector_projector = None
+    partial_aggregate_spec = None
     if statement.is_aggregate_query:
         group_key_fns = [
             compile_row_expr(expr, layout, tables) for expr in statement.group_by
@@ -938,6 +1287,24 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         projector = None
         identity = False
         batch_projector = None
+        report["projection"] = "n/a (aggregate query)"
+        if not vector_eligible:
+            report["aggregate"] = (
+                "row-at-a-time (driving scan is row-at-a-time)"
+            )
+        else:
+            vector_aggregate = compile_batch_aggregate(
+                statement, layout, item_group_fns, having_fn
+            )
+            report["aggregate"] = (
+                "vectorized (per-group column folds)"
+                if vector_aggregate is not None
+                else "row-at-a-time (group keys or aggregate arguments do "
+                     "not batch-compile)"
+            )
+        partial_aggregate_spec = _classify_partial_aggregate(
+            statement, levels, layout
+        )
     else:
         group_key_fns = None
         having_fn = None
@@ -952,8 +1319,42 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
             batch_projector = lambda row: (row[slot],)  # noqa: E731
         else:
             batch_projector = None
+        report["aggregate"] = "n/a (not an aggregate query)"
+        if not vector_eligible:
+            report["projection"] = (
+                "row-at-a-time (driving scan is row-at-a-time)"
+            )
+        elif batch_projector is not None or identity:
+            report["projection"] = "vectorized (slot projection)"
+        else:
+            raw_projector = compile_batch_projection(statement, layout)
+            if raw_projector is None:
+                report["projection"] = (
+                    "row-at-a-time (projection does not batch-compile)"
+                )
+            else:
+                report["projection"] = "vectorized (batch expressions)"
+                row_projector = projector
+
+                def vector_projector(rows, ctx, _batch=raw_projector,
+                                     _row=row_projector):
+                    try:
+                        return _batch(rows, ctx)
+                    except Exception:
+                        # Batch items are pure (no subqueries batch-compile),
+                        # so replaying the row projector reproduces the row
+                        # engine's exact error and evaluation order.
+                        return [_row(row, ctx) for row in rows]
 
     order_spec = _compile_order(statement, columns, layout, tables)
+    if not order_spec:
+        report["top-k"] = "n/a (no ORDER BY)"
+    elif statement.limit is None:
+        report["top-k"] = "full sort (no LIMIT)"
+    elif statement.distinct:
+        report["top-k"] = "full sort (DISTINCT dedups after ordering)"
+    else:
+        report["top-k"] = "vectorized (bounded heap)"
 
     return QueryPlan(
         statement=statement,
@@ -982,6 +1383,11 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         vector_eligible=vector_eligible,
         vector_filter=vector_filter,
         batch_projector=batch_projector,
+        vector_aggregate=vector_aggregate,
+        vector_projector=vector_projector,
+        vector_join_key=vector_join_key,
+        partial_aggregate_spec=partial_aggregate_spec,
+        vector_report=report,
     )
 
 

@@ -73,6 +73,8 @@ __all__ = [
     "TableIndex",
     "TableStatistics",
     "Transaction",
+    "gather_columns",
+    "gather_rows",
     "stable_hash",
 ]
 
@@ -88,6 +90,36 @@ _COMPACT_MIN_DEAD = 64
 _COMPACT_DEAD_FRACTION = 0.5
 
 _HASH_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def gather_rows(
+    cols: Sequence[List[Any]], sel: Sequence[int]
+) -> List[Tuple[Any, ...]]:
+    """Row tuples of the selected positions of a columnar block.
+
+    The transpose counterpart of :meth:`Partition.column_chunks`: one
+    C-level comprehension per column plus one ``zip`` instead of a Python
+    loop per surviving row.  Shared by the vectorized scan consumers (the
+    planner's chunk seam and the process-pool workers).
+    """
+    return list(zip(*([column[i] for i in sel] for column in cols)))
+
+
+def gather_columns(
+    rows: Sequence[Tuple[Any, ...]], slots: Iterable[int], width: int
+) -> List[Optional[List[Any]]]:
+    """Per-slot value lists of a row block, populated only for ``slots``.
+
+    The inverse gather: batch expression nodes evaluate over columns, so
+    consumers of already-materialised row tuples (batch aggregation over
+    joined rows, batch hash-join key evaluation over chunk survivors) lift
+    just the referenced slots into columns — one comprehension per slot,
+    not one per row.
+    """
+    cols: List[Optional[List[Any]]] = [None] * width
+    for j in slots:
+        cols[j] = [row[j] for row in rows]
+    return cols
 
 
 def stable_hash(value: Any) -> int:

@@ -11,9 +11,11 @@ SQL-92 aggregate rules the engine must follow:
 * ``SELECT DISTINCT`` treats NULL as one distinct value.
 
 Every statement runs on the interpreted reference, the row-at-a-time
-compiled engine, the vectorized compiled engine (the default) and a
-multi-partition vectorized database; all four must return the same rows,
-and they must equal the hand-computed expectation.
+compiled engine, the vectorized compiled engine (the default), a
+multi-partition vectorized database, the thread fan-out and the
+process-pool executor (which merges partial aggregate states where
+provably mergeable); all flavours must return the same rows, and they
+must equal the hand-computed expectation.
 """
 
 import pytest
@@ -34,13 +36,20 @@ _M_ROWS = [
 ]
 
 
-def _databases():
+def _databases(process_pool=None):
     flavours = {
         "interpreted": Database(engine="interpreted"),
         "rowwise": Database(engine="compiled", n_partitions=1, vectorized=False),
         "vectorized": Database(engine="compiled", n_partitions=1),
         "partitioned": Database(engine="compiled", n_partitions=4),
+        "thread": Database(
+            engine="compiled", n_partitions=4, parallel=2, executor="thread"
+        ),
     }
+    if process_pool is not None:
+        flavours["process"] = Database(
+            engine="compiled", n_partitions=4, executor=process_pool
+        )
     for database in flavours.values():
         database.execute(
             "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT)"
@@ -52,8 +61,8 @@ def _databases():
 
 
 @pytest.fixture(name="flavours")
-def _flavours_fixture():
-    flavours = _databases()
+def _flavours_fixture(process_pool):
+    flavours = _databases(process_pool)
     yield flavours
     for database in flavours.values():
         database.close()
@@ -129,3 +138,71 @@ class TestAggregateNullSkipping:
         vectorized = flavours["vectorized"].query(sql)
         assert vectorized.rows == rowwise.rows
         assert vectorized.stats == rowwise.stats
+
+    def test_distinct_in_aggregate_per_group(self, flavours):
+        # g=3 holds (5.0, 5.0): SUM(DISTINCT x) dedups to 5.0 there.
+        _assert_everywhere(
+            flavours,
+            "SELECT g, SUM(DISTINCT x), COUNT(DISTINCT x) FROM m "
+            "GROUP BY g ORDER BY g",
+            [],
+            [
+                (1, None, 0),
+                (2, 40.0, 2),
+                (3, 5.0, 1),
+                (None, 7.0, 1),
+            ],
+        )
+
+    def test_avg_of_integer_column_divides_exactly(self, flavours):
+        # Integer sums stay exact ints until the final division — including
+        # across process workers merging (sum, count) partial states.
+        _assert_everywhere(
+            flavours,
+            "SELECT g, SUM(id), AVG(id) FROM m GROUP BY g ORDER BY g",
+            [],
+            [(1, 6, 2.0), (2, 15, 5.0), (3, 15, 7.5), (None, 9, 9.0)],
+        )
+
+    def test_avg_of_mixed_int_float_expression(self, flavours):
+        # id (int) + x (float) widens per row; NULL x rows drop out.
+        _assert_everywhere(
+            flavours,
+            "SELECT g, AVG(id + x) FROM m GROUP BY g ORDER BY g",
+            [],
+            [(1, None), (2, 25.0), (3, 12.5), (None, 16.0)],
+        )
+
+
+class TestFloatGroupKeys:
+    """Float edge-case group keys: -0.0 folds with 0.0, NaN never matches."""
+
+    def _fill(self, flavours, rows):
+        for database in flavours.values():
+            database.execute(
+                "CREATE TABLE fk (id INTEGER PRIMARY KEY, k FLOAT)"
+            )
+            database.executemany(
+                "INSERT INTO fk (id, k) VALUES (?, ?)", rows
+            )
+
+    def test_negative_zero_groups_with_positive_zero(self, flavours):
+        self._fill(
+            flavours, [(1, 0.0), (2, -0.0), (3, 1.0), (4, -0.0), (5, 0.0)]
+        )
+        _assert_everywhere(
+            flavours,
+            "SELECT k, COUNT(*) FROM fk GROUP BY k ORDER BY k",
+            [],
+            # 0.0 == -0.0 (and hashes identically): one group of four.
+            [(0.0, 4), (1.0, 1)],
+        )
+
+    def test_nan_keys_never_merge(self, flavours):
+        # Distinct NaN objects per row: each is its own group everywhere
+        # (NaN != NaN), including across the process executor's pickling.
+        rows = [(i, float("nan")) for i in range(1, 5)] + [(5, 2.0), (6, 2.0)]
+        self._fill(flavours, rows)
+        for name, database in flavours.items():
+            result = database.query("SELECT COUNT(*) FROM fk GROUP BY k")
+            assert sorted(r[0] for r in result.rows) == [1, 1, 1, 1, 2], name

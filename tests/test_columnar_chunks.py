@@ -131,3 +131,76 @@ class TestChunkedQueriesMatchRowwise:
                 "SELECT id FROM t WHERE g = ? ORDER BY id", [9]
             )
             assert result.rows == [(3000 + i,) for i in range(5)]
+
+
+class TestVectorizationReport:
+    """EXPLAIN reports per-rung vectorization eligibility and fallback reasons."""
+
+    def test_fully_vectorized_aggregate(self):
+        with _filled() as database:
+            text = database.explain(
+                "SELECT g, COUNT(*), SUM(id) FROM t GROUP BY g"
+            )
+            assert "vectorization:" in text
+            assert "scan: vectorized (columnar chunks)" in text
+            assert "aggregate: vectorized (per-group column folds)" in text
+            assert "join-probe: n/a (no join levels)" in text
+            assert "projection: n/a (aggregate query)" in text
+            assert "top-k: n/a (no ORDER BY)" in text
+            assert "partial-aggregation: mergeable" in text
+
+    def test_row_fallback_reasons_are_reported(self):
+        with _filled() as database:
+            probe = database.explain("SELECT x FROM t WHERE id = ?")
+            assert (
+                "scan: row-at-a-time (driving access is index-probe)" in probe
+            )
+            subquery = database.explain(
+                "SELECT id FROM t WHERE x > (SELECT AVG(x) FROM t)"
+            )
+            assert (
+                "scan: row-at-a-time (driving filters do not batch-compile)"
+                in subquery
+            )
+            # A float SUM is not mergeable across process shards, yet still
+            # batch-aggregates locally.
+            floats = database.explain("SELECT g, SUM(x) FROM t GROUP BY g")
+            assert "aggregate: vectorized (per-group column folds)" in floats
+            assert "partial-aggregation" not in floats
+
+    def test_top_k_report(self):
+        with _filled() as database:
+            top_k = database.explain("SELECT id FROM t ORDER BY x LIMIT 3")
+            assert "top-k: vectorized (bounded heap)" in top_k
+            distinct = database.explain(
+                "SELECT DISTINCT g FROM t ORDER BY g LIMIT 3"
+            )
+            assert (
+                "top-k: full sort (DISTINCT dedups after ordering)" in distinct
+            )
+            unlimited = database.explain("SELECT id FROM t ORDER BY x")
+            assert "top-k: full sort (no LIMIT)" in unlimited
+
+    def test_projection_report(self):
+        with _filled() as database:
+            exprs = database.explain("SELECT id * 2 + 1, COALESCE(g, -1) FROM t")
+            assert "projection: vectorized (batch expressions)" in exprs
+            slots = database.explain("SELECT id, g FROM t")
+            assert "projection: vectorized (slot projection)" in slots
+
+    def test_join_probe_report(self):
+        with _filled() as database:
+            database.execute("CREATE TABLE d (g INTEGER, label TEXT)")
+            database.executemany(
+                "INSERT INTO d (g, label) VALUES (?, ?)",
+                [(i, f"g{i}") for i in range(5)],
+            )
+            text = database.explain(
+                "SELECT t.id, d.label FROM t, d WHERE t.g = d.g"
+            )
+            assert "join-probe: vectorized (batch probe)" in text
+
+    def test_disabled_banner(self):
+        with _filled(vectorized=False) as database:
+            text = database.explain("SELECT g, COUNT(*) FROM t GROUP BY g")
+            assert "vectorization (disabled: vectorized=False):" in text

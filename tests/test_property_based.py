@@ -258,12 +258,36 @@ def _random_select(rng):
     """One random (sql, params) pair; every ORDER BY totally orders the rows."""
     kind = rng.choice(
         ["point", "filter", "isnull", "inlist", "distinct", "aggregate",
-         "join", "join_filtered", "join_unindexed", "group_join"]
+         "join", "join_filtered", "join_unindexed", "group_join",
+         "topk", "topk_aggregate", "project"]
     )
     direction = rng.choice(["", " DESC"])
     limit = f" LIMIT {rng.randint(1, 10)}" if rng.random() < 0.3 else ""
     if kind == "point":
         return "SELECT * FROM m WHERE id = ?", [rng.randint(0, 26)]
+    if kind == "topk":
+        # LIMIT-bearing ORDER BY over a NULL-able float key (id breaks
+        # ties, so the order is total): the bounded-heap top-k path.
+        return (
+            f"SELECT id, x FROM m ORDER BY x{direction}, id "
+            f"LIMIT {rng.randint(1, 8)}",
+            [],
+        )
+    if kind == "topk_aggregate":
+        # Top-k over aggregated output columns (integer counts: exact).
+        return (
+            f"SELECT g, COUNT(*) AS c, COUNT(x) FROM m GROUP BY g "
+            f"ORDER BY c{direction}, g LIMIT {rng.randint(1, 4)}",
+            [],
+        )
+    if kind == "project":
+        # Expression projections (arithmetic, COALESCE, scalar functions):
+        # the generalized batch-projection path.
+        return (
+            f"SELECT id, x * ? + 1, COALESCE(g, -1), ABS(id - ?) FROM m "
+            f"ORDER BY id{direction}{limit}",
+            [round(rng.uniform(-2.0, 2.0), 3), rng.randint(0, 25)],
+        )
     if kind == "filter":
         return (
             f"SELECT id, g, x FROM m WHERE g = ? AND x > ? "
@@ -415,16 +439,20 @@ def _random_executor_select(rng):
     can check exactly (float HAVING boundaries are order-sensitive, but all
     executors enumerate in the same partition-major order)."""
     if rng.random() < 0.3:
+        # A LIMIT sometimes rides along: HAVING plans are ineligible for
+        # partial aggregation, so this exercises top-k over a locally
+        # aggregated (non-merged) result on every executor.
+        limit = f" LIMIT {rng.randint(1, 5)}" if rng.random() < 0.4 else ""
         if rng.random() < 0.5:
             return (
                 "SELECT g, s, COUNT(*) AS c, MIN(x) FROM m GROUP BY g, s "
-                "HAVING COUNT(*) > ? ORDER BY g, s",
+                f"HAVING COUNT(*) > ? ORDER BY g, s{limit}",
                 [rng.randint(0, 2)],
             )
         return (
             "SELECT m.s AS label, COUNT(*) AS c, SUM(r.v) FROM m, r "
             "WHERE m.id = r.m_id AND r.v > ? GROUP BY m.s "
-            "HAVING SUM(r.v) > ? ORDER BY label",
+            f"HAVING SUM(r.v) > ? ORDER BY label{limit}",
             [round(rng.uniform(0.0, 60.0), 3), round(rng.uniform(0.0, 150.0), 3)],
         )
     return _random_select(rng)

@@ -134,7 +134,8 @@ class TestPlanSpecLowering:
         )
         spec = lower_plan(plan)
         entry = _compile_driving_scan(spec)
-        table_uid, offset, end, width, filter_fns, batch_fn = entry
+        table_uid, offset, end, width, filter_fns, batch_fn, partial = entry
+        assert partial is None  # not an aggregate query
         assert table_uid == db.table("m").uid
         assert batch_fn is not None  # plain comparisons batch-compile
         assert (offset, end, width) == (0, 4, 4)

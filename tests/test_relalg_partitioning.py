@@ -382,10 +382,28 @@ class TestParallelExecution:
             )
 
     def test_parallel_validation(self):
-        with pytest.raises(ValueError, match="parallel"):
+        with pytest.raises(ExecutionError, match="parallel"):
             Database(parallel=1)
+        with pytest.raises(ExecutionError, match="parallel"):
+            Database(parallel="2")
+        with pytest.raises(ExecutionError, match="parallel"):
+            Database(parallel=True)
         with Database(parallel=2) as db:
             db.close()  # idempotent even if the pool was never created
+
+    def test_vectorized_chunk_size_validation(self):
+        with pytest.raises(ExecutionError, match="vectorized_chunk_size"):
+            Database(vectorized_chunk_size=0)
+        with pytest.raises(ExecutionError, match="vectorized_chunk_size"):
+            Database(vectorized_chunk_size=-5)
+        with pytest.raises(ExecutionError, match="vectorized_chunk_size"):
+            Database(vectorized_chunk_size="1024")
+        with pytest.raises(ExecutionError, match="vectorized_chunk_size"):
+            Database(vectorized_chunk_size=True)
+        with Database(vectorized_chunk_size=1) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.execute("INSERT INTO t VALUES (1)")
+            assert db.query("SELECT COUNT(*) FROM t").scalar() == 1
 
 
 class TestBackendPartitionCharging:
