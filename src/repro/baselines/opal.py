@@ -106,7 +106,7 @@ class RuleEngine:
             self.evaluated += 1
             try:
                 result = proof(hypothesis, run, basis)
-            except Exception:
+            except Exception:  # lint: allow-broad-except
                 continue
             if not result.proven:
                 continue

@@ -112,7 +112,7 @@ class ParadynSearch:
     ) -> None:
         try:
             value = hypothesis.value(region, run)
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             return
         severity = value / duration
         if severity <= hypothesis.threshold:

@@ -11,6 +11,10 @@ paper's COSY prototype (Oracle 7, MS Access, MS SQL Server, Postgres):
 * :mod:`repro.relalg.planner`, :mod:`repro.relalg.compile` — the
   plan-then-execute layer: join ordering, index/hash-join access paths and
   expression compilation into slot-addressed closures;
+* :mod:`repro.relalg.semantics` — the plan-time static analysis pass:
+  catalog-driven type inference, typed :class:`SemanticError` diagnostics
+  raised before any row is touched, constant folding, contradiction
+  detection and the lint warnings EXPLAIN surfaces under ``analysis:``;
 * :mod:`repro.relalg.executor`, :mod:`repro.relalg.database` — plan-driven
   query execution and the database facade (with its statement-level plan
   cache); :mod:`repro.relalg.interp` keeps the seed AST-walking engine as the
@@ -53,6 +57,7 @@ from repro.relalg.errors import (
     RecoveryError,
     RelalgError,
     SchemaError,
+    SemanticError,
     SqlSyntaxError,
     TransactionWarning,
 )
@@ -70,6 +75,14 @@ from repro.relalg.planner import (
     plan_select,
 )
 from repro.relalg.schema import Column, ColumnType, TableSchema
+from repro.relalg.semantics import (
+    Analysis,
+    SqlType,
+    analyze_select,
+    check_delete,
+    check_select,
+    proves_integer,
+)
 from repro.relalg.sqlparser import SqlParser, parse_sql, tokenize_sql
 from repro.relalg.compile import compile_batch_predicate
 from repro.relalg.storage import (
@@ -93,6 +106,7 @@ from repro.relalg.wal import (
 
 __all__ = [
     "AccessPath",
+    "Analysis",
     "AsyncClient",
     "BACKEND_PROFILES",
     "BackendProfile",
@@ -128,9 +142,11 @@ __all__ = [
     "ResultSet",
     "SchemaError",
     "SelectExecutor",
+    "SemanticError",
     "SimulatedBackend",
     "SqlParser",
     "SqlSyntaxError",
+    "SqlType",
     "StatementCost",
     "Table",
     "TableIndex",
@@ -141,12 +157,16 @@ __all__ = [
     "TransactionWarning",
     "VirtualClock",
     "WriteAheadLog",
+    "analyze_select",
     "backend",
+    "check_delete",
+    "check_select",
     "compile_batch_predicate",
     "fingerprint_hash",
     "lower_plan",
     "parse_sql",
     "plan_select",
+    "proves_integer",
     "restore_state",
     "snapshot_state",
     "stable_hash",

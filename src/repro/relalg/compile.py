@@ -40,6 +40,7 @@ from repro.relalg.sqlast import (
     SqlExpr,
     Star,
     UnaryOperation,
+    format_expr,
 )
 from repro.relalg.storage import Table
 
@@ -166,22 +167,43 @@ class SlotLayout:
 # --------------------------------------------------------------------------- #
 
 
-def _apply_binop(op: BinaryOperator, left: Any, right: Any) -> Any:
-    """Non-logical binary operators with the engine's NULL semantics."""
+def _source_suffix(source: Optional[SqlExpr]) -> str:
+    """`` in <expr>`` attribution, rendered lazily (errors only)."""
+    return f" in {format_expr(source)}" if source is not None else ""
+
+
+def _apply_binop(
+    op: BinaryOperator, left: Any, right: Any, source: Optional[SqlExpr] = None
+) -> Any:
+    """Non-logical binary operators with the engine's NULL semantics.
+
+    ``source`` is the originating AST node; it is only formatted when an
+    error is raised, so attribution costs nothing on the hot path.  Callers
+    that re-evaluate cloned nodes (the group-level aggregate paths) pass no
+    source, keeping their historical messages.
+    """
     if left is None or right is None:
         # Simplified NULL semantics: any comparison or arithmetic with NULL
         # yields NULL (which is falsy in predicates).
         return None
-    if op is BinaryOperator.ADD:
-        return left + right
-    if op is BinaryOperator.SUB:
-        return left - right
-    if op is BinaryOperator.MUL:
-        return left * right
-    if op is BinaryOperator.DIV:
-        if right == 0:
-            raise ExecutionError("division by zero")
-        return left / right
+    try:
+        if op is BinaryOperator.ADD:
+            return left + right
+        if op is BinaryOperator.SUB:
+            return left - right
+        if op is BinaryOperator.MUL:
+            return left * right
+        if op is BinaryOperator.DIV:
+            if right == 0:
+                raise ExecutionError(
+                    f"division by zero{_source_suffix(source)}"
+                )
+            return left / right
+    except TypeError:
+        raise ExecutionError(
+            f"invalid operands for {op.value}: {left!r} and {right!r}"
+            f"{_source_suffix(source)}"
+        ) from None
     try:
         if op is BinaryOperator.EQ:
             return left == right
@@ -198,8 +220,9 @@ def _apply_binop(op: BinaryOperator, left: Any, right: Any) -> Any:
     except TypeError as exc:
         raise ExecutionError(
             f"cannot compare {left!r} and {right!r}: {exc}"
+            f"{_source_suffix(source)}"
         ) from None
-    raise AssertionError(f"unhandled operator {op}")
+    raise ExecutionError(f"unhandled operator {op}")
 
 
 _SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
@@ -272,7 +295,9 @@ def compile_row_expr(
                 return a == b
 
             return eq_fn
-        return lambda row, ctx: _apply_binop(op, left(row, ctx), right(row, ctx))
+        return lambda row, ctx: _apply_binop(
+            op, left(row, ctx), right(row, ctx), expr
+        )
     if isinstance(expr, IsNull):
         operand = compile_row_expr(expr.operand, layout, tables)
         if expr.negated:
@@ -394,14 +419,17 @@ _BATCH_PY_OPS = {
 
 
 def _batch_binop(op: BinaryOperator, left: _BatchNode,
-                 right: _BatchNode) -> _BatchNode:
+                 right: _BatchNode,
+                 source: Optional[SqlExpr] = None) -> _BatchNode:
     """Batch form of a non-logical binary operator.
 
     The fast inner comprehension uses the raw Python operator; if it raises
     (mixed-type comparison, division by zero) the chunk is re-evaluated
     through :func:`_apply_binop`, which raises the row engine's exact error
     at the exact offending row — the happy path stays allocation-lean while
-    the error path stays byte-identical.
+    the error path stays byte-identical.  ``source`` is the originating AST
+    node, threaded into :func:`_apply_binop` so replayed errors name the
+    offending expression.
     """
     lkind, lfn = left[0], left[1]
     rkind, rfn = right[0], right[1]
@@ -452,7 +480,10 @@ def _batch_binop(op: BinaryOperator, left: _BatchNode,
 
         return ("vec", eq_vv, left[2] | right[2])
     if lkind == "const" and rkind == "const":
-        return ("const", lambda ctx: _apply_binop(op, lfn(ctx), rfn(ctx)))
+        return (
+            "const",
+            lambda ctx: _apply_binop(op, lfn(ctx), rfn(ctx), source),
+        )
     py = _BATCH_PY_OPS[op]
     if lkind == "const":
         def op_cv(cols, n, ctx):
@@ -463,7 +494,7 @@ def _batch_binop(op: BinaryOperator, left: _BatchNode,
             try:
                 return [None if y is None else py(a, y) for y in b]
             except (TypeError, ZeroDivisionError):
-                return [_apply_binop(op, a, y) for y in b]
+                return [_apply_binop(op, a, y, source) for y in b]
 
         return ("vec", op_cv, right[2])
     if rkind == "const":
@@ -475,7 +506,7 @@ def _batch_binop(op: BinaryOperator, left: _BatchNode,
             try:
                 return [None if x is None else py(x, b) for x in a]
             except (TypeError, ZeroDivisionError):
-                return [_apply_binop(op, x, b) for x in a]
+                return [_apply_binop(op, x, b, source) for x in a]
 
         return ("vec", op_vc, left[2])
 
@@ -488,7 +519,7 @@ def _batch_binop(op: BinaryOperator, left: _BatchNode,
                 for x, y in zip(a, b)
             ]
         except (TypeError, ZeroDivisionError):
-            return [_apply_binop(op, x, y) for x, y in zip(a, b)]
+            return [_apply_binop(op, x, y, source) for x, y in zip(a, b)]
 
     return ("vec", op_vv, left[2] | right[2])
 
@@ -609,7 +640,7 @@ def _batch_node(expr: SqlExpr, layout: SlotLayout, offset: int,
             return None
         if expr.op in (BinaryOperator.AND, BinaryOperator.OR):
             return _batch_logical(expr.op, left, right)
-        return _batch_binop(expr.op, left, right)
+        return _batch_binop(expr.op, left, right, expr)
     if isinstance(expr, IsNull):
         operand = _batch_node(expr.operand, layout, offset, end)
         if operand is None:
@@ -1004,7 +1035,7 @@ def compile_batch_aggregate(
                             values = unique
                         per_group.append(final_fold(values))
                     folded[index] = per_group
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             return None
         # Emission is group-major — HAVING first, then the items left to
         # right — exactly the row path's order, so closures with side

@@ -102,6 +102,7 @@ from repro.relalg.planner import (
     plan_select,
 )
 from repro.relalg.schema import Column, ColumnType, TableSchema
+from repro.relalg.semantics import check_delete
 from repro.relalg.sqlast import (
     BeginStatement,
     CommitStatement,
@@ -798,7 +799,14 @@ class Database:
         Reports the join order, the access path chosen per binding (with the
         probe column), partition layout and pruning, residual filter counts
         and the plan-time cardinality estimates — for the outer plan and,
-        nested, for every scalar subquery.  Uses (and warms) the plan cache
+        nested, for every scalar subquery.  A trailing ``analysis:`` section
+        lists the plan-time semantic findings: conjuncts rewritten by
+        constant folding (``folded: ...``), always-true conjuncts dropped,
+        always-false/contradictory predicates that let the plan skip the
+        scan entirely, and lint warnings (cross joins without a connecting
+        predicate, non-sargable predicates on indexed columns, mixed-type
+        equality comparisons); ``no findings`` when the analyzer has
+        nothing to report.  Uses (and warms) the plan cache
         exactly like :meth:`execute`; subquery plans come from the cached
         plan's own plan-time snapshot, so the output describes the plans
         that actually execute, not a re-derivation under newer statistics.
@@ -869,6 +877,12 @@ class Database:
                     f"{indent}  partial-aggregation: mergeable "
                     f"(process workers fold shard-local group state)"
                 )
+        lines.append(f"{indent}analysis:")
+        if plan.analysis_report:
+            for finding in plan.analysis_report:
+                lines.append(f"{indent}  {finding}")
+        else:
+            lines.append(f"{indent}  no findings")
         return lines
 
     # ------------------------------------------------------------------ #
@@ -1063,6 +1077,10 @@ class Database:
         self, statement: DeleteStatement, params: Sequence[Any]
     ) -> int:
         table = self.table(statement.table)
+        # Statements whose WHERE clause would deterministically raise on
+        # every row (e.g. an ordered comparison between a VARCHAR column and
+        # a number) are rejected before any row is touched, on every engine.
+        check_delete(statement, self.tables)
         # Collect deleted row images while a WAL is attached: the images are
         # the log record (replay re-deletes exactly these rows).
         collect: Optional[List[Tuple[Any, ...]]] = (

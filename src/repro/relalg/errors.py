@@ -10,6 +10,7 @@ __all__ = [
     "SchemaError",
     "IntegrityError",
     "ExecutionError",
+    "SemanticError",
     "RecoveryError",
     "TransactionWarning",
 ]
@@ -43,6 +44,25 @@ class ExecutionError(RelalgError):
     Also covers transaction-protocol misuse: nested ``BEGIN``, ``COMMIT`` /
     ``ROLLBACK`` without an open transaction, and DDL inside a transaction.
     """
+
+
+class SemanticError(ExecutionError):
+    """Raised by static analysis before a statement executes.
+
+    A :class:`SemanticError` marks a statement that would deterministically
+    fail (or is ill-formed) for every row it touches — an incompatible
+    comparison, a ``VARCHAR`` WHERE clause, an aggregate in a WHERE — so the
+    engine rejects it at plan time, before any partition is scanned or any
+    :class:`QueryStats` counter moves.  Subclasses :class:`ExecutionError`
+    because the statement *would* have failed during execution; callers that
+    catch the broader class keep working.
+    """
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+        self.position = position
 
 
 class RecoveryError(RelalgError):

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.relalg.compile import _apply_binop
 from repro.relalg.errors import ExecutionError, SchemaError
+from repro.relalg.semantics import check_select
 from repro.relalg.rowset import QueryStats, ResultSet, _SortKey, _hashable, _is_true
 from repro.relalg.sqlast import (
     BinaryOperation,
@@ -77,6 +79,10 @@ class InterpretedSelectExecutor:
     def execute(self, statement: SelectStatement) -> ResultSet:
         """Run the statement and return the materialised result."""
         bindings = self._bindings(statement)
+        # Reject statically ill-typed statements exactly as the planner does
+        # (same analyzer, same SemanticError), so the reference engine and
+        # the compiled engines stay differentially identical.
+        check_select(statement, self.tables)
         conjuncts = self._conjuncts(statement)
         rows = list(self._enumerate_rows(bindings, conjuncts))
 
@@ -405,7 +411,7 @@ class InterpretedSelectExecutor:
                 return None if value is None else (not _is_true(value))
             return None if value is None else -value
         if isinstance(expr, BinaryOperation):
-            return self._eval_binary(expr, env)
+            return self._eval_binary(expr, env, source=expr)
         if isinstance(expr, IsNull):
             value = self._eval(expr.operand, env)
             return (value is not None) if expr.negated else (value is None)
@@ -426,7 +432,12 @@ class InterpretedSelectExecutor:
             raise ExecutionError("'*' is only valid in SELECT lists and COUNT(*)")
         raise ExecutionError(f"unsupported expression {expr!r}")
 
-    def _eval_binary(self, expr: BinaryOperation, env: RowEnv) -> Any:
+    def _eval_binary(
+        self,
+        expr: BinaryOperation,
+        env: RowEnv,
+        source: Optional[SqlExpr] = None,
+    ) -> Any:
         op = expr.op
         if op is BinaryOperator.AND:
             return _is_true(self._eval(expr.left, env)) and _is_true(
@@ -438,38 +449,9 @@ class InterpretedSelectExecutor:
             )
         left = self._eval(expr.left, env)
         right = self._eval(expr.right, env)
-        if left is None or right is None:
-            # Simplified NULL semantics: any comparison or arithmetic with
-            # NULL yields NULL (which is falsy in predicates).
-            return None
-        if op is BinaryOperator.ADD:
-            return left + right
-        if op is BinaryOperator.SUB:
-            return left - right
-        if op is BinaryOperator.MUL:
-            return left * right
-        if op is BinaryOperator.DIV:
-            if right == 0:
-                raise ExecutionError("division by zero")
-            return left / right
-        try:
-            if op is BinaryOperator.EQ:
-                return left == right
-            if op is BinaryOperator.NE:
-                return left != right
-            if op is BinaryOperator.LT:
-                return left < right
-            if op is BinaryOperator.LE:
-                return left <= right
-            if op is BinaryOperator.GT:
-                return left > right
-            if op is BinaryOperator.GE:
-                return left >= right
-        except TypeError as exc:
-            raise ExecutionError(
-                f"cannot compare {left!r} and {right!r}: {exc}"
-            ) from None
-        raise AssertionError(f"unhandled operator {op}")
+        # Shared operator semantics (NULL propagation, typed errors) live in
+        # compile._apply_binop so both engines raise byte-identical messages.
+        return _apply_binop(op, left, right, source)
 
     def _eval_scalar_function(self, expr: FunctionExpr, env: RowEnv) -> Any:
         name = expr.name.upper()

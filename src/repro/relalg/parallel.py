@@ -115,9 +115,24 @@ def _compile_driving_scan(spec: PlanSpec):
         if driving.filter_asts
         else None
     )
+    partial = spec.partial_aggregate
+    if partial is not None:
+        # Aggregate items arrive as plain slots or (for proven-INTEGER
+        # expressions like SUM(a + b)) as ASTs; compile the ASTs into row
+        # accessors once per shipped spec.
+        key_slots, items = partial
+        partial = (
+            key_slots,
+            tuple(
+                (kind, ref)
+                if ref is None or type(ref) is int
+                else (kind, compile_row_expr(ref, layout, {}))
+                for kind, ref in items
+            ),
+        )
     return (
         driving.table_uid, driving.offset, driving.end, spec.width,
-        filter_fns, batch_fn, spec.partial_aggregate,
+        filter_fns, batch_fn, partial,
     )
 
 
@@ -174,7 +189,7 @@ def _worker_scan(shards, entry, params, pids):
     return results
 
 
-def _fold_partial_aggregate(survivors, key_slots, items):
+def _fold_partial_aggregate(survivors, key_slots, items, ctx):
     """Fold one shard's surviving rows into partial per-group states.
 
     Group keys are ``_hashable``-wrapped column tuples in shard-local
@@ -183,6 +198,10 @@ def _fold_partial_aggregate(survivors, key_slots, items):
     mergeable partial forms the parent recombines in partition order:
     plain counts, ``(sum, count)`` pairs for SUM/AVG, the shard min/max
     (or ``None`` when every value is NULL) and the shard-local first value.
+
+    An item's value source is either an int slot (a plain column read) or a
+    compiled row accessor (a proven-INTEGER expression — cannot raise, see
+    :func:`~repro.relalg.semantics.proves_integer`), evaluated with ``ctx``.
     """
     groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     order: List[Tuple[Any, ...]] = []
@@ -204,19 +223,27 @@ def _fold_partial_aggregate(survivors, key_slots, items):
         for kind, slot in items:
             if kind == "count*":
                 states.append(len(rows))
-            elif kind == "count":
-                states.append(sum(1 for row in rows if row[slot] is not None))
-            elif kind in ("sum", "avg"):
+                continue
+            if kind == "first":  # the shard's first row decides
+                row = rows[0]
+                states.append(
+                    row[slot] if type(slot) is int else slot(row, ctx)
+                )
+                continue
+            if type(slot) is int:
                 values = [v for row in rows if (v := row[slot]) is not None]
+            else:
+                values = [v for row in rows if (v := slot(row, ctx)) is not None]
+            if kind == "count":
+                states.append(len(values))
+            elif kind in ("sum", "avg"):
                 states.append((sum(values), len(values)))
             elif kind == "min":
-                values = [v for row in rows if (v := row[slot]) is not None]
                 states.append(min(values) if values else None)
             elif kind == "max":
-                values = [v for row in rows if (v := row[slot]) is not None]
                 states.append(max(values) if values else None)
-            else:  # "first": the shard's first row decides
-                states.append(rows[0][slot])
+            else:
+                raise ExecutionError(f"unknown partial-aggregate kind {kind!r}")
         results.append((key, states))
     return results
 
@@ -235,7 +262,7 @@ def _worker_aggregate(shards, entry, params, pids):
     results: List[Tuple[int, List[Any], int, int]] = []
     for pid in pids:
         survivors, scanned = _scan_shard(shards, entry, ctx, pid)
-        folded = _fold_partial_aggregate(survivors, key_slots, items)
+        folded = _fold_partial_aggregate(survivors, key_slots, items, ctx)
         results.append((pid, folded, scanned, len(survivors)))
     return results
 
@@ -295,7 +322,7 @@ def _worker_main(conn) -> None:
                 reply = ("ok", "pong")
             else:
                 reply = ("err", f"unknown message kind {kind!r}")
-        except Exception as exc:  # surfaced as a typed error parent-side
+        except Exception as exc:  # lint: allow-broad-except
             reply = ("err", str(exc) or type(exc).__name__)
         try:
             conn.send(reply)

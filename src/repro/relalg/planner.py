@@ -87,6 +87,7 @@ from repro.relalg.sqlast import (
     UnaryOperation,
 )
 from repro.relalg.schema import ColumnType
+from repro.relalg.semantics import analyze_select, proves_integer
 from repro.relalg.storage import CHUNK_ROWS, Table, TableStatistics, gather_columns
 
 __all__ = [
@@ -271,6 +272,15 @@ class QueryPlan:
     #: Per-rung vectorization report for EXPLAIN: rung name → human-readable
     #: status ("vectorized…", "row-at-a-time (reason)", "n/a (reason)").
     vector_report: Dict[str, str] = field(default_factory=dict)
+    #: True when static analysis proved some conjunct false for every row
+    #: (``WHERE 1 = 2``, ``x = 1 AND x = 2``): execution skips enumeration
+    #: entirely — zero rows scanned, zero index lookups — and the normal
+    #: aggregation/projection pipeline runs over the empty row set.
+    contradiction: bool = False
+    #: Findings of the plan-time semantic analysis (folds, dropped
+    #: conjuncts, contradictions, lint warnings) for EXPLAIN's ``analysis:``
+    #: section.
+    analysis_report: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
 
@@ -312,8 +322,11 @@ class QueryPlan:
         batch_join = vectorized and self.vector_join_key is not None
         result_rows: Optional[List[Tuple[Any, ...]]] = None
         rows: List[Tuple[Any, ...]] = []
-        enumerated = False
-        if process_executor is not None and self.partitioned:
+        # A proven contradiction skips enumeration outright: `rows` stays
+        # empty and flows through the ordinary aggregation/projection
+        # pipeline (ungrouped aggregates still emit their single row).
+        enumerated = self.contradiction
+        if not enumerated and process_executor is not None and self.partitioned:
             if vectorized and self.partial_aggregate_spec is not None:
                 partials = process_executor.aggregate_chunks(self, params)
                 if partials is not None:
@@ -1136,19 +1149,25 @@ def _classify_partial_aggregate(
     - a single-level partitioned scan (joins would need cross-partition
       rows), no HAVING (needs group rows), no DISTINCT-in-aggregate (needs
       the cross-partition value sets);
-    - group keys and aggregate arguments that are plain column slots —
-      column reads cannot raise, so worker-side evaluation order can never
-      surface an error the row path would have raised elsewhere;
-    - SUM/AVG/MIN/MAX restricted to INTEGER columns: the schema validates
-      those to Python ints (bools rejected, integral floats coerced), whose
-      arithmetic is exact and associative.  Float folds reassociate under
-      merging (and NaN breaks MIN/MAX), so they fall back;
+    - group keys that are plain column slots — column reads cannot raise,
+      so worker-side evaluation order can never surface an error the row
+      path would have raised elsewhere;
+    - SUM/AVG/MIN/MAX restricted to *proven INTEGER* arguments: a bare
+      INTEGER column slot, or (via :func:`~repro.relalg.semantics.\
+proves_integer`) a closed ``+``/``-``/``*``/unary-minus expression over
+      INTEGER columns and int literals — the schema validates INTEGER
+      columns to Python ints (bools rejected, integral floats coerced),
+      and integer arithmetic is exact, associative and cannot raise.
+      Float folds reassociate under merging (and NaN breaks MIN/MAX), so
+      they fall back;
     - COUNT over any column (NULL-skipping is order-free) and group-constant
       select items that are plain columns ("first": the merge keeps the
       earliest partition's shard-local first value, which *is* the group's
       first row in partition-major order).
 
-    Returns ``(key_slots, ((kind, slot-or-None), ...))`` or ``None``.
+    Returns ``(key_slots, ((kind, slot-or-AST-or-None), ...))`` or ``None``;
+    AST-valued items are compiled into row accessors worker-side by
+    :func:`~repro.relalg.parallel._compile_driving_scan`.
     Ungrouped statements additionally require every item to be an aggregate:
     the empty-input synthesis in :meth:`QueryPlan._merge_partial_aggregate`
     only knows the aggregate folds' empty values.
@@ -1164,7 +1183,7 @@ def _classify_partial_aggregate(
             return None
         try:
             key_slots.append(layout.resolve(expr))
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             return None
     items: List[Tuple[Any, Any]] = []
     for item in statement.items:
@@ -1180,18 +1199,35 @@ def _classify_partial_aggregate(
                 continue
             if name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
                 return None
-            if not expr.args or type(expr.args[0]) is not ColumnRef:
+            if not expr.args:
                 return None
-            try:
-                slot = layout.resolve(expr.args[0])
-            except Exception:
-                return None
-            if name == "COUNT":
-                items.append(("count", slot))
+            arg = expr.args[0]
+            if type(arg) is ColumnRef:
+                try:
+                    slot = layout.resolve(arg)
+                except Exception:  # lint: allow-broad-except
+                    return None
+                if name == "COUNT":
+                    items.append(("count", slot))
+                    continue
+                if table.schema.columns[slot].type is not ColumnType.INTEGER:
+                    return None
+                items.append((name.lower(), slot))
                 continue
-            if table.schema.columns[slot].type is not ColumnType.INTEGER:
+            if name == "COUNT":
+                # COUNT over a computed expression could raise worker-side;
+                # stay conservative.
                 return None
-            items.append((name.lower(), slot))
+
+            def column_type_of(ref: ColumnRef) -> Optional[ColumnType]:
+                try:
+                    return table.schema.columns[layout.resolve(ref)].type
+                except Exception:  # lint: allow-broad-except
+                    return None
+
+            if not proves_integer(arg, column_type_of):
+                return None
+            items.append((name.lower(), arg))
             continue
         if not statement.group_by:
             return None
@@ -1199,7 +1235,7 @@ def _classify_partial_aggregate(
             return None
         try:
             items.append(("first", layout.resolve(expr)))
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             return None
     return tuple(key_slots), tuple(items)
 
@@ -1214,6 +1250,19 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
     bindings = _bindings(statement, tables)
     layout = SlotLayout(bindings)
     conjuncts = _conjuncts(statement)
+    # Static semantic analysis: typed rejection before any compilation, then
+    # the folded/pruned conjunct rewrite feeds planning.  Cached implicitly:
+    # the analysis lives and dies with the plan (same plan cache, same
+    # per-table schema-epoch invalidation).
+    analysis = analyze_select(statement, tables, conjuncts=conjuncts)
+    if analysis.errors:
+        raise analysis.errors[0]
+    contradiction = False
+    analysis_report: Tuple[str, ...] = ()
+    if analysis.applicable and analysis.conjuncts is not None:
+        conjuncts = analysis.conjuncts
+        contradiction = analysis.contradiction
+        analysis_report = analysis.report
     required = {
         id(conjunct): _required_bindings(conjunct, bindings)
         for conjunct in conjuncts
@@ -1340,7 +1389,7 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
                                      _row=row_projector):
                     try:
                         return _batch(rows, ctx)
-                    except Exception:
+                    except Exception:  # lint: allow-broad-except
                         # Batch items are pure (no subqueries batch-compile),
                         # so replaying the row projector reproduces the row
                         # engine's exact error and evaluation order.
@@ -1388,6 +1437,8 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         vector_join_key=vector_join_key,
         partial_aggregate_spec=partial_aggregate_spec,
         vector_report=report,
+        contradiction=contradiction,
+        analysis_report=analysis_report,
     )
 
 

@@ -1,0 +1,879 @@
+"""Static semantic analysis: type inference, diagnostics and query lint.
+
+The engine's front half mirrors the ASL property compiler: ``asl/semantic.py``
+type-checks property specifications before any evaluation, and this module
+gives the SQL layer the same contract.  :func:`analyze_select` runs once at
+plan time (the plan cache makes the result as durable as the plan itself —
+both are invalidated by the same per-table schema epochs) and produces:
+
+* **type inference** — an INTEGER/FLOAT/BOOLEAN/VARCHAR/TIMESTAMP/NULL
+  lattice (:class:`SqlType`) over column references, literals, arithmetic,
+  comparisons, logical operators, ``IN`` lists, ``COALESCE``, aggregates and
+  scalar subqueries, driven by the catalog's column types;
+* **typed diagnostics** — :class:`~repro.relalg.errors.SemanticError`
+  (a subclass of :class:`ExecutionError`) with statement-position context
+  for statements that would *deterministically* fail on every non-NULL row
+  they touch: type-incompatible ordered comparisons and arithmetic,
+  ``VARCHAR``/``TIMESTAMP``-typed WHERE/HAVING clauses, aggregate misuse
+  (aggregates in WHERE / GROUP BY, nested aggregates), and unknown or
+  ambiguous column references;
+* **lint and rewrite** — constant folding of literal-pure subexpressions
+  (only when evaluation succeeds: ``1/0`` is left for the engine to raise),
+  always-true conjunct elimination, always-false conjunct detection
+  (including ``x = 1 AND x = 2`` contradictions) that lets the planner skip
+  the scan entirely, and warnings for cross joins and non-sargable
+  predicates on indexed columns.  Findings surface through the ``analysis:``
+  section of ``Database.explain``.
+
+The analysis is **conservative**.  Any expression it cannot type (parameter
+placeholders, unknown functions, subqueries of unknown shape) is ``UNKNOWN``
+and passes through untouched, so every statement accepted by the analyzer
+keeps byte-identical rows and, for unfolded statements, byte-identical
+``QueryStats``.  Equality comparisons never raise in this engine regardless
+of operand types, so ``=``/``<>`` mismatches are only warned about, never
+rejected.  Rejection is "modulo NULL": a statement like ``WHERE s > 5`` over
+an all-NULL ``s`` column would have returned zero rows instead of raising,
+but is still rejected because it fails on every row where the comparison is
+actually evaluated.
+
+Constant folding is applied by the *planner* only (the interpreted reference
+engine evaluates the original AST); folding never changes result rows, but a
+folded conjunct such as ``x = 1 + 1`` may classify as an index probe where
+the unfolded form was a residual filter, improving the compiled engine's
+QueryStats relative to the interpreter for such statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.relalg.compile import _apply_binop
+from repro.relalg.errors import SemanticError
+from repro.relalg.rowset import _is_true
+from repro.relalg.schema import ColumnType
+from repro.relalg.sqlast import (
+    BinaryOperation,
+    BinaryOperator,
+    ColumnRef,
+    DeleteStatement,
+    FunctionExpr,
+    InList,
+    IsNull,
+    Literal,
+    Placeholder,
+    ScalarSubquery,
+    SelectStatement,
+    SqlExpr,
+    Star,
+    TableRef,
+    UnaryOperation,
+    format_expr,
+)
+from repro.relalg.storage import Table
+
+__all__ = [
+    "SqlType",
+    "Analysis",
+    "analyze_select",
+    "check_select",
+    "check_delete",
+    "proves_integer",
+]
+
+
+class SqlType(enum.Enum):
+    """Static type lattice of the analyzer.
+
+    ``NULL`` is the type of the literal ``NULL`` (propagates through every
+    operator without raising); ``UNKNOWN`` is the conservative top element
+    for values only known at bind time (parameters, unknown functions).
+    """
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    BOOLEAN = "BOOLEAN"
+    VARCHAR = "VARCHAR"
+    TIMESTAMP = "TIMESTAMP"
+    NULL = "NULL"
+    UNKNOWN = "UNKNOWN"
+
+
+#: Types whose runtime values are Python numbers (bool included: it is an
+#: int at runtime, so ``b + 1`` and ``'a' * b`` behave like integers).
+_NUMERIC = frozenset((SqlType.INTEGER, SqlType.FLOAT, SqlType.BOOLEAN))
+
+_FROM_COLUMN_TYPE = {
+    ColumnType.INTEGER: SqlType.INTEGER,
+    ColumnType.FLOAT: SqlType.FLOAT,
+    ColumnType.VARCHAR: SqlType.VARCHAR,
+    ColumnType.BOOLEAN: SqlType.BOOLEAN,
+    ColumnType.TIMESTAMP: SqlType.TIMESTAMP,
+}
+
+_COMPARABLE_OPS = (
+    BinaryOperator.LT,
+    BinaryOperator.LE,
+    BinaryOperator.GT,
+    BinaryOperator.GE,
+)
+
+
+def _type_class(sql_type: SqlType) -> Optional[str]:
+    """Runtime comparison class, or ``None`` when statically unknown."""
+    if sql_type in _NUMERIC:
+        return "numeric"
+    if sql_type is SqlType.VARCHAR:
+        return "string"
+    if sql_type is SqlType.TIMESTAMP:
+        return "timestamp"
+    return None
+
+
+@dataclass
+class Analysis:
+    """The result of analyzing one SELECT statement.
+
+    ``applicable`` is False when the statement's scope could not be built
+    (unknown table, duplicate binding) — those raise through the existing
+    :class:`SchemaError`/:class:`ExecutionError` paths before analysis
+    matters, and every other field is then empty/None.
+    """
+
+    applicable: bool = True
+    errors: List[SemanticError] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    #: Human-readable findings for EXPLAIN's ``analysis:`` section
+    #: (folds, dropped conjuncts, contradictions, warnings).
+    report: Tuple[str, ...] = ()
+    #: The planner's conjunct list after folding and always-true elimination,
+    #: or ``None`` when the analysis was not applicable.
+    conjuncts: Optional[List[SqlExpr]] = None
+    #: True when some conjunct is provably false for every row — the planner
+    #: skips the scan entirely (zero rows enumerated, zero stats).
+    contradiction: bool = False
+    #: Inferred type per select item (``None`` for ``*`` items).
+    item_types: List[Optional[SqlType]] = field(default_factory=list)
+
+
+def analyze_select(
+    statement: SelectStatement,
+    tables: Dict[str, Table],
+    conjuncts: Optional[Sequence[SqlExpr]] = None,
+) -> Analysis:
+    """Analyze one SELECT statement against the catalog.
+
+    ``conjuncts`` is the planner's pre-split WHERE/ON conjunct list; when
+    supplied, the returned :attr:`Analysis.conjuncts` is that list folded
+    and pruned in the same order, ready to feed ``_plan_levels``.  Without
+    it the analyzer splits the statement itself (standalone callers such as
+    the differential-fuzzer oracle).
+    """
+    analyzer = _Analyzer(statement, tables)
+    if not analyzer.applicable:
+        return Analysis(applicable=False)
+    analyzer.analyze(conjuncts)
+    return analyzer.result
+
+
+def check_select(statement: SelectStatement, tables: Dict[str, Table]) -> None:
+    """Raise the first :class:`SemanticError` of the statement, if any.
+
+    Hook point of the interpreted reference engine, which must reject
+    exactly the statements the planner rejects so differential tests stay
+    green.
+    """
+    analysis = analyze_select(statement, tables)
+    if analysis.errors:
+        raise analysis.errors[0]
+
+
+def check_delete(statement: DeleteStatement, tables: Dict[str, Table]) -> None:
+    """Type-check a DELETE's WHERE clause before any row is examined."""
+    if statement.where is None:
+        return
+    table = tables.get(statement.table.lower())
+    if table is None:
+        return  # the executor's own unknown-table path raises SchemaError
+    select = SelectStatement(
+        from_tables=[TableRef(name=statement.table)], where=statement.where
+    )
+    analysis = analyze_select(select, tables)
+    if analysis.errors:
+        raise analysis.errors[0]
+
+
+# --------------------------------------------------------------------------- #
+# planner helpers
+# --------------------------------------------------------------------------- #
+
+
+def proves_integer(
+    expr: SqlExpr, column_type_of: Callable[[ColumnRef], Optional[ColumnType]]
+) -> bool:
+    """True when ``expr`` is a closed INTEGER-typed arithmetic fragment.
+
+    Used by ``_classify_partial_aggregate`` to widen process-executor
+    mergeability beyond bare INTEGER column refs: integer ``+``/``-``/``*``
+    and unary minus are exact, associative and cannot raise, so per-shard
+    partial aggregate states over such expressions merge losslessly.
+    Division is excluded (it returns float), as are placeholders, functions
+    and subqueries (their values are not provable at plan time).
+    """
+    if isinstance(expr, Literal):
+        return type(expr.value) is int
+    if isinstance(expr, ColumnRef):
+        return column_type_of(expr) is ColumnType.INTEGER
+    if isinstance(expr, UnaryOperation):
+        return expr.op == "-" and proves_integer(expr.operand, column_type_of)
+    if isinstance(expr, BinaryOperation):
+        return expr.op in (
+            BinaryOperator.ADD, BinaryOperator.SUB, BinaryOperator.MUL
+        ) and proves_integer(
+            expr.left, column_type_of
+        ) and proves_integer(expr.right, column_type_of)
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# constant folding
+# --------------------------------------------------------------------------- #
+
+_NOT_CONST = object()
+
+
+def _const_value(expr: SqlExpr) -> Any:
+    """Evaluate a literal-pure expression under the engine's exact semantics.
+
+    Returns :data:`_NOT_CONST` when the expression references rows,
+    parameters or subqueries, or when evaluation raises (``1/0`` stays in
+    the tree so the engine reports it, exactly as before).
+    """
+    try:
+        return _const_eval(expr)
+    except Exception:  # lint: allow-broad-except
+        # Deliberate: folding is best-effort; any raising constant (1/0,
+        # 'a' < 1, ...) is left in the tree for the engine to report.
+        return _NOT_CONST
+
+
+def _const_eval(expr: SqlExpr) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryOperation):
+        value = _const_eval(expr.operand)
+        if value is _NOT_CONST:
+            return _NOT_CONST
+        if expr.op == "NOT":
+            return None if value is None else not _is_true(value)
+        return None if value is None else -value
+    if isinstance(expr, BinaryOperation):
+        left = _const_eval(expr.left)
+        if left is _NOT_CONST:
+            return _NOT_CONST
+        if expr.op is BinaryOperator.AND:
+            # mirrors the compiled closure: bool short-circuit over _is_true
+            if not _is_true(left):
+                return False
+            right = _const_eval(expr.right)
+            return _NOT_CONST if right is _NOT_CONST else _is_true(right)
+        if expr.op is BinaryOperator.OR:
+            if _is_true(left):
+                return True
+            right = _const_eval(expr.right)
+            return _NOT_CONST if right is _NOT_CONST else _is_true(right)
+        right = _const_eval(expr.right)
+        if right is _NOT_CONST:
+            return _NOT_CONST
+        if expr.op is BinaryOperator.EQ:
+            if left is None or right is None:
+                return None
+            return left == right
+        return _apply_binop(expr.op, left, right)
+    if isinstance(expr, IsNull):
+        value = _const_eval(expr.operand)
+        if value is _NOT_CONST:
+            return _NOT_CONST
+        return value is not None if expr.negated else value is None
+    if isinstance(expr, InList):
+        value = _const_eval(expr.operand)
+        if value is _NOT_CONST:
+            return _NOT_CONST
+        members = [_const_eval(item) for item in expr.items]
+        if any(member is _NOT_CONST for member in members):
+            return _NOT_CONST
+        found = value in members
+        return (not found) if expr.negated else found
+    return _NOT_CONST
+
+
+def _fold_expr(expr: SqlExpr) -> SqlExpr:
+    """Fold literal-pure subexpressions bottom-up; identity when nothing folds."""
+    value = _const_value(expr)
+    if value is not _NOT_CONST:
+        return expr if isinstance(expr, Literal) else Literal(value)
+    if isinstance(expr, BinaryOperation):
+        left = _fold_expr(expr.left)
+        right = _fold_expr(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryOperation(
+            op=expr.op, left=left, right=right, position=expr.position
+        )
+    if isinstance(expr, UnaryOperation):
+        operand = _fold_expr(expr.operand)
+        if operand is expr.operand:
+            return expr
+        return UnaryOperation(
+            op=expr.op, operand=operand, position=expr.position
+        )
+    if isinstance(expr, IsNull):
+        operand = _fold_expr(expr.operand)
+        if operand is expr.operand:
+            return expr
+        return IsNull(operand=operand, negated=expr.negated)
+    if isinstance(expr, InList):
+        operand = _fold_expr(expr.operand)
+        items = tuple(_fold_expr(item) for item in expr.items)
+        if operand is expr.operand and all(
+            folded is item for folded, item in zip(items, expr.items)
+        ):
+            return expr
+        return InList(operand=operand, items=items, negated=expr.negated)
+    return expr
+
+
+# --------------------------------------------------------------------------- #
+# the analyzer
+# --------------------------------------------------------------------------- #
+
+
+class _Analyzer:
+    def __init__(
+        self, statement: SelectStatement, tables: Dict[str, Table]
+    ) -> None:
+        self.statement = statement
+        self.tables = tables
+        self.result = Analysis()
+        self.applicable = True
+        self.bindings: List[Tuple[str, Table]] = []
+        refs = list(statement.from_tables) + [
+            join.table for join in statement.joins
+        ]
+        seen = set()
+        for ref in refs:
+            table = tables.get(ref.name.lower())
+            binding = ref.binding.lower()
+            if table is None or binding in seen:
+                # unknown table / duplicate binding: the engines' own
+                # SchemaError / ExecutionError paths fire before analysis.
+                self.applicable = False
+                return
+            seen.add(binding)
+            self.bindings.append((binding, table))
+        if not refs:
+            self.applicable = False
+
+    # -- entry point ------------------------------------------------------------
+
+    def analyze(self, conjuncts: Optional[Sequence[SqlExpr]]) -> None:
+        statement = self.statement
+        for item in statement.items:
+            if isinstance(item.expr, Star):
+                self.result.item_types.append(None)
+                continue
+            self.result.item_types.append(
+                self._infer(item.expr, allow_aggregate=True, in_aggregate=False)
+            )
+        for join in statement.joins:
+            if join.on is not None:
+                self._check_condition(join.on, "JOIN ON clause")
+        if statement.where is not None:
+            self._check_condition(statement.where, "WHERE clause")
+        for expr in statement.group_by:
+            self._infer(expr, allow_aggregate=False, in_aggregate=False)
+        if statement.having is not None:
+            self._check_condition(
+                statement.having, "HAVING clause", allow_aggregate=True
+            )
+        # ORDER BY resolves against output column names (aliases, positions)
+        # before table scope, so its diagnostics are unreliable here: infer
+        # for coverage, then discard anything it flagged.
+        n_errors, n_warnings = len(self.result.errors), len(self.result.warnings)
+        for order in statement.order_by:
+            self._infer(order.expr, allow_aggregate=True, in_aggregate=False)
+        del self.result.errors[n_errors:]
+        del self.result.warnings[n_warnings:]
+
+        self._process_conjuncts(conjuncts)
+        report = list(self.result.report)
+        report.extend(f"warning: {text}" for text in self.result.warnings)
+        self.result.report = tuple(report)
+
+    def _check_condition(
+        self, expr: SqlExpr, label: str, allow_aggregate: bool = False
+    ) -> None:
+        inferred = self._infer(
+            expr, allow_aggregate=allow_aggregate, in_aggregate=False
+        )
+        if inferred in (SqlType.VARCHAR, SqlType.TIMESTAMP):
+            self._error(
+                f"{label} must be a condition, got {inferred.value}",
+                getattr(expr, "position", None),
+            )
+
+    # -- conjunct rewriting -----------------------------------------------------
+
+    def _process_conjuncts(
+        self, conjuncts: Optional[Sequence[SqlExpr]]
+    ) -> None:
+        if conjuncts is None:
+            conjuncts = self._split_conjuncts()
+        report: List[str] = []
+        processed: List[SqlExpr] = []
+        contradiction = False
+        eq_literals: Dict[Tuple[str, str], Tuple[Any, SqlExpr]] = {}
+        for conjunct in conjuncts:
+            folded = _fold_expr(conjunct)
+            if isinstance(folded, Literal):
+                value = folded.value
+                if _is_true(value):
+                    report.append(
+                        f"always-true: {format_expr(conjunct)} "
+                        "(conjunct dropped)"
+                    )
+                    continue
+                contradiction = True
+                report.append(
+                    f"always-false: {format_expr(conjunct)} (scan skipped)"
+                )
+                processed.append(folded)
+                continue
+            if folded is not conjunct:
+                report.append(
+                    f"folded: {format_expr(conjunct)} "
+                    f"-> {format_expr(folded)}"
+                )
+            if self._null_operand_conjunct(folded):
+                contradiction = True
+                report.append(
+                    f"always-false: {format_expr(conjunct)} "
+                    "(NULL operand; scan skipped)"
+                )
+            key_value = self._eq_literal_form(folded)
+            if key_value is not None:
+                key, value = key_value
+                previous = eq_literals.get(key)
+                if previous is not None and not (previous[0] == value):
+                    contradiction = True
+                    report.append(
+                        f"contradiction: {format_expr(previous[1])} AND "
+                        f"{format_expr(folded)} (scan skipped)"
+                    )
+                else:
+                    eq_literals[key] = (value, folded)
+            processed.append(folded)
+        self._warn_cross_join(processed)
+        self._warn_non_sargable(processed)
+        self.result.conjuncts = processed
+        self.result.contradiction = contradiction
+        self.result.report = tuple(report)
+
+    def _split_conjuncts(self) -> List[SqlExpr]:
+        conjuncts: List[SqlExpr] = []
+        for join in self.statement.joins:
+            if join.on is not None:
+                conjuncts.extend(_split_and(join.on))
+        if self.statement.where is not None:
+            conjuncts.extend(_split_and(self.statement.where))
+        return conjuncts
+
+    def _null_operand_conjunct(self, conjunct: SqlExpr) -> bool:
+        """A comparison/arithmetic conjunct with a literal NULL side is NULL
+        (falsy) for every row."""
+        if not isinstance(conjunct, BinaryOperation):
+            return False
+        if conjunct.op in (BinaryOperator.AND, BinaryOperator.OR):
+            return False
+        return (
+            isinstance(conjunct.left, Literal) and conjunct.left.value is None
+        ) or (
+            isinstance(conjunct.right, Literal)
+            and conjunct.right.value is None
+        )
+
+    def _eq_literal_form(
+        self, conjunct: SqlExpr
+    ) -> Optional[Tuple[Tuple[str, str], Any]]:
+        """``(binding, column) -> literal`` for conjuncts of shape
+        ``col = literal`` / ``literal = col``."""
+        if not (
+            isinstance(conjunct, BinaryOperation)
+            and conjunct.op is BinaryOperator.EQ
+        ):
+            return None
+        ref, literal = conjunct.left, conjunct.right
+        if isinstance(ref, Literal) and isinstance(literal, ColumnRef):
+            ref, literal = literal, ref
+        if not (isinstance(ref, ColumnRef) and isinstance(literal, Literal)):
+            return None
+        if literal.value is None:
+            return None
+        resolved = self._resolve_binding(ref)
+        if resolved is None:
+            return None
+        return (resolved, ref.name.lower()), literal.value
+
+    # -- warnings ---------------------------------------------------------------
+
+    def _warn_cross_join(self, conjuncts: Sequence[SqlExpr]) -> None:
+        if len(self.bindings) < 2:
+            return
+        parent = {binding: binding for binding, _table in self.bindings}
+
+        def find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for conjunct in conjuncts:
+            touched = sorted(self._expr_bindings(conjunct))
+            for other in touched[1:]:
+                parent[find(other)] = find(touched[0])
+        roots = {find(binding) for binding, _table in self.bindings}
+        if len(roots) > 1:
+            self.result.warnings.append(
+                "cross join: no predicate connects "
+                + ", ".join(sorted(binding for binding, _ in self.bindings))
+            )
+
+    def _warn_non_sargable(self, conjuncts: Sequence[SqlExpr]) -> None:
+        for conjunct in conjuncts:
+            if not (
+                isinstance(conjunct, BinaryOperation)
+                and conjunct.op.is_comparison
+            ):
+                continue
+            for side, other in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if isinstance(side, (ColumnRef, Literal, Placeholder)):
+                    continue
+                if not isinstance(other, (Literal, Placeholder)):
+                    continue
+                for ref in self._column_refs(side):
+                    table = self._table_of(ref)
+                    if table is not None and ref.name.lower() in table.indexes:
+                        self.result.warnings.append(
+                            "non-sargable predicate on indexed column "
+                            f"{ref}: {format_expr(conjunct)}"
+                        )
+                        break
+
+    def _column_refs(self, expr: SqlExpr) -> List[ColumnRef]:
+        refs: List[ColumnRef] = []
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ColumnRef):
+                refs.append(node)
+            elif isinstance(node, BinaryOperation):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, UnaryOperation):
+                stack.append(node.operand)
+            elif isinstance(node, FunctionExpr):
+                stack.extend(node.args)
+            elif isinstance(node, IsNull):
+                stack.append(node.operand)
+            elif isinstance(node, InList):
+                stack.append(node.operand)
+                stack.extend(node.items)
+        return refs
+
+    def _expr_bindings(self, expr: SqlExpr) -> set:
+        touched = set()
+        for ref in self._column_refs(expr):
+            binding = self._resolve_binding(ref)
+            if binding is not None:
+                touched.add(binding)
+        return touched
+
+    def _resolve_binding(self, ref: ColumnRef) -> Optional[str]:
+        """The binding a reference resolves to, or None when unresolvable."""
+        name = ref.name.lower()
+        if ref.table is not None:
+            binding = ref.table.lower()
+            for bound, table in self.bindings:
+                if bound == binding and self._column_type(table, name) is not None:
+                    return bound
+            return None
+        matches = [
+            bound
+            for bound, table in self.bindings
+            if self._column_type(table, name) is not None
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def _table_of(self, ref: ColumnRef) -> Optional[Table]:
+        binding = self._resolve_binding(ref)
+        if binding is None:
+            return None
+        for bound, table in self.bindings:
+            if bound == binding:
+                return table
+        return None
+
+    @staticmethod
+    def _column_type(table: Table, lowered_name: str) -> Optional[ColumnType]:
+        for column in table.schema.columns:
+            if column.name.lower() == lowered_name:
+                return column.type
+        return None
+
+    # -- type inference ---------------------------------------------------------
+
+    def _error(self, message: str, position: Optional[int]) -> None:
+        self.result.errors.append(SemanticError(message, position))
+
+    def _infer(
+        self, expr: SqlExpr, allow_aggregate: bool, in_aggregate: bool
+    ) -> SqlType:
+        if isinstance(expr, Literal):
+            return self._literal_type(expr.value)
+        if isinstance(expr, Placeholder):
+            return SqlType.UNKNOWN
+        if isinstance(expr, ColumnRef):
+            return self._infer_column(expr)
+        if isinstance(expr, Star):
+            return SqlType.UNKNOWN
+        if isinstance(expr, UnaryOperation):
+            return self._infer_unary(expr, allow_aggregate, in_aggregate)
+        if isinstance(expr, BinaryOperation):
+            return self._infer_binary(expr, allow_aggregate, in_aggregate)
+        if isinstance(expr, IsNull):
+            self._infer(expr.operand, allow_aggregate, in_aggregate)
+            return SqlType.BOOLEAN
+        if isinstance(expr, InList):
+            self._infer(expr.operand, allow_aggregate, in_aggregate)
+            for item in expr.items:
+                self._infer(item, allow_aggregate, in_aggregate)
+            return SqlType.BOOLEAN
+        if isinstance(expr, FunctionExpr):
+            return self._infer_function(expr, allow_aggregate, in_aggregate)
+        if isinstance(expr, ScalarSubquery):
+            return self._infer_subquery(expr)
+        return SqlType.UNKNOWN
+
+    @staticmethod
+    def _literal_type(value: Any) -> SqlType:
+        if value is None:
+            return SqlType.NULL
+        if isinstance(value, bool):
+            return SqlType.BOOLEAN
+        if isinstance(value, int):
+            return SqlType.INTEGER
+        if isinstance(value, float):
+            return SqlType.FLOAT
+        if isinstance(value, str):
+            return SqlType.VARCHAR
+        return SqlType.UNKNOWN
+
+    def _infer_column(self, ref: ColumnRef) -> SqlType:
+        name = ref.name.lower()
+        if ref.table is not None:
+            binding = ref.table.lower()
+            for bound, table in self.bindings:
+                if bound == binding:
+                    column_type = self._column_type(table, name)
+                    if column_type is None:
+                        break
+                    return _FROM_COLUMN_TYPE[column_type]
+            self._error(f"unknown column {ref}", ref.position)
+            return SqlType.UNKNOWN
+        matches = [
+            self._column_type(table, name)
+            for _bound, table in self.bindings
+            if self._column_type(table, name) is not None
+        ]
+        if not matches:
+            self._error(f"unknown column {ref}", ref.position)
+            return SqlType.UNKNOWN
+        if len(matches) > 1:
+            self._error(
+                f"ambiguous column reference {ref.name!r}", ref.position
+            )
+            return SqlType.UNKNOWN
+        return _FROM_COLUMN_TYPE[matches[0]]
+
+    def _infer_unary(
+        self, expr: UnaryOperation, allow_aggregate: bool, in_aggregate: bool
+    ) -> SqlType:
+        operand = self._infer(expr.operand, allow_aggregate, in_aggregate)
+        if expr.op == "NOT":
+            return SqlType.BOOLEAN
+        if operand in (SqlType.VARCHAR, SqlType.TIMESTAMP):
+            self._error(
+                f"invalid operand for unary -: {operand.value} "
+                f"in {format_expr(expr)}",
+                expr.position,
+            )
+            return SqlType.UNKNOWN
+        if operand is SqlType.BOOLEAN:
+            return SqlType.INTEGER
+        return operand
+
+    def _infer_binary(
+        self, expr: BinaryOperation, allow_aggregate: bool, in_aggregate: bool
+    ) -> SqlType:
+        left = self._infer(expr.left, allow_aggregate, in_aggregate)
+        right = self._infer(expr.right, allow_aggregate, in_aggregate)
+        op = expr.op
+        if op in (BinaryOperator.AND, BinaryOperator.OR):
+            return SqlType.BOOLEAN
+        left_class = _type_class(left)
+        right_class = _type_class(right)
+        if op.is_comparison:
+            if left_class is not None and right_class is not None:
+                if left_class != right_class:
+                    if op in _COMPARABLE_OPS:
+                        self._error(
+                            f"cannot compare {left.value} and {right.value}: "
+                            f"{format_expr(expr)}",
+                            expr.position,
+                        )
+                    else:
+                        # = / <> across classes never raises — it is just
+                        # constant-valued (equality of a str and an int is
+                        # always False).  Lint, don't reject.
+                        self.result.warnings.append(
+                            f"mixed-type comparison {format_expr(expr)} "
+                            f"({left.value} vs {right.value})"
+                        )
+            return SqlType.BOOLEAN
+        # arithmetic
+        if SqlType.NULL in (left, right):
+            return SqlType.NULL
+        if left_class is None or right_class is None:
+            return SqlType.UNKNOWN
+        if left_class == "numeric" and right_class == "numeric":
+            if op is BinaryOperator.DIV:
+                return SqlType.FLOAT
+            if SqlType.FLOAT in (left, right):
+                return SqlType.FLOAT
+            return SqlType.INTEGER
+        if op is BinaryOperator.ADD and left_class == right_class == "string":
+            return SqlType.VARCHAR  # concatenation
+        if op is BinaryOperator.MUL and (
+            (left_class == "string" and right in (SqlType.INTEGER, SqlType.BOOLEAN))
+            or (right_class == "string" and left in (SqlType.INTEGER, SqlType.BOOLEAN))
+        ):
+            return SqlType.VARCHAR  # string repetition
+        if op is BinaryOperator.SUB and left_class == right_class == "timestamp":
+            return SqlType.UNKNOWN  # timedelta: outside the lattice
+        self._error(
+            f"invalid operands for {op.value}: {left.value} and "
+            f"{right.value} in {format_expr(expr)}",
+            expr.position,
+        )
+        return SqlType.UNKNOWN
+
+    def _infer_function(
+        self, expr: FunctionExpr, allow_aggregate: bool, in_aggregate: bool
+    ) -> SqlType:
+        name = expr.name.upper()
+        if expr.is_aggregate:
+            if not allow_aggregate or in_aggregate:
+                self._error(
+                    f"aggregate function {expr.name} is not allowed here",
+                    expr.position,
+                )
+            arg_types = [
+                self._infer(arg, allow_aggregate=True, in_aggregate=True)
+                for arg in expr.args
+                if not isinstance(arg, Star)
+            ]
+            if name == "COUNT":
+                return SqlType.INTEGER
+            if len(expr.args) != 1 or not arg_types:
+                return SqlType.UNKNOWN  # arity errors are the engine's
+            arg = arg_types[0]
+            if name in ("SUM", "AVG"):
+                if arg in (SqlType.VARCHAR, SqlType.TIMESTAMP):
+                    self._error(
+                        f"{name} requires numeric values, got {arg.value} "
+                        f"in {format_expr(expr)}",
+                        expr.position,
+                    )
+                    return SqlType.UNKNOWN
+                if name == "AVG":
+                    return SqlType.FLOAT if arg in _NUMERIC else SqlType.UNKNOWN
+                if arg in (SqlType.INTEGER, SqlType.BOOLEAN):
+                    return SqlType.INTEGER
+                return SqlType.FLOAT if arg is SqlType.FLOAT else SqlType.UNKNOWN
+            return arg  # MIN / MAX: any homogeneous column type works
+        arg_types = [
+            self._infer(arg, allow_aggregate, in_aggregate)
+            for arg in expr.args
+        ]
+        if name == "COALESCE":
+            return self._join_types(arg_types)
+        if len(arg_types) != 1:
+            return SqlType.UNKNOWN  # unknown function / arity: engine's call
+        arg = arg_types[0]
+        if name == "ABS":
+            if arg in (SqlType.VARCHAR, SqlType.TIMESTAMP):
+                self._error(
+                    f"ABS requires a numeric value, got {arg.value} "
+                    f"in {format_expr(expr)}",
+                    expr.position,
+                )
+                return SqlType.UNKNOWN
+            return SqlType.INTEGER if arg is SqlType.BOOLEAN else arg
+        if name == "LENGTH":
+            if arg in _NUMERIC or arg is SqlType.TIMESTAMP:
+                self._error(
+                    f"LENGTH requires a string value, got {arg.value} "
+                    f"in {format_expr(expr)}",
+                    expr.position,
+                )
+                return SqlType.UNKNOWN
+            return SqlType.NULL if arg is SqlType.NULL else SqlType.INTEGER
+        if name in ("LOWER", "UPPER"):
+            # implemented over str(value): never raises, any operand type
+            return SqlType.NULL if arg is SqlType.NULL else SqlType.VARCHAR
+        return SqlType.UNKNOWN
+
+    @staticmethod
+    def _join_types(arg_types: List[SqlType]) -> SqlType:
+        """Least upper bound for COALESCE: NULLs drop out, numeric widens."""
+        known = [t for t in arg_types if t is not SqlType.NULL]
+        if not known:
+            return SqlType.NULL
+        if any(t is SqlType.UNKNOWN for t in known):
+            return SqlType.UNKNOWN
+        classes = {_type_class(t) for t in known}
+        if len(classes) > 1:
+            return SqlType.UNKNOWN
+        if classes == {"numeric"}:
+            if SqlType.FLOAT in known:
+                return SqlType.FLOAT
+            if SqlType.INTEGER in known:
+                return SqlType.INTEGER
+            return SqlType.BOOLEAN
+        return known[0]
+
+    def _infer_subquery(self, expr: ScalarSubquery) -> SqlType:
+        sub = analyze_select(expr.select, self.tables)
+        self.result.errors.extend(sub.errors)
+        if len(sub.item_types) == 1 and sub.item_types[0] is not None:
+            return sub.item_types[0]
+        return SqlType.UNKNOWN
+
+
+def _split_and(expr: SqlExpr) -> List[SqlExpr]:
+    if isinstance(expr, BinaryOperation) and expr.op is BinaryOperator.AND:
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]

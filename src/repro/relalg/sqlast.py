@@ -42,6 +42,7 @@ __all__ = [
     "RollbackStatement",
     "Statement",
     "AGGREGATE_FUNCTIONS",
+    "format_expr",
 ]
 
 #: Function names treated as aggregates when they appear in a select list,
@@ -71,6 +72,9 @@ class ColumnRef(SqlExpr):
 
     name: str
     table: Optional[str] = None
+    #: Character offset of the reference in the statement text, used for
+    #: diagnostics only; excluded from equality so AST comparisons ignore it.
+    position: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.table}.{self.name}" if self.table else self.name
@@ -121,6 +125,7 @@ class BinaryOperation(SqlExpr):
     op: BinaryOperator
     left: SqlExpr
     right: SqlExpr
+    position: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,7 @@ class UnaryOperation(SqlExpr):
 
     op: str  # "NOT" | "-"
     operand: SqlExpr
+    position: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -138,6 +144,7 @@ class FunctionExpr(SqlExpr):
     name: str
     args: Tuple[SqlExpr, ...] = ()
     distinct: bool = False
+    position: Optional[int] = field(default=None, compare=False)
 
     @property
     def is_aggregate(self) -> bool:
@@ -164,6 +171,60 @@ class ScalarSubquery(SqlExpr):
     """A parenthesised SELECT used as a scalar value."""
 
     select: "SelectStatement"
+
+
+def format_expr(expr: SqlExpr) -> str:
+    """Render an expression back to SQL-ish text for diagnostics.
+
+    Used by error attribution and the EXPLAIN ``analysis:`` section; the
+    output is for humans (it is not guaranteed to re-parse, e.g. scalar
+    subqueries render abbreviated).
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if value is True:
+            return "TRUE"
+        if value is False:
+            return "FALSE"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)
+    if isinstance(expr, ColumnRef):
+        return str(expr)
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, Placeholder):
+        return "?"
+    if isinstance(expr, BinaryOperation):
+        left = format_expr(expr.left)
+        right = format_expr(expr.right)
+        if isinstance(expr.left, BinaryOperation):
+            left = f"({left})"
+        if isinstance(expr.right, BinaryOperation):
+            right = f"({right})"
+        return f"{left} {expr.op.value} {right}"
+    if isinstance(expr, UnaryOperation):
+        operand = format_expr(expr.operand)
+        if isinstance(expr.operand, BinaryOperation):
+            operand = f"({operand})"
+        return f"NOT {operand}" if expr.op == "NOT" else f"-{operand}"
+    if isinstance(expr, FunctionExpr):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({prefix}{args})"
+    if isinstance(expr, IsNull):
+        middle = " IS NOT NULL" if expr.negated else " IS NULL"
+        return format_expr(expr.operand) + middle
+    if isinstance(expr, InList):
+        items = ", ".join(format_expr(item) for item in expr.items)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"{format_expr(expr.operand)} {keyword} ({items})"
+    if isinstance(expr, ScalarSubquery):
+        return "(SELECT ...)"
+    return repr(expr)
 
 
 # --------------------------------------------------------------------------- #

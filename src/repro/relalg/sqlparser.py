@@ -487,21 +487,34 @@ class SqlParser:
 
     def _parse_or(self) -> SqlExpr:
         left = self._parse_and()
-        while self._accept_keyword("OR"):
+        while True:
+            token = self._accept_keyword("OR")
+            if token is None:
+                return left
             right = self._parse_and()
-            left = BinaryOperation(op=BinaryOperator.OR, left=left, right=right)
-        return left
+            left = BinaryOperation(
+                op=BinaryOperator.OR, left=left, right=right,
+                position=token.position,
+            )
 
     def _parse_and(self) -> SqlExpr:
         left = self._parse_not()
-        while self._accept_keyword("AND"):
+        while True:
+            token = self._accept_keyword("AND")
+            if token is None:
+                return left
             right = self._parse_not()
-            left = BinaryOperation(op=BinaryOperator.AND, left=left, right=right)
-        return left
+            left = BinaryOperation(
+                op=BinaryOperator.AND, left=left, right=right,
+                position=token.position,
+            )
 
     def _parse_not(self) -> SqlExpr:
-        if self._accept_keyword("NOT"):
-            return UnaryOperation(op="NOT", operand=self._parse_not())
+        token = self._accept_keyword("NOT")
+        if token is not None:
+            return UnaryOperation(
+                op="NOT", operand=self._parse_not(), position=token.position
+            )
         return self._parse_predicate()
 
     def _parse_predicate(self) -> SqlExpr:
@@ -518,7 +531,10 @@ class SqlParser:
                 ">=": BinaryOperator.GE,
             }
             right = self._parse_additive()
-            return BinaryOperation(op=mapping[token.text], left=left, right=right)
+            return BinaryOperation(
+                op=mapping[token.text], left=left, right=right,
+                position=token.position,
+            )
         if self._at_keyword("IS"):
             self._advance()
             negated = self._accept_keyword("NOT") is not None
@@ -546,14 +562,16 @@ class SqlParser:
         left = self._parse_multiplicative()
         while True:
             if self._at_op("+"):
-                self._advance()
+                position = self._advance().position
                 left = BinaryOperation(
-                    op=BinaryOperator.ADD, left=left, right=self._parse_multiplicative()
+                    op=BinaryOperator.ADD, left=left,
+                    right=self._parse_multiplicative(), position=position,
                 )
             elif self._at_op("-"):
-                self._advance()
+                position = self._advance().position
                 left = BinaryOperation(
-                    op=BinaryOperator.SUB, left=left, right=self._parse_multiplicative()
+                    op=BinaryOperator.SUB, left=left,
+                    right=self._parse_multiplicative(), position=position,
                 )
             else:
                 return left
@@ -562,22 +580,26 @@ class SqlParser:
         left = self._parse_unary()
         while True:
             if self._at_op("*"):
-                self._advance()
+                position = self._advance().position
                 left = BinaryOperation(
-                    op=BinaryOperator.MUL, left=left, right=self._parse_unary()
+                    op=BinaryOperator.MUL, left=left, right=self._parse_unary(),
+                    position=position,
                 )
             elif self._at_op("/"):
-                self._advance()
+                position = self._advance().position
                 left = BinaryOperation(
-                    op=BinaryOperator.DIV, left=left, right=self._parse_unary()
+                    op=BinaryOperator.DIV, left=left, right=self._parse_unary(),
+                    position=position,
                 )
             else:
                 return left
 
     def _parse_unary(self) -> SqlExpr:
         if self._at_op("-"):
-            self._advance()
-            return UnaryOperation(op="-", operand=self._parse_unary())
+            position = self._advance().position
+            return UnaryOperation(
+                op="-", operand=self._parse_unary(), position=position
+            )
         return self._parse_primary()
 
     def _parse_primary(self) -> SqlExpr:
@@ -616,7 +638,8 @@ class SqlParser:
         )
 
     def _parse_identifier(self) -> SqlExpr:
-        name = self._advance().text
+        token = self._advance()
+        name = token.text
         # Function call.
         if self._at_op("("):
             self._advance()
@@ -630,7 +653,10 @@ class SqlParser:
                 while self._accept_op(","):
                     args.append(self.parse_expression())
             self._expect_op(")")
-            return FunctionExpr(name=name.upper(), args=tuple(args), distinct=distinct)
+            return FunctionExpr(
+                name=name.upper(), args=tuple(args), distinct=distinct,
+                position=token.position,
+            )
         # Qualified column reference.
         if self._at_op("."):
             self._advance()
@@ -638,8 +664,8 @@ class SqlParser:
                 self._advance()
                 return Star(table=name)
             column = self._expect_ident("as a column name")
-            return ColumnRef(name=column, table=name)
-        return ColumnRef(name=name)
+            return ColumnRef(name=column, table=name, position=token.position)
+        return ColumnRef(name=name, position=token.position)
 
 
 def parse_sql(sql: str) -> Statement:

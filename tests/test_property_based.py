@@ -16,7 +16,13 @@ from hypothesis import given, settings, strategies as st
 from repro.apprentice import ApprenticeExport, ApprenticeParser, simulate, synthetic_workload
 from repro.asl import parse_expression, unparse_expr
 from repro.datamodel import PerformanceDatabase, TimingType
-from repro.relalg import Database, parse_sql, plan_select
+from repro.relalg import (
+    Database,
+    SemanticError,
+    analyze_select,
+    parse_sql,
+    plan_select,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -365,6 +371,51 @@ def _rows_equivalent(got_rows, expected_rows) -> bool:
     return True
 
 
+# --------------------------------------------------------------------------- #
+# Analyzer-agreement oracle
+# --------------------------------------------------------------------------- #
+#
+# Two directions, both seed-deterministic so a divergence lands in the corpus
+# like any other counterexample (record the seed + note in
+# tests/corpus/fuzzer_seeds.json):
+#
+# * every statement the generators produce must be analyzer-clean — those
+#   statements execute successfully on every engine, so a plan-time rejection
+#   would be a false positive violating the conservative contract;
+# * one mistyped statement per seed (drawn from the pool below, which covers
+#   every rejection class) must raise a SemanticError whose message —
+#   including the character position — is byte-identical on every engine.
+
+_MISTYPED_POOL = [
+    "SELECT id FROM m WHERE s > 5",
+    "SELECT id FROM m WHERE x < s",
+    "SELECT g + s FROM m",
+    "SELECT -s FROM m",
+    "SELECT SUM(s) FROM m",
+    "SELECT AVG(s) FROM m",
+    "SELECT ABS(s) FROM m",
+    "SELECT LENGTH(g) FROM m",
+    "SELECT id FROM m WHERE s",
+    "SELECT g FROM m GROUP BY g HAVING s",
+    "SELECT id FROM m WHERE SUM(g) > 1",
+    "SELECT m.id FROM m, r WHERE m.id = r.m_id AND m.s > r.v",
+]
+
+
+def _assert_analyzer_accepts(sql, tables, seed):
+    analysis = analyze_select(parse_sql(sql), tables)
+    assert not analysis.errors, (seed, sql, [str(e) for e in analysis.errors])
+
+
+def _assert_identical_rejection(databases, seed, sql):
+    messages = set()
+    for database in databases:
+        with pytest.raises(SemanticError) as excinfo:
+            database.execute(sql)
+        messages.add(str(excinfo.value))
+    assert len(messages) == 1, (seed, sql, messages)
+
+
 def _run_engine_differential_case(seed):
     """One engine-differential case: compiled (at every partition count)
     against the interpreted reference, shared by the corpus replay and the
@@ -374,6 +425,7 @@ def _run_engine_differential_case(seed):
     single = compiled[1]
     for _ in range(4):
         sql, params = _random_select(rng)
+        _assert_analyzer_accepts(sql, single.tables, seed)
         plan = plan_select(parse_sql(sql), single.tables)
         uses_hash_join = any(
             level["access"] == "hash-probe" for level in plan.describe()
@@ -408,9 +460,16 @@ def _run_engine_differential_case(seed):
             assert got.stats == expected.stats, sql
     # No DDL ran after the warm-up, so every cached plan stayed valid:
     # one miss per distinct SQL text, never a re-miss from invalidation.
+    # (This must precede the rejection oracle: a rejected statement counts a
+    # plan-cache miss without ever caching a plan.)
     for database in list(compiled.values()) + [rowwise]:
         info = database.plan_cache_info()
         assert info["misses"] == info["size"]
+    _assert_identical_rejection(
+        list(compiled.values()) + [rowwise, interpreted],
+        seed,
+        _MISTYPED_POOL[seed % len(_MISTYPED_POOL)],
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -508,6 +567,9 @@ def _run_executor_differential_case(seed, process_pool):
         for op, sql, payload in ops:
             for parts, group in groups.items():
                 if op == "select":
+                    _assert_analyzer_accepts(
+                        sql, group["sequential"].tables, seed
+                    )
                     reference = group["sequential"].query(sql, payload)
                     plan = plan_select(
                         parse_sql(sql), group["sequential"].tables
@@ -546,6 +608,24 @@ def _run_executor_differential_case(seed, process_pool):
                     assert affected["rowwise"] == affected["sequential"], label
                     assert affected["thread"] == affected["sequential"], label
                     assert affected["process"] == affected["sequential"], label
+        # The mistyped rejection must be byte-identical across the whole
+        # executor matrix too — both as a SELECT and as a DELETE predicate
+        # (no rows may be deleted before the rejection fires).
+        for parts, group in groups.items():
+            _assert_identical_rejection(
+                list(group.values()),
+                seed,
+                _MISTYPED_POOL[seed % len(_MISTYPED_POOL)],
+            )
+            messages = set()
+            for database in group.values():
+                before = database.query("SELECT COUNT(*) FROM m", []).rows
+                with pytest.raises(SemanticError) as excinfo:
+                    database.execute("DELETE FROM m WHERE s > 5")
+                messages.add(str(excinfo.value))
+                after = database.query("SELECT COUNT(*) FROM m", []).rows
+                assert after == before, (seed, parts)
+            assert len(messages) == 1, (seed, parts, messages)
     finally:
         for group in groups.values():
             for database in group.values():

@@ -1,0 +1,428 @@
+"""Plan-time semantic analysis: typed rejections identical across every
+engine, the conservative-acceptance contract, constant folding and
+contradiction pruning with exact stats, the EXPLAIN ``analysis:`` section,
+partial-aggregate widening over proven-INTEGER expressions, error
+attribution, and the engine-invariant lint pass."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.relalg import (
+    Database,
+    ExecutionError,
+    QueryPlan,
+    SemanticError,
+    analyze_select,
+    parse_sql,
+    plan_select,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_ROWS = [
+    (i, i % 5, float(i) * 1.5, ["alpha", "beta", None][i % 3])
+    for i in range(60)
+]
+
+
+def _populate(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT, s VARCHAR)"
+    )
+    db.execute("CREATE TABLE r (id INTEGER PRIMARY KEY, m_id INTEGER, v FLOAT)")
+    db.executemany("INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", _ROWS)
+    db.executemany(
+        "INSERT INTO r (id, m_id, v) VALUES (?, ?, ?)",
+        [(i, (i * 7) % 60, float(i % 11)) for i in range(30)],
+    )
+    return db
+
+
+def _engines(process_pool):
+    """One database per engine mode; every mode must behave identically."""
+    return {
+        "interpreted": _populate(Database(engine="interpreted")),
+        "vectorized": _populate(Database(n_partitions=3)),
+        "row-at-a-time": _populate(Database(n_partitions=3, vectorized=False)),
+        "thread": _populate(Database(n_partitions=3, parallel=3)),
+        "process": _populate(Database(n_partitions=3, executor=process_pool)),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# typed rejection, identical across engines
+# --------------------------------------------------------------------------- #
+
+REJECTED = [
+    ("SELECT id FROM m WHERE s > 5", "cannot compare VARCHAR and INTEGER"),
+    ("SELECT id FROM m WHERE x < s", "cannot compare FLOAT and VARCHAR"),
+    ("SELECT id FROM m WHERE s", "WHERE clause must be a condition"),
+    ("SELECT id FROM m GROUP BY g HAVING s", "HAVING clause must be a condition"),
+    ("SELECT id + s FROM m", "invalid operands for +"),
+    ("SELECT -s FROM m", "invalid operand for unary -"),
+    ("SELECT SUM(s) FROM m", "SUM requires numeric values"),
+    ("SELECT AVG(s) FROM m", "AVG requires numeric values"),
+    ("SELECT ABS(s) FROM m", "ABS requires a numeric value"),
+    ("SELECT LENGTH(id) FROM m", "LENGTH requires a string value"),
+    ("SELECT id FROM m WHERE SUM(id) > 3", "aggregate function SUM is not allowed"),
+    ("SELECT nope FROM m", "unknown column nope"),
+    ("SELECT id FROM m, r", "ambiguous column reference 'id'"),
+]
+
+
+class TestTypedRejection:
+    @pytest.mark.parametrize("sql,needle", REJECTED, ids=[s for s, _ in REJECTED])
+    def test_identical_semantic_error_across_engines(
+        self, sql, needle, process_pool
+    ):
+        messages = set()
+        for name, db in _engines(process_pool).items():
+            with pytest.raises(SemanticError, match=needle) as excinfo:
+                db.execute(sql)
+            assert isinstance(excinfo.value, ExecutionError), name
+            messages.add(str(excinfo.value))
+        # byte-identical message (including the character position) everywhere
+        assert len(messages) == 1, messages
+
+    def test_error_carries_statement_position(self):
+        db = _populate(Database())
+        with pytest.raises(SemanticError) as excinfo:
+            db.execute("SELECT id FROM m WHERE s > 5")
+        assert excinfo.value.position == 25  # the comparison operator
+        assert "(at character 25)" in str(excinfo.value)
+
+    def test_rejection_happens_before_any_execution(self):
+        db = _populate(Database())
+        before = db.execute("SELECT COUNT(*) FROM m").rows
+        with pytest.raises(SemanticError):
+            db.execute("DELETE FROM m WHERE s > 5")
+        assert db.execute("SELECT COUNT(*) FROM m").rows == before
+
+    def test_delete_rejection_identical_across_engines(self, process_pool):
+        messages = set()
+        for db in _engines(process_pool).values():
+            with pytest.raises(SemanticError) as excinfo:
+                db.execute("DELETE FROM m WHERE s > 5")
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1, messages
+
+    def test_rejected_statements_are_not_plan_cached(self):
+        db = _populate(Database())
+        for _ in range(2):
+            with pytest.raises(SemanticError):
+                db.execute("SELECT id FROM m WHERE s > 5")
+        assert db.plan_cache_info()["size"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# the conservative contract: anything that can succeed at runtime passes
+# --------------------------------------------------------------------------- #
+
+ACCEPTED = [
+    # truthiness-as-condition is engine behavior; only VARCHAR/TIMESTAMP
+    # conditions deterministically mean a bug
+    ("SELECT id FROM m WHERE g", []),
+    ("SELECT id FROM m WHERE 1", []),
+    # EQ/NE across type classes never raises in the engine — rows just
+    # compare unequal, so the analyzer must not reject (warn only)
+    ("SELECT id FROM m WHERE s = 5", []),
+    # VARCHAR + VARCHAR is concatenation, VARCHAR * INTEGER is repetition
+    ("SELECT s + s FROM m WHERE s IS NOT NULL", []),
+    ("SELECT s * 3 FROM m WHERE s IS NOT NULL", []),
+    # placeholders are untypable at plan time: must pass through
+    ("SELECT x + ? FROM m", [2.0]),
+    # LOWER/UPPER coerce via str() and never raise
+    ("SELECT LOWER(id) FROM m", []),
+    # NULL literals are valid in any position
+    ("SELECT id FROM m WHERE s IS NULL", []),
+    ("SELECT COALESCE(s, 'none') FROM m", []),
+]
+
+
+class TestConservativeAcceptance:
+    @pytest.mark.parametrize("sql,params", ACCEPTED, ids=[s for s, _ in ACCEPTED])
+    def test_statement_accepted_and_engines_agree(self, sql, params, process_pool):
+        engines = _engines(process_pool)
+        reference = engines.pop("interpreted")
+        # no ORDER BY in these statements: compare as multisets
+        expected = sorted(map(repr, reference.execute(sql, params).rows))
+        for name, db in engines.items():
+            got = sorted(map(repr, db.execute(sql, params).rows))
+            assert got == expected, name
+
+    def test_mistyped_equality_returns_empty_not_error(self):
+        db = _populate(Database())
+        assert db.execute("SELECT id FROM m WHERE s = 5").rows == []
+
+    def test_analyzer_marks_accepted_statements_clean(self):
+        db = _populate(Database())
+        for sql, _ in ACCEPTED:
+            analysis = analyze_select(parse_sql(sql), db.tables)
+            assert not analysis.errors, sql
+
+
+# --------------------------------------------------------------------------- #
+# constant folding
+# --------------------------------------------------------------------------- #
+
+class TestConstantFolding:
+    def test_folded_predicate_matches_handwritten(self):
+        folded = _populate(Database(n_partitions=3))
+        handwritten = _populate(Database(n_partitions=3))
+        a = folded.execute("SELECT id, x FROM m WHERE id = 1 + 1")
+        b = handwritten.execute("SELECT id, x FROM m WHERE id = 2")
+        assert a.rows == b.rows
+        assert a.stats == b.stats
+
+    def test_folding_upgrades_to_index_probe(self):
+        db = _populate(Database(n_partitions=3))
+        text = db.explain("SELECT id FROM m WHERE id = 1 + 1")
+        assert "index-probe on id" in text
+        assert "folded: id = (1 + 1) -> id = 2" in text
+
+    def test_interpreted_rows_agree_on_folded_statement(self):
+        compiled = _populate(Database())
+        interp = _populate(Database(engine="interpreted"))
+        sql = "SELECT id FROM m WHERE g = 6 - 4 ORDER BY id"
+        assert compiled.execute(sql).rows == interp.execute(sql).rows
+
+    def test_raising_constants_stay_in_the_tree(self):
+        # 1/0 must NOT fold away: the engine reports it at execution time.
+        db = _populate(Database())
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("SELECT id FROM m WHERE x > 1 / 0")
+
+
+# --------------------------------------------------------------------------- #
+# contradiction pruning with exact stats
+# --------------------------------------------------------------------------- #
+
+class TestContradictionPruning:
+    def test_always_false_conjuncts_skip_the_scan(self, process_pool):
+        for name, db in _engines(process_pool).items():
+            if name == "interpreted":
+                continue  # the AST walker has no plan to prune
+            result = db.execute("SELECT id FROM m WHERE g = 1 AND g = 2")
+            assert result.rows == [], name
+            assert result.stats.rows_scanned == 0, name
+
+    def test_ungrouped_aggregate_over_contradiction(self):
+        db = _populate(Database())
+        result = db.execute("SELECT COUNT(*), SUM(x) FROM m WHERE g = 1 AND g = 2")
+        assert result.rows == [(0, None)]
+        assert result.stats.rows_scanned == 0
+
+    def test_null_operand_comparison_skips_the_scan(self):
+        db = _populate(Database())
+        result = db.execute("SELECT id FROM m WHERE g = NULL")
+        assert result.rows == []
+        assert result.stats.rows_scanned == 0
+
+    def test_always_true_conjunct_dropped_without_changing_rows(self):
+        with_tautology = _populate(Database(n_partitions=3))
+        without = _populate(Database(n_partitions=3))
+        a = with_tautology.execute("SELECT id FROM m WHERE g = 2 AND 1 = 1")
+        b = without.execute("SELECT id FROM m WHERE g = 2")
+        assert a.rows == b.rows
+        assert a.stats.rows_scanned == b.stats.rows_scanned
+        assert "always-true: 1 = 1 (conjunct dropped)" in with_tautology.explain(
+            "SELECT id FROM m WHERE g = 2 AND 1 = 1"
+        )
+
+    def test_interpreted_rows_agree_on_contradictions(self):
+        interp = _populate(Database(engine="interpreted"))
+        assert interp.execute("SELECT id FROM m WHERE g = 1 AND g = 2").rows == []
+        assert interp.execute("SELECT id FROM m WHERE g = NULL").rows == []
+
+
+# --------------------------------------------------------------------------- #
+# EXPLAIN analysis section
+# --------------------------------------------------------------------------- #
+
+class TestExplainAnalysis:
+    def test_no_findings(self):
+        db = _populate(Database())
+        text = db.explain("SELECT id FROM m WHERE g = 2")
+        assert "analysis:" in text
+        assert "no findings" in text
+
+    def test_contradiction_reported(self):
+        db = _populate(Database())
+        text = db.explain("SELECT id FROM m WHERE g = 1 AND g = 2")
+        assert "contradiction: g = 1 AND g = 2 (scan skipped)" in text
+
+    def test_null_operand_reported(self):
+        db = _populate(Database())
+        text = db.explain("SELECT id FROM m WHERE g = NULL")
+        assert "always-false: g = NULL (NULL operand; scan skipped)" in text
+
+    def test_cross_join_warning(self):
+        db = _populate(Database())
+        text = db.explain("SELECT m.id, r.v FROM m, r LIMIT 3")
+        assert "warning: cross join: no predicate connects m, r" in text
+
+    def test_no_cross_join_warning_when_connected(self):
+        db = _populate(Database())
+        text = db.explain("SELECT m.id, r.v FROM m, r WHERE m.id = r.m_id")
+        assert "cross join" not in text
+
+    def test_non_sargable_warning(self):
+        db = _populate(Database())
+        text = db.explain("SELECT id FROM m WHERE id + 1 = 10")
+        assert "warning: non-sargable predicate on indexed column id" in text
+
+    def test_mixed_type_equality_warning(self):
+        db = _populate(Database())
+        text = db.explain("SELECT id FROM m WHERE s = 5")
+        assert "mixed-type comparison s = 5" in text
+
+
+# --------------------------------------------------------------------------- #
+# partial-aggregate widening over proven-INTEGER expressions
+# --------------------------------------------------------------------------- #
+
+class TestPartialAggregateWidening:
+    def test_integer_expression_ships_partial_states(self):
+        db = _populate(Database(n_partitions=3))
+        plan = plan_select(
+            parse_sql("SELECT g, SUM(g + id) FROM m GROUP BY g"), db.tables
+        )
+        assert plan.partial_aggregate_spec is not None
+        kinds = [kind for kind, _ in plan.partial_aggregate_spec[1]]
+        assert "sum" in kinds
+
+    def test_float_sum_stays_unmergeable(self):
+        # Pinned: float addition is not associative across shards.
+        db = _populate(Database(n_partitions=3))
+        plan = plan_select(
+            parse_sql("SELECT g, SUM(x) FROM m GROUP BY g"), db.tables
+        )
+        assert plan.partial_aggregate_spec is None
+        assert "partial-aggregation" not in db.explain(
+            "SELECT g, SUM(x) FROM m GROUP BY g"
+        )
+
+    def test_untyped_expressions_stay_unmergeable(self):
+        db = _populate(Database(n_partitions=3))
+        for sql in (
+            "SELECT g, SUM(id / 2) FROM m GROUP BY g",  # DIV may yield float
+            "SELECT g, SUM(id + ?) FROM m GROUP BY g",  # placeholder untyped
+        ):
+            plan = plan_select(parse_sql(sql), db.tables)
+            assert plan.partial_aggregate_spec is None, sql
+
+    def test_explain_reports_mergeable(self):
+        db = _populate(Database(n_partitions=3))
+        text = db.explain("SELECT g, SUM(g + id) FROM m GROUP BY g")
+        assert "partial-aggregation: mergeable" in text
+
+    def test_process_executor_takes_the_merge_path(
+        self, process_pool, monkeypatch
+    ):
+        sql = "SELECT g, SUM(g + id), AVG(id + id), COUNT(*) FROM m GROUP BY g ORDER BY g"
+        expected = _populate(Database(n_partitions=3)).execute(sql).rows
+
+        merged = []
+        original = QueryPlan._merge_partial_aggregate
+
+        def spy(self, partials, ctx):
+            merged.append(len(partials))
+            return original(self, partials, ctx)
+
+        monkeypatch.setattr(QueryPlan, "_merge_partial_aggregate", spy)
+        db = _populate(Database(n_partitions=3, executor=process_pool))
+        assert db.execute(sql).rows == expected
+        assert merged, "partial-aggregate merge path was not taken"
+
+
+# --------------------------------------------------------------------------- #
+# error attribution
+# --------------------------------------------------------------------------- #
+
+class TestErrorAttribution:
+    def test_division_by_zero_names_the_expression(self, process_pool):
+        messages = set()
+        for db in _engines(process_pool).values():
+            with pytest.raises(ExecutionError, match="division by zero") as excinfo:
+                db.execute("SELECT x / (g - g) FROM m")
+            messages.add(str(excinfo.value))
+        assert messages == {"division by zero in x / (g - g)"}
+
+    def test_invalid_operands_name_the_expression(self, process_pool):
+        messages = set()
+        for db in _engines(process_pool).values():
+            with pytest.raises(ExecutionError, match="invalid operands") as excinfo:
+                db.execute("SELECT x + ? FROM m", ["oops"])
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1
+        assert "in x + ?" in next(iter(messages))
+
+
+# --------------------------------------------------------------------------- #
+# the engine-invariant lint pass
+# --------------------------------------------------------------------------- #
+
+class TestLintEngine:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.lint_engine", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_engine_sources_are_clean(self):
+        proc = self._run()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_bare_assert_is_flagged(self, tmp_path):
+        bad = tmp_path / "engine_module.py"
+        bad.write_text("def f(x):\n    assert x > 0\n    return x\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "E100" in proc.stdout
+
+    def test_swallowing_broad_except_is_flagged(self, tmp_path):
+        bad = tmp_path / "engine_module.py"
+        bad.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "E200" in proc.stdout
+
+    def test_pragma_and_reraise_are_allowed(self, tmp_path):
+        good = tmp_path / "engine_module.py"
+        good.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:  # lint: allow-broad-except\n"
+            "        return None\n"
+            "def g():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError('wrapped') from exc\n"
+        )
+        proc = self._run(str(good))
+        assert proc.returncode == 0, proc.stdout
+
+    def test_wall_clock_in_relalg_is_flagged(self, tmp_path):
+        relalg_dir = tmp_path / "relalg"
+        relalg_dir.mkdir()
+        bad = relalg_dir / "engine_module.py"
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "E300" in proc.stdout

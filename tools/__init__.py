@@ -1,0 +1,5 @@
+"""Repository tooling that is not part of the :mod:`repro` package.
+
+Currently holds :mod:`tools.lint_engine`, the engine-invariant lint pass CI
+runs over ``src/repro``.
+"""

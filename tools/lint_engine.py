@@ -1,0 +1,208 @@
+"""Engine-invariant lint pass over the ``repro`` sources.
+
+The engine's reliability story rests on a few repository-wide invariants that
+ordinary tests cannot enforce (they are properties of the *source*, not of any
+particular execution).  This tool walks the Python AST of every file under the
+checked trees and reports violations:
+
+``E100`` — bare ``assert`` outside tests.  Asserts vanish under ``python -O``
+    and raise untyped ``AssertionError`` instead of the engine's typed error
+    hierarchy; engine code must raise :class:`ExecutionError` (or a subclass)
+    explicitly.
+
+``E200`` — broad exception swallowing.  An ``except`` clause catching
+    ``Exception``/``BaseException`` (or a bare ``except:``) whose handler body
+    never re-raises can silently swallow :class:`ExecutionError` subclasses,
+    turning typed engine failures into wrong answers.  Handlers that re-raise
+    (any ``raise`` statement in the handler body) are fine.  Deliberate
+    swallow sites annotate the ``except`` line with
+    ``# lint: allow-broad-except`` and a rationale in surrounding comments.
+
+``E300`` — wall-clock or randomness in ``relalg/``.  The relational engine
+    must be deterministic and virtual-time only: ``time.time()``,
+    ``time.monotonic()``, ``time.perf_counter()`` and any use of the
+    ``random`` module inside ``src/repro/relalg`` break replay/differential
+    testing and the simulated-cost model.
+
+Run as ``python -m tools.lint_engine [paths...]`` (default: ``src/repro``).
+Exit status 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+ALLOW_BROAD_EXCEPT_PRAGMA = "lint: allow-broad-except"
+
+_E300_TIME_CALLS = {"time", "monotonic", "perf_counter", "process_time"}
+
+
+class Violation(NamedTuple):
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _is_test_path(path: Path) -> bool:
+    parts = {part.lower() for part in path.parts}
+    if "tests" in parts or "test" in parts:
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def _is_relalg_path(path: Path) -> bool:
+    return "relalg" in path.parts
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception`` and ``except BaseException``
+    (including tuple forms that contain either)."""
+    broad = {"Exception", "BaseException"}
+
+    def is_broad_name(node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in broad
+
+    if handler.type is None:
+        return True
+    if is_broad_name(handler.type):
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(is_broad_name(element) for element in handler.type.elts)
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True when any statement inside the handler body is a ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _line_has_pragma(source_lines: List[str], lineno: int) -> bool:
+    if 1 <= lineno <= len(source_lines):
+        return ALLOW_BROAD_EXCEPT_PRAGMA in source_lines[lineno - 1]
+    return False
+
+
+def _imported_random_aliases(tree: ast.Module) -> set:
+    """Names bound to the ``random`` module or its members at import time."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _lint_file(path: Path) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "E000", f"syntax error: {exc.msg}")]
+    source_lines = source.splitlines()
+    violations: List[Violation] = []
+
+    in_tests = _is_test_path(path)
+    in_relalg = _is_relalg_path(path)
+    random_aliases = _imported_random_aliases(tree) if in_relalg else set()
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert) and not in_tests:
+            violations.append(
+                Violation(
+                    path, node.lineno, "E100",
+                    "bare assert in engine code (vanishes under -O; raise a "
+                    "typed engine error instead)",
+                )
+            )
+        elif isinstance(node, ast.ExceptHandler) and _catches_broadly(node):
+            if _handler_reraises(node):
+                continue
+            if _line_has_pragma(source_lines, node.lineno):
+                continue
+            violations.append(
+                Violation(
+                    path, node.lineno, "E200",
+                    "broad except swallows exceptions (may hide "
+                    "ExecutionError subclasses); re-raise or annotate with "
+                    f"'# {ALLOW_BROAD_EXCEPT_PRAGMA}'",
+                )
+            )
+        elif in_relalg and isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _E300_TIME_CALLS
+            ):
+                violations.append(
+                    Violation(
+                        path, node.lineno, "E300",
+                        f"wall-clock call time.{func.attr}() in relalg/ "
+                        "(engine must stay deterministic/virtual-time)",
+                    )
+                )
+        if in_relalg and isinstance(node, ast.Name) and node.id in random_aliases:
+            violations.append(
+                Violation(
+                    path, node.lineno, "E300",
+                    "use of the random module in relalg/ (engine must stay "
+                    "deterministic)",
+                )
+            )
+    return violations
+
+
+def _python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in _python_files(paths):
+        violations.extend(_lint_file(path))
+    return violations
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(arg) for arg in args] or [Path("src/repro")]
+    missing = [target for target in targets if not target.exists()]
+    if missing:
+        for target in missing:
+            print(f"lint_engine: path not found: {target}", file=sys.stderr)
+        return 2
+    violations = lint_paths(targets)
+    for violation in violations:
+        print(violation.render())
+    checked = len(_python_files(targets))
+    if violations:
+        print(f"lint_engine: {len(violations)} violation(s) in {checked} file(s)")
+        return 1
+    print(f"lint_engine: clean ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
