@@ -77,7 +77,7 @@ byte-identical to the WAL-less engine.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dataclass_replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.relalg.compile import (
@@ -98,6 +98,7 @@ from repro.relalg.parallel import ProcessScanExecutor
 from repro.relalg.rowset import merge_partition_counts
 from repro.relalg.planner import (
     QueryPlan,
+    _Level,
     expr_table_deps,
     plan_select,
 )
@@ -625,7 +626,8 @@ class Database:
                     if open_txn is not None:
                         break
                     self.table(record["table"]).create_index(
-                        record["name"], record["column"]
+                        record["name"], record["column"],
+                        ordered=record.get("ordered", False),
                     )
                     self._bump_table_epoch(record["table"].lower())
                     last_good = end_offset
@@ -709,7 +711,9 @@ class Database:
             return self._execute_create_table(statement)
         if isinstance(statement, CreateIndexStatement):
             self._require_autocommit("CREATE INDEX")
-            self.table(statement.table).create_index(statement.name, statement.column)
+            self.table(statement.table).create_index(
+                statement.name, statement.column, ordered=statement.ordered
+            )
             self._bump_table_epoch(statement.table.lower())
             self._wal_log(
                 {
@@ -717,6 +721,7 @@ class Database:
                     "name": statement.name,
                     "table": statement.table,
                     "column": statement.column,
+                    "ordered": statement.ordered,
                 },
                 "ddl",
                 sync=True,
@@ -793,7 +798,9 @@ class Database:
     # EXPLAIN
     # ------------------------------------------------------------------ #
 
-    def explain(self, sql: str) -> str:
+    def explain(
+        self, sql: str, analyze: bool = False, params: Sequence[Any] = ()
+    ) -> str:
         """A human-readable execution plan of one SELECT statement.
 
         Reports the join order, the access path chosen per binding (with the
@@ -810,6 +817,16 @@ class Database:
         exactly like :meth:`execute`; subquery plans come from the cached
         plan's own plan-time snapshot, so the output describes the plans
         that actually execute, not a re-derivation under newer statistics.
+
+        ``analyze:`` — with ``analyze=True`` the statement is **executed
+        once** (sequentially, row-at-a-time, with ``params`` bound) through
+        an instrumented copy of the cached plan, and a trailing section
+        reports the estimated vs. actual cumulative cardinality per join
+        level plus the run's physical counters — the honest-estimates
+        check: a level whose ``actual_rows`` diverges wildly from
+        ``est_cardinality`` marks a mis-costed predicate.  The run performs
+        the statement's real reads (counters land in the execution summary
+        like any other execution) but discards the result rows.
 
         Raises a typed :class:`ExecutionError` (never a bare ``TypeError``)
         for non-string input and non-SELECT statements, and on the
@@ -832,7 +849,62 @@ class Database:
         plan = self._plan_for(statement, sql)
         lines = self._explain_lines(plan, indent="")
         self._explain_subplans(plan, "", lines)
+        if analyze:
+            lines.extend(self._explain_analyze(plan, params))
         return "\n".join(lines)
+
+    def _explain_analyze(
+        self, plan: QueryPlan, params: Sequence[Any]
+    ) -> List[str]:
+        """Run ``plan`` once with per-level row counters; render the section.
+
+        Each level gets an always-true counting filter appended *after* its
+        real filters, so it counts exactly the rows that survive the level —
+        the actual counterpart of ``est_cardinality``.  The instrumented
+        copy executes sequentially and row-at-a-time (the vectorized scan
+        bypasses row filters), which cannot change the result: every engine
+        mode returns byte-identical rows.
+        """
+        actuals = [0] * len(plan.levels)
+        instrumented: List[_Level] = []
+        for position, level in enumerate(plan.levels):
+            def count(row, ctx, _position=position):  # noqa: B023
+                actuals[_position] += 1
+                return True
+
+            instrumented.append(
+                _Level(
+                    binding=level.binding,
+                    table=level.table,
+                    offset=level.offset,
+                    end=level.end,
+                    access=level.access,
+                    filters=level.filters + [count],
+                    estimate=level.estimate,
+                    filter_exprs=list(level.filter_exprs),
+                    key_ast=level.key_ast,
+                )
+            )
+        probe = _dataclass_replace(plan, levels=instrumented)
+        stats = QueryStats()
+        result = probe.execute(params, stats=stats)
+        self.summary.record_select(stats)
+        lines = ["analyze:"]
+        cumulative = 1.0
+        for position, level in enumerate(plan.levels):
+            cumulative *= max(level.estimate, 0.0)
+            lines.append(
+                f"  {position + 1}. {level.binding} ({level.table.name}): "
+                f"est_cardinality={round(cumulative, 3)}, "
+                f"actual_rows={actuals[position]}"
+            )
+        lines.append(
+            f"  returned {len(result.rows)} row(s); "
+            f"scanned {stats.rows_scanned}; "
+            f"index lookups {stats.index_lookups}; "
+            f"range probes {stats.range_probes}"
+        )
+        return lines
 
     def _explain_subplans(
         self, plan: QueryPlan, indent: str, lines: List[str]

@@ -104,8 +104,10 @@ class InterpretedSelectExecutor:
                     unique.append(row)
             result_rows = unique
 
-        if statement.limit is not None:
-            result_rows = result_rows[: statement.limit]
+        if statement.limit is not None or statement.offset:
+            start = statement.offset or 0
+            stop = None if statement.limit is None else start + statement.limit
+            result_rows = result_rows[start:stop]
 
         self.stats.rows_returned += len(result_rows)
         return ResultSet(columns=columns, rows=result_rows, stats=self.stats)
@@ -347,10 +349,20 @@ class InterpretedSelectExecutor:
                 elif isinstance(expr, Literal) and isinstance(expr.value, int):
                     value = result_rows[position][expr.value - 1]
                 elif statement.is_aggregate_query:
-                    raise ExecutionError(
-                        "ORDER BY of an aggregate query must reference output "
-                        "columns"
-                    )
+                    # `ORDER BY COUNT(*)` names no output column, but the
+                    # expression may be one of the output expressions
+                    # (position-insensitive structural equality).
+                    matched = None
+                    for index, out_item in enumerate(statement.items):
+                        if out_item.expr == expr:
+                            matched = index
+                            break
+                    if matched is None:
+                        raise ExecutionError(
+                            "ORDER BY of an aggregate query must reference "
+                            "output columns"
+                        )
+                    value = result_rows[position][matched]
                 else:
                     value = self._eval(expr, rows[position])
                 keys.append(_SortKey(value, item.ascending))

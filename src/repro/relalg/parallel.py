@@ -525,6 +525,10 @@ class ProcessScanExecutor:
             plan._process_spec = spec
             plan._process_spec_id = next(_SPEC_IDS)
         if not spec.process_eligible:
+            # Covers (among others) range-probe driving levels and plans
+            # with index-order pushdown: both must run sequentially in every
+            # mode so their physical counters stay byte-identical across
+            # sequential / thread / process execution.
             return None
         if mode == "agg" and spec.partial_aggregate is None:
             return None

@@ -52,7 +52,8 @@ engine lacks it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import nsmallest
+from heapq import merge as _heap_merge, nsmallest
+from itertools import chain
 from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -87,8 +88,14 @@ from repro.relalg.sqlast import (
     UnaryOperation,
 )
 from repro.relalg.schema import ColumnType
-from repro.relalg.semantics import analyze_select, proves_integer
-from repro.relalg.storage import CHUNK_ROWS, Table, TableStatistics, gather_columns
+from repro.relalg.semantics import RangeInterval, analyze_select, proves_integer
+from repro.relalg.storage import (
+    CHUNK_ROWS,
+    OrderedHashIndex,
+    Table,
+    TableStatistics,
+    gather_columns,
+)
 
 __all__ = [
     "AccessPath",
@@ -98,6 +105,7 @@ __all__ = [
     "PartitionScan",
     "PlanSpec",
     "QueryPlan",
+    "RangeProbe",
     "expr_has_subquery",
     "expr_table_deps",
     "lower_plan",
@@ -155,6 +163,38 @@ class HashJoinBuild(AccessPath):
     def __init__(self, col_index: int, key: RowFn) -> None:
         self.col_index = col_index
         self.key = key
+
+
+class RangeProbe(AccessPath):
+    """Bisect an ordered index's sorted runs with a sargable range predicate.
+
+    ``lo``/``hi`` are the compiled bound expressions (``None`` = unbounded on
+    that side), ``lo_incl``/``hi_incl`` their inclusivity.  ``fallbacks``
+    are the compiled source conjuncts, re-applied as plain filters when the
+    ordered index disappears behind the plan cache's back or a bound's
+    runtime type class cannot be compared against the stored column — the
+    filtered scan then reproduces the reference engine's per-row semantics
+    (including its typed comparison errors).
+    """
+
+    __slots__ = ("column", "lo", "lo_incl", "hi", "hi_incl", "fallbacks")
+    kind = "range-probe"
+
+    def __init__(
+        self,
+        column: str,
+        lo: Optional[RowFn],
+        lo_incl: bool,
+        hi: Optional[RowFn],
+        hi_incl: bool,
+        fallbacks: List[RowFn],
+    ) -> None:
+        self.column = column
+        self.lo = lo
+        self.lo_incl = lo_incl
+        self.hi = hi
+        self.hi_incl = hi_incl
+        self.fallbacks = fallbacks
 
 
 _SCAN = PartitionScan()
@@ -221,6 +261,8 @@ class QueryPlan:
     order_spec: List[Tuple[str, Any, bool]]
     distinct: bool
     limit: Optional[int]
+    #: Rows to skip before the LIMIT window (``LIMIT n OFFSET m``).
+    offset: Optional[int]
     #: Lowered names of every table this plan reads (bindings + subqueries);
     #: the per-table plan-cache invalidation in ``Database`` keys off these.
     table_deps: Set[str]
@@ -281,6 +323,14 @@ class QueryPlan:
     #: conjuncts, contradictions, lint warnings) for EXPLAIN's ``analysis:``
     #: section.
     analysis_report: Tuple[str, ...] = ()
+    #: ORDER BY + LIMIT pushed onto index order: ``(column, ascending)``
+    #: when the single sort key is an ordered-indexed column of a
+    #: single-level scan plan — execution k-way merges the per-partition
+    #: sorted runs and stops after ``limit + offset`` surviving rows,
+    #: instead of scanning everything and sorting.  Mode-independent (the
+    #: thread/process fan-out is disabled for these plans) so every engine
+    #: mode reports identical counters.
+    index_order: Optional[Tuple[str, bool]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -326,6 +376,16 @@ class QueryPlan:
         # empty and flows through the ordinary aggregation/projection
         # pipeline (ungrouped aggregates still emit their single row).
         enumerated = self.contradiction
+        # Index-order pushdown runs before any fan-out decision so every
+        # engine mode takes the same enumeration (and reports the same
+        # counters); it returns None to fall back (index dropped, NaNs).
+        index_ordered = False
+        if not enumerated and self.index_order is not None:
+            pushed = self._enumerate_index_order(ctx)
+            if pushed is not None:
+                rows = pushed
+                enumerated = True
+                index_ordered = True
         if not enumerated and process_executor is not None and self.partitioned:
             if vectorized and self.partial_aggregate_spec is not None:
                 partials = process_executor.aggregate_chunks(self, params)
@@ -374,12 +434,16 @@ class QueryPlan:
             projector = self.projector
             result_rows = [projector(row, ctx) for row in rows]
 
-        if self.order_spec:
+        if self.order_spec and not index_ordered:
             # Top-k: ORDER BY + LIMIT without DISTINCT (dedup runs after
             # ordering, so truncating early would change the result) keeps a
-            # bounded heap instead of sorting everything.
+            # bounded heap instead of sorting everything.  The heap must
+            # retain the skipped OFFSET prefix as well as the LIMIT window.
             top_k = (
-                self.limit if use_vectorized and not self.distinct else None
+                self.limit + (self.offset or 0)
+                if self.limit is not None and use_vectorized
+                and not self.distinct
+                else None
             )
             result_rows = self._order(rows, result_rows, ctx, top_k=top_k)
 
@@ -393,8 +457,10 @@ class QueryPlan:
                     unique.append(row)
             result_rows = unique
 
-        if self.limit is not None:
-            result_rows = result_rows[: self.limit]
+        if self.limit is not None or self.offset:
+            start = self.offset or 0
+            stop = None if self.limit is None else start + self.limit
+            result_rows = result_rows[start:stop]
 
         stats.rows_returned += len(result_rows)
         return ResultSet(columns=list(self.columns), rows=result_rows, stats=stats)
@@ -415,6 +481,8 @@ class QueryPlan:
             access = level.access
             if type(access) is IndexProbe:
                 column: Optional[str] = access.column
+            elif type(access) is RangeProbe:
+                column = access.column
             elif type(access) is HashJoinBuild:
                 column = level.table.schema.columns[access.col_index].name.lower()
             else:
@@ -439,6 +507,11 @@ class QueryPlan:
     def parallel_partition_count(self) -> int:
         """Partitions the driving level can fan out over (0 = not parallelizable)."""
         if not self.levels:
+            return 0
+        if self.index_order is not None:
+            # Index-order pushdown replaces the partition fan-out; keeping
+            # these plans sequential in every mode keeps the counters
+            # identical across thread/process/sequential execution.
             return 0
         first = self.levels[0]
         if type(first.access) is not PartitionScan:
@@ -492,6 +565,40 @@ class QueryPlan:
                             for position in table_index.parts[0].lookup(key)
                             if (stored := stored_rows[position]) is not None
                         ]
+            elif type(access) is RangeProbe:
+                if table.ordered_index_for(access.column) is None:
+                    # Stale plan (ordered index dropped): scan and re-apply
+                    # the consumed range conjuncts as plain filters.
+                    candidates = table.partitions[0].scan()
+                    filters = filters + access.fallbacks
+                else:
+                    lo = access.lo(row, ctx) if access.lo is not None else None
+                    hi = access.hi(row, ctx) if access.hi is not None else None
+                    if (access.lo is not None and lo is None) or (
+                        access.hi is not None and hi is None
+                    ):
+                        # A NULL bound makes the comparison UNKNOWN for
+                        # every row: the probe matches nothing.
+                        stats.range_probes += 1
+                        candidates = ()
+                    else:
+                        ranged = table.range_chunks(
+                            access.column, lo, access.lo_incl,
+                            hi, access.hi_incl,
+                        )
+                        if ranged is None:
+                            # Bound type class incomparable with the stored
+                            # column: the filtered scan reproduces the
+                            # reference engine's per-row comparison error.
+                            candidates = table.partitions[0].scan()
+                            filters = filters + access.fallbacks
+                        else:
+                            stats.range_probes += 1
+                            candidates = [
+                                stored
+                                for _pid, matched in ranged
+                                for stored in matched
+                            ]
             elif type(access) is HashJoinBuild:
                 hash_table = ctx.hash_tables.get(index)
                 if hash_table is None:
@@ -626,6 +733,47 @@ class QueryPlan:
                             for position in table_index.parts[0].lookup(key)
                             if (stored := stored_rows[position]) is not None
                         ]
+            elif type(access) is RangeProbe:
+                if table.ordered_index_for(access.column) is None:
+                    # Stale plan (ordered index dropped): scan and re-apply
+                    # the consumed range conjuncts as plain filters.
+                    filters = filters + access.fallbacks
+                    if multi:
+                        chunks = table.scan_chunks()
+                    else:
+                        candidates = table.partitions[0].scan()
+                else:
+                    lo = access.lo(row, ctx) if access.lo is not None else None
+                    hi = access.hi(row, ctx) if access.hi is not None else None
+                    if (access.lo is not None and lo is None) or (
+                        access.hi is not None and hi is None
+                    ):
+                        # NULL bounds match nothing (see _enumerate_single).
+                        stats.range_probes += 1
+                        candidates = ()
+                    else:
+                        ranged = table.range_chunks(
+                            access.column, lo, access.lo_incl,
+                            hi, access.hi_incl,
+                        )
+                        if ranged is None:
+                            # Incomparable bound type class: filtered scan
+                            # reproduces the reference per-row error.
+                            filters = filters + access.fallbacks
+                            if multi:
+                                chunks = table.scan_chunks()
+                            else:
+                                candidates = table.partitions[0].scan()
+                        elif multi:
+                            stats.range_probes += 1
+                            chunks = ranged
+                        else:
+                            stats.range_probes += 1
+                            candidates = [
+                                stored
+                                for _pid, matched in ranged
+                                for stored in matched
+                            ]
             elif type(access) is HashJoinBuild:
                 hash_table = ctx.hash_tables.get(index)
                 if hash_table is None:
@@ -693,6 +841,109 @@ class QueryPlan:
 
         recurse(0)
         # Every fully joined slot row passed all its predicates en route.
+        stats.rows_joined += len(out)
+        return out
+
+    def _enumerate_index_order(
+        self, ctx: ExecContext
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        """ORDER BY + LIMIT pushdown over the driving ordered index.
+
+        Single-level plans whose lone sort key is an ordered-indexed column
+        (:attr:`index_order`) enumerate in index order via a k-way merge of
+        the per-partition sorted runs and stop after ``limit + offset``
+        surviving rows — replacing the full scan *and* the sort.  Equal sort
+        keys come out in partition-major storage order, ascending and
+        descending alike, exactly where the stable full sort of a
+        partition-major scan places them; NULLs sort last ascending / first
+        descending, in scan order.  Returns ``None`` to fall back to the
+        scan-then-sort path when the index was dropped behind the plan
+        cache's back or any partition holds NaN values (their full-sort
+        placement depends on failed comparisons the merge cannot reproduce).
+        """
+        column, ascending = self.index_order
+        level = self.levels[0]
+        table = level.table
+        table_index = table.ordered_index_for(column)
+        if table_index is None:
+            return None
+        parts = table_index.parts
+        if any(part.nans for part in parts):
+            return None
+        stats = ctx.stats
+        pscan = stats.partition_rows_scanned
+        multi = table.n_partitions > 1
+        filters = level.filters
+        needed = (self.limit or 0) + (self.offset or 0)
+
+        def run_stream(pid: int):
+            for value, position in parts[pid].run:
+                yield value, pid, position
+
+        def run_stream_desc(pid: int):
+            # Walk values descending but emit each equal-value block in
+            # forward storage order (what a stable descending sort yields).
+            run = parts[pid].run
+            j = len(run)
+            while j:
+                value = run[j - 1][0]
+                i = j - 1
+                while i and run[i - 1][0] == value:
+                    i -= 1
+                for k in range(i, j):
+                    yield run[k][0], pid, run[k][1]
+                j = i
+
+        n_parts = len(parts)
+        # heapq.merge resolves equal keys to the earliest input stream —
+        # partition order — matching the stable sort's tie placement.
+        if ascending:
+            ordered = _heap_merge(
+                *(run_stream(pid) for pid in range(n_parts)),
+                key=itemgetter(0),
+            )
+        else:
+            ordered = _heap_merge(
+                *(run_stream_desc(pid) for pid in range(n_parts)),
+                key=itemgetter(0),
+                reverse=True,
+            )
+        nulls = (
+            (None, pid, position)
+            for pid in range(n_parts)
+            for position in sorted(parts[pid].nulls)
+        )
+        candidates = (
+            chain(ordered, nulls) if ascending else chain(nulls, ordered)
+        )
+
+        partitions = table.partitions
+        out: List[Tuple[Any, ...]] = []
+        append = out.append
+        scanned: Dict[int, int] = {}
+        total = 0
+        for _value, pid, position in candidates:
+            stored = partitions[pid].rows[position]
+            if stored is None:
+                continue  # defensive: the index drops deleted rows eagerly
+            total += 1
+            if multi:
+                scanned[pid] = scanned.get(pid, 0) + 1
+            if filters:
+                passed = True
+                for predicate in filters:
+                    if not predicate(stored, ctx):
+                        passed = False
+                        break
+                if not passed:
+                    continue
+            append(stored)
+            if len(out) >= needed:
+                break
+        stats.rows_scanned += total
+        if multi:
+            for pid, count in scanned.items():
+                pscan[pid] = pscan.get(pid, 0) + count
         stats.rows_joined += len(out)
         return out
 
@@ -1101,6 +1352,12 @@ def lower_plan(plan: QueryPlan) -> PlanSpec:
         if type(access) is IndexProbe:
             column: Optional[str] = access.column
             pruned = access.pruned
+        elif type(access) is RangeProbe:
+            # Only the driving level of a spec executes worker-side, and a
+            # range-probe driving level is never process-eligible; inner
+            # levels are lowered as descriptive data only.
+            column = access.column
+            pruned = False
         elif type(access) is HashJoinBuild:
             column = level.table.schema.columns[access.col_index].name.lower()
             pruned = False
@@ -1259,15 +1516,19 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         raise analysis.errors[0]
     contradiction = False
     analysis_report: Tuple[str, ...] = ()
+    intervals: Dict[Tuple[str, str], RangeInterval] = {}
     if analysis.applicable and analysis.conjuncts is not None:
         conjuncts = analysis.conjuncts
         contradiction = analysis.contradiction
         analysis_report = analysis.report
+        intervals = analysis.intervals
     required = {
         id(conjunct): _required_bindings(conjunct, bindings)
         for conjunct in conjuncts
     }
-    levels = _plan_levels(bindings, conjuncts, required, layout, tables)
+    levels = _plan_levels(
+        bindings, conjuncts, required, layout, tables, intervals
+    )
     columns = _output_columns(statement, bindings)
 
     # Vectorized drive mode: decided here, once, behind the access-path seam.
@@ -1396,12 +1657,54 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
                         return [_row(row, ctx) for row in rows]
 
     order_spec = _compile_order(statement, columns, layout, tables)
+
+    # ORDER BY + LIMIT pushdown eligibility: single-level non-aggregate
+    # scan plan whose lone sort key is (an output projection of) an
+    # ordered-indexed column of the driving table.  Output columns shadow
+    # source columns in _compile_order, so the source column is recovered
+    # through the compiled spec — never by re-resolving the name directly.
+    index_order: Optional[Tuple[str, bool]] = None
+    if (
+        len(order_spec) == 1
+        and statement.limit is not None
+        and not statement.distinct
+        and not statement.is_aggregate_query
+        and len(levels) == 1
+        and type(levels[0].access) is PartitionScan
+    ):
+        order_kind, payload, ascending = order_spec[0]
+        slot: Optional[int] = None
+        if order_kind == "col":
+            if identity:
+                slot = payload if 0 <= payload < layout.width else None
+            elif projection_slots is not None and (
+                0 <= payload < len(projection_slots)
+            ):
+                slot = projection_slots[payload]
+        elif isinstance(statement.order_by[0].expr, ColumnRef):
+            try:
+                slot = layout.resolve(statement.order_by[0].expr)
+            except Exception:  # lint: allow-broad-except
+                slot = None
+        if slot is not None:
+            driving = levels[0]
+            if driving.offset <= slot < driving.end:
+                sort_column = driving.table.schema.columns[
+                    slot - driving.offset
+                ].name.lower()
+                if driving.table.ordered_index_for(sort_column) is not None:
+                    index_order = (sort_column, ascending)
+
     if not order_spec:
         report["top-k"] = "n/a (no ORDER BY)"
     elif statement.limit is None:
         report["top-k"] = "full sort (no LIMIT)"
     elif statement.distinct:
         report["top-k"] = "full sort (DISTINCT dedups after ordering)"
+    elif index_order is not None:
+        report["top-k"] = (
+            f"index-order merge (ordered index on {index_order[0]})"
+        )
     else:
         report["top-k"] = "vectorized (bounded heap)"
 
@@ -1419,6 +1722,7 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         order_spec=order_spec,
         distinct=statement.distinct,
         limit=statement.limit,
+        offset=statement.offset,
         table_deps=statement_table_deps(statement),
         partitioned=any(table.n_partitions > 1 for _binding, table in bindings),
         subquery_plans=[
@@ -1439,6 +1743,7 @@ def plan_select(statement: SelectStatement, tables: Dict[str, Table]) -> QueryPl
         vector_report=report,
         contradiction=contradiction,
         analysis_report=analysis_report,
+        index_order=index_order,
     )
 
 
@@ -1643,12 +1948,85 @@ def _probe_estimate(
     return rows * _EQ_SELECTIVITY
 
 
-def _residual_selectivity(
-    applicable: List[SqlExpr], used: Optional[SqlExpr]
+def _interval_exprs(
+    binding: str, intervals: Dict[Tuple[str, str], RangeInterval]
+) -> Dict[int, Tuple[str, RangeInterval]]:
+    """Map ``id(conjunct) → (column, interval)`` for one binding's plan-time
+    literal range intervals (see :attr:`~repro.relalg.semantics.Analysis.\
+intervals`)."""
+    index: Dict[int, Tuple[str, RangeInterval]] = {}
+    for (bound_to, column), interval in intervals.items():
+        if bound_to != binding:
+            continue
+        for expr in (interval.lo_expr, interval.hi_expr):
+            if expr is not None:
+                index[id(expr)] = (column, interval)
+    return index
+
+
+def _interval_fraction(
+    statistics: Optional[TableStatistics], column: str, interval: RangeInterval
 ) -> float:
+    """Selectivity of one literal range interval, histogram-backed when the
+    column maintains one (ordered indexes over numeric columns)."""
+    histogram = statistics.histogram_for(column) if statistics else None
+    if histogram is not None:
+        try:
+            return histogram.estimate_fraction(interval.lo, interval.hi)
+        except TypeError:
+            pass
+    return _RANGE_SELECTIVITY
+
+
+def _range_probe_estimate(
+    statistics: TableStatistics, column: str, interval: Optional[RangeInterval]
+) -> float:
+    """Expected matches of one ordered-index range probe."""
+    rows = statistics.row_count
+    if interval is not None:
+        histogram = statistics.histogram_for(column)
+        if histogram is not None:
+            try:
+                return histogram.estimate_rows(interval.lo, interval.hi)
+            except TypeError:
+                pass
+    return rows * _RANGE_SELECTIVITY
+
+
+def _residual_selectivity(
+    applicable: List[SqlExpr],
+    used: Any,
+    interval_exprs: Optional[Dict[int, Tuple[str, RangeInterval]]] = None,
+    statistics: Optional[TableStatistics] = None,
+) -> float:
+    """Combined selectivity of a level's residual filters.
+
+    ``used`` names the conjunct(s) an access path consumed (a single
+    expression or a list of them).  Range conjuncts the semantic analysis
+    folded into one plan-time interval are costed *once per interval* —
+    via the column's equi-width histogram when one is maintained, the fixed
+    range selectivity otherwise — instead of multiplying each bound's
+    selectivity independently (``x > 3 AND x < 9`` is one interval, not two
+    independent coin flips).
+    """
+    if used is None:
+        used_ids: Set[int] = set()
+    elif isinstance(used, (list, tuple, set, frozenset)):
+        used_ids = {id(p) for p in used}
+    else:
+        used_ids = {id(used)}
     selectivity = 1.0
+    counted: Set[int] = set()
     for predicate in applicable:
-        if predicate is used:
+        if id(predicate) in used_ids:
+            continue
+        hit = interval_exprs.get(id(predicate)) if interval_exprs else None
+        if hit is not None:
+            column, interval = hit
+            if id(interval) in counted:
+                continue
+            counted.add(id(interval))
+            selectivity *= _interval_fraction(statistics, column, interval)
             continue
         selectivity *= _filter_selectivity(predicate)
     return selectivity
@@ -1703,12 +2081,96 @@ def _probe_candidate(
     return None
 
 
+_RANGE_OPERATORS = frozenset(
+    (BinaryOperator.LT, BinaryOperator.LE, BinaryOperator.GT, BinaryOperator.GE)
+)
+#: ``literal op col`` normalised to ``col op literal``.
+_FLIPPED_RANGE = {
+    BinaryOperator.LT: BinaryOperator.GT,
+    BinaryOperator.LE: BinaryOperator.GE,
+    BinaryOperator.GT: BinaryOperator.LT,
+    BinaryOperator.GE: BinaryOperator.LE,
+}
+
+
+def _range_candidate(
+    table: Table,
+    binding: str,
+    predicates: List[SqlExpr],
+    already_bound: Set[str],
+    bindings: List[Tuple[str, Table]],
+) -> Optional[Tuple[str, Optional[SqlExpr], bool, Optional[SqlExpr], bool,
+                    List[SqlExpr]]]:
+    """First sargable range-conjunct group usable as an ordered-index probe.
+
+    For the first ordered-indexed column of ``table`` with at least one
+    sargable range conjunct (``col < expr``, ``expr >= col``, … — the bound
+    expression computable from already-bound levels and subquery-free, so
+    subquery execution counts stay per-row like the reference engine),
+    collects one lower and one upper bound; any further range conjuncts on
+    the column stay residual filters.
+
+    Returns ``(column, lo_expr, lo_inclusive, hi_expr, hi_inclusive,
+    consumed conjuncts)`` or ``None``.
+    """
+    if not any(index.ordered for index in table.indexes.values()):
+        return None
+    found: Dict[str, List[Tuple[BinaryOperator, SqlExpr, SqlExpr]]] = {}
+    order: List[str] = []
+    for predicate in predicates:
+        if not (
+            isinstance(predicate, BinaryOperation)
+            and predicate.op in _RANGE_OPERATORS
+        ):
+            continue
+        for this, other, op in (
+            (predicate.left, predicate.right, predicate.op),
+            (predicate.right, predicate.left, _FLIPPED_RANGE[predicate.op]),
+        ):
+            if not isinstance(this, ColumnRef):
+                continue
+            if this.table is not None and this.table.lower() != binding:
+                continue
+            if this.table is None and not _column_in_table(table, this.name):
+                continue
+            column = this.name.lower()
+            if table.ordered_index_for(column) is None:
+                continue
+            if expr_has_subquery(other):
+                continue
+            if not _required_bindings(other, bindings) <= already_bound:
+                continue
+            if column not in found:
+                found[column] = []
+                order.append(column)
+            found[column].append((op, other, predicate))
+            break
+    for column in order:
+        lo: Optional[SqlExpr] = None
+        hi: Optional[SqlExpr] = None
+        lo_incl = hi_incl = True
+        used: List[SqlExpr] = []
+        for op, other, predicate in found[column]:
+            if op in (BinaryOperator.GT, BinaryOperator.GE) and lo is None:
+                lo = other
+                lo_incl = op is BinaryOperator.GE
+                used.append(predicate)
+            elif op in (BinaryOperator.LT, BinaryOperator.LE) and hi is None:
+                hi = other
+                hi_incl = op is BinaryOperator.LE
+                used.append(predicate)
+        if used:
+            return column, lo, lo_incl, hi, hi_incl, used
+    return None
+
+
 def _plan_levels(
     bindings: List[Tuple[str, Table]],
     conjuncts: List[SqlExpr],
     required: Dict[int, Set[str]],
     layout: SlotLayout,
     tables: Dict[str, Table],
+    intervals: Optional[Dict[Tuple[str, str], RangeInterval]] = None,
 ) -> List[_Level]:
     remaining = list(bindings)
     pending = list(conjuncts)
@@ -1716,6 +2178,11 @@ def _plan_levels(
     levels: List[_Level] = []
     statistics: Dict[str, TableStatistics] = {
         binding: table.statistics() for binding, table in bindings
+    }
+    intervals = intervals if intervals is not None else {}
+    interval_index: Dict[str, Dict[int, Tuple[str, RangeInterval]]] = {
+        binding: _interval_exprs(binding, intervals)
+        for binding, _table in bindings
     }
 
     def applicable_for(binding: str) -> List[SqlExpr]:
@@ -1747,7 +2214,25 @@ def _plan_levels(
         column, _key_expr, used = probe
         return _probe_estimate(
             statistics[binding], column, indexed=indexed
-        ) * _residual_selectivity(applicable, used)
+        ) * _residual_selectivity(
+            applicable, used, interval_index[binding], statistics[binding]
+        )
+
+    def range_tier_estimate(
+        candidate: Tuple[str, Table]
+    ) -> Optional[float]:
+        binding, table = candidate
+        applicable = applicable_for(binding)
+        found = _range_candidate(table, binding, applicable, bound, bindings)
+        if found is None:
+            return None
+        column, _lo, _li, _hi, _hi_i, used = found
+        table_stats = statistics[binding]
+        return _range_probe_estimate(
+            table_stats, column, intervals.get((binding, column))
+        ) * _residual_selectivity(
+            applicable, used, interval_index[binding], table_stats
+        )
 
     def first_filtered_scan() -> Optional[Tuple[str, Table]]:
         for candidate in remaining:
@@ -1768,6 +2253,7 @@ def _plan_levels(
         # workloads.
         choice = (
             cheapest(lambda c: probe_tier_estimate(c, indexed=True))
+            or cheapest(range_tier_estimate)
             or cheapest(lambda c: probe_tier_estimate(c, indexed=False))
             or first_filtered_scan()
             or remaining[0]
@@ -1804,7 +2290,36 @@ def _plan_levels(
             filters = [p for p in applicable if p is not used]
             estimate = _probe_estimate(
                 table_stats, column, indexed=True
-            ) * _residual_selectivity(applicable, used)
+            ) * _residual_selectivity(
+                applicable, used, interval_index[binding], table_stats
+            )
+        elif (
+            found := _range_candidate(
+                table, binding, applicable, bound - {binding}, bindings
+            )
+        ) is not None:
+            column, lo_expr, lo_incl, hi_expr, hi_incl, used_list = found
+            access = RangeProbe(
+                column,
+                (
+                    compile_row_expr(lo_expr, layout, tables)
+                    if lo_expr is not None else None
+                ),
+                lo_incl,
+                (
+                    compile_row_expr(hi_expr, layout, tables)
+                    if hi_expr is not None else None
+                ),
+                hi_incl,
+                [compile_row_expr(p, layout, tables) for p in used_list],
+            )
+            used_ids = {id(p) for p in used_list}
+            filters = [p for p in applicable if id(p) not in used_ids]
+            estimate = _range_probe_estimate(
+                table_stats, column, intervals.get((binding, column))
+            ) * _residual_selectivity(
+                applicable, used_list, interval_index[binding], table_stats
+            )
         else:
             probe = _probe_candidate(
                 table, binding, applicable, bound - {binding},
@@ -1820,12 +2335,14 @@ def _plan_levels(
                 filters = [p for p in applicable if p is not used]
                 estimate = _probe_estimate(
                     table_stats, column, indexed=False
-                ) * _residual_selectivity(applicable, used)
+                ) * _residual_selectivity(
+                    applicable, used, interval_index[binding], table_stats
+                )
             else:
                 access = _SCAN
                 filters = applicable
                 estimate = table_stats.row_count * _residual_selectivity(
-                    applicable, None
+                    applicable, None, interval_index[binding], table_stats
                 )
 
         offset, end = layout.range_of(binding)
@@ -1955,9 +2472,20 @@ def _compile_order(
         elif isinstance(expr, Literal) and isinstance(expr.value, int):
             spec.append(("col", expr.value - 1, item.ascending))
         elif statement.is_aggregate_query:
-            raise ExecutionError(
-                "ORDER BY of an aggregate query must reference output columns"
-            )
+            # `ORDER BY COUNT(*)` names no output column, but the expression
+            # may *be* one of the output expressions (position-insensitive
+            # structural equality) — match those before rejecting.
+            matched: Optional[int] = None
+            for index, out_item in enumerate(statement.items):
+                if out_item.expr == expr:
+                    matched = index
+                    break
+            if matched is None:
+                raise ExecutionError(
+                    "ORDER BY of an aggregate query must reference output "
+                    "columns"
+                )
+            spec.append(("col", matched, item.ascending))
         else:
             spec.append(
                 ("expr", compile_row_expr(expr, layout, tables), item.ascending)

@@ -39,6 +39,9 @@ class QueryStats:
         for hash joins, the one-time scan that builds the hash table);
     ``index_lookups``
         probes into a secondary hash index;
+    ``range_probes``
+        bisections of an ordered index's sorted run (one per partition run
+        visited by a range predicate);
     ``hash_probes``
         probes into a transient hash-join table built for one execution;
     ``rows_joined``
@@ -59,6 +62,7 @@ class QueryStats:
 
     rows_scanned: int = 0
     index_lookups: int = 0
+    range_probes: int = 0
     rows_joined: int = 0
     rows_returned: int = 0
     subqueries: int = 0
@@ -71,6 +75,7 @@ class QueryStats:
         """Accumulate the counters of a nested (sub)query."""
         self.rows_scanned += other.rows_scanned
         self.index_lookups += other.index_lookups
+        self.range_probes += other.range_probes
         self.rows_joined += other.rows_joined
         self.subqueries += other.subqueries
         self.hash_probes += other.hash_probes

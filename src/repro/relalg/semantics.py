@@ -132,6 +132,55 @@ def _type_class(sql_type: SqlType) -> Optional[str]:
 
 
 @dataclass
+class RangeInterval:
+    """The tightest literal interval the range conjuncts on one
+    ``(binding, column)`` pair imply.
+
+    ``None`` bounds are unbounded on that side; ``lo_expr``/``hi_expr`` are
+    the (folded) conjuncts that contributed each bound, kept for report
+    wording and so a dominated conjunct can be removed from the processed
+    list by identity.
+    """
+
+    lo: Any = None
+    lo_incl: bool = True
+    lo_expr: Optional[SqlExpr] = None
+    hi: Any = None
+    hi_incl: bool = True
+    hi_expr: Optional[SqlExpr] = None
+
+    @property
+    def empty(self) -> bool:
+        """True when no value can satisfy both bounds."""
+        if self.lo_expr is None or self.hi_expr is None:
+            return False
+        try:
+            if self.lo > self.hi:
+                return True
+            if self.lo == self.hi:
+                return not (self.lo_incl and self.hi_incl)
+        except TypeError:
+            return False
+        return False
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` could satisfy the interval (conservatively
+        ``True`` on incomparable values)."""
+        try:
+            if self.lo_expr is not None and (
+                value < self.lo or (value == self.lo and not self.lo_incl)
+            ):
+                return False
+            if self.hi_expr is not None and (
+                value > self.hi or (value == self.hi and not self.hi_incl)
+            ):
+                return False
+        except TypeError:
+            return True
+        return True
+
+
+@dataclass
 class Analysis:
     """The result of analyzing one SELECT statement.
 
@@ -153,6 +202,13 @@ class Analysis:
     #: True when some conjunct is provably false for every row — the planner
     #: skips the scan entirely (zero rows enumerated, zero stats).
     contradiction: bool = False
+    #: ``(binding, lowered column) -> `` tightest literal range interval the
+    #: conjuncts imply; feeds the planner's range selectivity so stacked
+    #: conjuncts on one column estimate as a single interval instead of a
+    #: product of independent selectivities.
+    intervals: Dict[Tuple[str, str], RangeInterval] = field(
+        default_factory=dict
+    )
     #: Inferred type per select item (``None`` for ``*`` items).
     item_types: List[Optional[SqlType]] = field(default_factory=list)
 
@@ -434,6 +490,7 @@ class _Analyzer:
         processed: List[SqlExpr] = []
         contradiction = False
         eq_literals: Dict[Tuple[str, str], Tuple[Any, SqlExpr]] = {}
+        intervals: Dict[Tuple[str, str], RangeInterval] = {}
         for conjunct in conjuncts:
             folded = _fold_expr(conjunct)
             if isinstance(folded, Literal):
@@ -473,11 +530,45 @@ class _Analyzer:
                     )
                 else:
                     eq_literals[key] = (value, folded)
+            range_form = self._range_literal_form(folded)
+            if range_form is not None:
+                key, op, value = range_form
+                if isinstance(value, float) and value != value:
+                    # A NaN bound compares false with every value (and
+                    # UNKNOWN with NULL): no row can pass.
+                    contradiction = True
+                    report.append(
+                        f"always-false: {format_expr(folded)} "
+                        "(NaN bound; scan skipped)"
+                    )
+                else:
+                    interval = intervals.setdefault(key, RangeInterval())
+                    if not self._merge_bound(
+                        interval, op, value, folded, processed, report
+                    ):
+                        continue
+                    if interval.empty:
+                        contradiction = True
+                        report.append(
+                            f"contradiction: "
+                            f"{format_expr(interval.lo_expr)} AND "
+                            f"{format_expr(interval.hi_expr)} "
+                            "(empty range; scan skipped)"
+                        )
             processed.append(folded)
+        for key, (value, expr) in eq_literals.items():
+            interval = intervals.get(key)
+            if interval is not None and not interval.contains(value):
+                contradiction = True
+                report.append(
+                    f"contradiction: {format_expr(expr)} is outside the "
+                    f"range on {key[1]} (scan skipped)"
+                )
         self._warn_cross_join(processed)
         self._warn_non_sargable(processed)
         self.result.conjuncts = processed
         self.result.contradiction = contradiction
+        self.result.intervals = intervals
         self.result.report = tuple(report)
 
     def _split_conjuncts(self) -> List[SqlExpr]:
@@ -524,6 +615,104 @@ class _Analyzer:
         if resolved is None:
             return None
         return (resolved, ref.name.lower()), literal.value
+
+    _FLIPPED_COMPARISON = {
+        BinaryOperator.LT: BinaryOperator.GT,
+        BinaryOperator.LE: BinaryOperator.GE,
+        BinaryOperator.GT: BinaryOperator.LT,
+        BinaryOperator.GE: BinaryOperator.LE,
+    }
+
+    def _range_literal_form(
+        self, conjunct: SqlExpr
+    ) -> Optional[Tuple[Tuple[str, str], BinaryOperator, Any]]:
+        """``((binding, column), op, literal)`` for conjuncts of shape
+        ``col op literal`` / ``literal op col`` with an ordered comparison
+        (the operator is normalised to the column-on-the-left reading)."""
+        if not (
+            isinstance(conjunct, BinaryOperation)
+            and conjunct.op in _COMPARABLE_OPS
+        ):
+            return None
+        ref, literal = conjunct.left, conjunct.right
+        op = conjunct.op
+        if isinstance(ref, Literal) and isinstance(literal, ColumnRef):
+            ref, literal = literal, ref
+            op = self._FLIPPED_COMPARISON[op]
+        if not (isinstance(ref, ColumnRef) and isinstance(literal, Literal)):
+            return None
+        if literal.value is None:
+            return None
+        resolved = self._resolve_binding(ref)
+        if resolved is None:
+            return None
+        return (resolved, ref.name.lower()), op, literal.value
+
+    @staticmethod
+    def _merge_bound(
+        interval: RangeInterval,
+        op: BinaryOperator,
+        value: Any,
+        conjunct: SqlExpr,
+        processed: List[SqlExpr],
+        report: List[str],
+    ) -> bool:
+        """Intersect one range conjunct into ``interval``.
+
+        Returns ``False`` when the conjunct is dominated by an existing bound
+        (the caller drops it); when the conjunct *replaces* a weaker bound,
+        the weaker conjunct is removed from ``processed`` instead.  Dropping
+        is sound for literal comparisons: the analyzer already rejects static
+        type-class mismatches, and NULL column values fail the kept conjunct
+        the same way they fail the dropped one.
+        """
+        lower = op in (BinaryOperator.GT, BinaryOperator.GE)
+        inclusive = op in (BinaryOperator.GE, BinaryOperator.LE)
+        if lower:
+            current, current_incl, current_expr = (
+                interval.lo, interval.lo_incl, interval.lo_expr
+            )
+        else:
+            current, current_incl, current_expr = (
+                interval.hi, interval.hi_incl, interval.hi_expr
+            )
+        if current_expr is not None:
+            try:
+                if lower:
+                    tighter = value > current or (
+                        value == current and current_incl and not inclusive
+                    )
+                else:
+                    tighter = value < current or (
+                        value == current and current_incl and not inclusive
+                    )
+            except TypeError:
+                # Incomparable bound classes: the static mismatch is already
+                # a semantic error; keep both conjuncts untouched.
+                return True
+            if not tighter:
+                report.append(
+                    f"redundant range: {format_expr(conjunct)} (implied by "
+                    f"{format_expr(current_expr)}; conjunct dropped)"
+                )
+                return False
+            for index, existing in enumerate(processed):
+                if existing is current_expr:
+                    del processed[index]
+                    break
+            report.append(
+                f"redundant range: {format_expr(current_expr)} (implied by "
+                f"{format_expr(conjunct)}; conjunct dropped)"
+            )
+        if lower:
+            interval.lo, interval.lo_incl, interval.lo_expr = (
+                value, inclusive, conjunct
+            )
+        else:
+            interval.hi, interval.hi_incl, interval.hi_expr = (
+                value, inclusive, conjunct
+            )
+        return True
 
     # -- warnings ---------------------------------------------------------------
 

@@ -271,6 +271,7 @@ class SelectStatement:
     having: Optional[SqlExpr] = None
     order_by: List[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
+    offset: Optional[int] = None
     distinct: bool = False
 
     @property
@@ -317,6 +318,9 @@ class CreateIndexStatement:
     name: str
     table: str
     column: str
+    #: ``CREATE INDEX ... ORDERED``: additionally maintain a sorted run per
+    #: partition so range predicates and ORDER BY can use index order.
+    ordered: bool = False
 
 
 @dataclass

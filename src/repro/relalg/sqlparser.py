@@ -3,7 +3,7 @@
 Supported statements::
 
     CREATE TABLE [IF NOT EXISTS] name (col TYPE [PRIMARY KEY | NOT NULL], …)
-    CREATE INDEX name ON table (column)
+    CREATE INDEX name ON table (column) [ORDERED]
     DROP TABLE [IF EXISTS] name
     INSERT INTO table [(col, …)] VALUES (expr, …) [, (expr, …) …]
     DELETE FROM table [WHERE expr]
@@ -13,12 +13,14 @@ Supported statements::
     SELECT [DISTINCT] items FROM table [alias] [, table [alias] …]
         [JOIN table [alias] ON expr …]
         [WHERE expr] [GROUP BY expr, …] [HAVING expr]
-        [ORDER BY expr [ASC|DESC], …] [LIMIT n]
+        [ORDER BY expr [ASC|DESC], …] [LIMIT n [OFFSET m]]
 
 Expressions support literals, ``?`` placeholders, qualified column references,
 arithmetic, comparisons, ``AND``/``OR``/``NOT``, ``IS [NOT] NULL``,
-``[NOT] IN (…)``, function calls (including ``COUNT(*)`` and
-``COUNT(DISTINCT col)``) and parenthesised scalar subqueries.
+``[NOT] IN (…)``, ``expr BETWEEN lo AND hi`` (desugared at parse time to
+``expr >= lo AND expr <= hi``, so it is sargable for range probes), function
+calls (including ``COUNT(*)`` and ``COUNT(DISTINCT col)``) and parenthesised
+scalar subqueries.
 """
 
 from __future__ import annotations
@@ -67,10 +69,11 @@ __all__ = ["tokenize_sql", "SqlParser", "parse_sql"]
 
 _KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
-    "ASC", "DESC", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS", "DISTINCT",
-    "JOIN", "INNER", "LEFT", "ON", "CREATE", "TABLE", "INDEX", "DROP",
-    "INSERT", "INTO", "VALUES", "DELETE", "PRIMARY", "KEY", "IF", "EXISTS",
-    "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
+    "OFFSET", "ASC", "DESC", "AND", "OR", "NOT", "IN", "IS", "NULL", "AS",
+    "DISTINCT", "BETWEEN", "JOIN", "INNER", "LEFT", "ON", "CREATE", "TABLE",
+    "INDEX", "ORDERED", "DROP", "INSERT", "INTO", "VALUES", "DELETE",
+    "PRIMARY", "KEY", "IF", "EXISTS", "TRUE", "FALSE", "BEGIN", "COMMIT",
+    "ROLLBACK", "TRANSACTION", "WORK",
 }
 
 _TWO_CHAR = {"<=", ">=", "<>", "!="}
@@ -337,7 +340,10 @@ class SqlParser:
         self._expect_op("(")
         column = self._expect_ident("as the indexed column")
         self._expect_op(")")
-        return CreateIndexStatement(name=name, table=table, column=column)
+        ordered = self._accept_keyword("ORDERED") is not None
+        return CreateIndexStatement(
+            name=name, table=table, column=column, ordered=ordered
+        )
 
     def _parse_drop(self) -> DropTableStatement:
         self._expect_keyword("DROP")
@@ -442,6 +448,14 @@ class SqlParser:
                 raise SqlSyntaxError("LIMIT requires an integer", token.position)
             self._advance()
             statement.limit = int(token.value)
+            if self._accept_keyword("OFFSET"):
+                token = self._peek()
+                if token.kind != "NUMBER" or not isinstance(token.value, int):
+                    raise SqlSyntaxError(
+                        "OFFSET requires an integer", token.position
+                    )
+                self._advance()
+                statement.offset = int(token.value)
         return statement
 
     def _parse_select_items(self) -> List[SelectItem]:
@@ -533,6 +547,27 @@ class SqlParser:
             right = self._parse_additive()
             return BinaryOperation(
                 op=mapping[token.text], left=left, right=right,
+                position=token.position,
+            )
+        if self._at_keyword("BETWEEN"):
+            # ``x BETWEEN lo AND hi`` desugars to ``x >= lo AND x <= hi`` at
+            # parse time: downstream (analysis, planning, both executors) only
+            # ever sees the sargable conjunction.  The bounds parse at the
+            # additive level so the separating AND is not consumed by them.
+            token = self._advance()
+            lo = self._parse_additive()
+            self._expect_keyword("AND")
+            hi = self._parse_additive()
+            return BinaryOperation(
+                op=BinaryOperator.AND,
+                left=BinaryOperation(
+                    op=BinaryOperator.GE, left=left, right=lo,
+                    position=token.position,
+                ),
+                right=BinaryOperation(
+                    op=BinaryOperator.LE, left=left, right=hi,
+                    position=token.position,
+                ),
                 position=token.position,
             )
         if self._at_keyword("IS"):

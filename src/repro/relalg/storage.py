@@ -55,6 +55,7 @@ while the transaction stages DML.
 
 from __future__ import annotations
 
+import bisect
 import datetime as _dt
 import itertools
 import zlib
@@ -62,11 +63,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relalg.errors import ExecutionError, IntegrityError, SchemaError
-from repro.relalg.schema import TableSchema
+from repro.relalg.schema import ColumnType, TableSchema
 
 __all__ = [
     "CHUNK_ROWS",
+    "ColumnHistogram",
     "HashIndex",
+    "OrderedHashIndex",
     "Partition",
     "PositionsView",
     "Table",
@@ -197,6 +200,24 @@ class PositionsView:
 _EMPTY_VIEW = PositionsView({})
 
 
+#: Canonical bucket key shared by every NaN index entry.  ``NaN != NaN``, so
+#: raw NaN keys bucket by object identity: live mutation creates one bucket
+#: per inserted object while a WAL replay or compaction rebuild may share one
+#: decoded object across rows — two observably different index states for the
+#: same logical table.  Funnelling every NaN through one module-level key
+#: makes both paths converge.  Equality probes stay reference-faithful: a
+#: user-supplied NaN can only reach a bucket via ``==`` after the identity
+#: check fails, and ``NaN == NaN`` is false, so ``col = NaN`` still matches
+#: nothing.
+_NAN_KEY = float("nan")
+
+
+def _bucket_key(value: Any) -> Any:
+    if isinstance(value, float) and value != value:
+        return _NAN_KEY
+    return value
+
+
 class HashIndex:
     """A hash index over one column of one partition.
 
@@ -211,6 +232,7 @@ class HashIndex:
 
     def add(self, value: Any, position: int) -> None:
         """Register that the row at ``position`` has ``value`` in the column."""
+        value = _bucket_key(value)
         bucket = self._buckets.get(value)
         if bucket is None:
             self._buckets[value] = {position: None}
@@ -219,6 +241,7 @@ class HashIndex:
 
     def remove(self, value: Any, position: int) -> None:
         """Remove one (value, position) entry; missing entries are ignored."""
+        value = _bucket_key(value)
         bucket = self._buckets.get(value)
         if bucket is not None and position in bucket:
             del bucket[position]
@@ -244,6 +267,7 @@ class HashIndex:
         a rolled-back transaction would leave observably reordered probe
         results behind.
         """
+        value = _bucket_key(value)
         bucket = self._buckets.get(value)
         if bucket is None:
             self._buckets[value] = {position: None}
@@ -271,6 +295,94 @@ class HashIndex:
 
     def __len__(self) -> int:
         return sum(len(positions) for positions in self._buckets.values())
+
+
+#: Sentinel greater than any partition-local position; ``(value, _AFTER_LAST)``
+#: sorts after every real ``(value, position)`` run entry.
+_AFTER_LAST = float("inf")
+
+
+class OrderedHashIndex(HashIndex):
+    """A hash index that additionally maintains a sorted run of its entries.
+
+    ``run`` is the partition's live ``(value, position)`` pairs sorted by
+    value, with ties broken by position (the tuple order); range predicates
+    bisect it instead of scanning.  NULL and NaN values are kept out of the
+    run — they would poison ``bisect``'s total-order assumption, and neither
+    can ever satisfy a range predicate (``col > x`` is UNKNOWN for NULL and
+    false for NaN) — and tracked in the ``nulls``/``nans`` position sets
+    instead so ORDER BY pushdown can still place those rows.
+
+    Equality probes, bucket iteration order and
+    :func:`~repro.relalg.wal.state_fingerprint` are untouched: the inherited
+    ``_buckets`` mapping is maintained exactly as in :class:`HashIndex`.
+    """
+
+    def __init__(self, name: str, column: str) -> None:
+        super().__init__(name, column)
+        self.run: List[Tuple[Any, int]] = []
+        self.nulls: Dict[int, None] = {}
+        self.nans: Dict[int, None] = {}
+
+    def _run_add(self, value: Any, position: int) -> None:
+        if value is None:
+            self.nulls[position] = None
+        elif isinstance(value, float) and value != value:
+            self.nans[position] = None
+        else:
+            bisect.insort(self.run, (value, position))
+
+    def add(self, value: Any, position: int) -> None:
+        super().add(value, position)
+        self._run_add(value, position)
+
+    def remove(self, value: Any, position: int) -> None:
+        super().remove(value, position)
+        if value is None:
+            self.nulls.pop(position, None)
+        elif isinstance(value, float) and value != value:
+            self.nans.pop(position, None)
+        else:
+            at = bisect.bisect_left(self.run, (value, position))
+            if at < len(self.run) and self.run[at] == (value, position):
+                del self.run[at]
+
+    def restore(self, value: Any, position: int) -> None:
+        # ``insort`` splices the resurrected entry straight back into its
+        # value/position slot, so no bucket-style rebuild is needed.
+        super().restore(value, position)
+        self._run_add(value, position)
+
+    def clear(self) -> None:
+        super().clear()
+        self.run.clear()
+        self.nulls.clear()
+        self.nans.clear()
+
+    def range_slice(
+        self, lo: Any, lo_incl: bool, hi: Any, hi_incl: bool
+    ) -> List[Tuple[Any, int]]:
+        """The run's ``(value, position)`` entries inside the interval.
+
+        ``None`` bounds are unbounded on that side.  Callers must pre-check
+        that non-``None`` bounds are comparable with the run's value class
+        (see :meth:`Table.range_chunks`) — ``bisect`` on an incomparable
+        bound would raise a raw ``TypeError`` mid-probe.
+        """
+        run = self.run
+        if lo is None:
+            start = 0
+        elif lo_incl:
+            start = bisect.bisect_left(run, (lo,))
+        else:
+            start = bisect.bisect_right(run, (lo, _AFTER_LAST))
+        if hi is None:
+            end = len(run)
+        elif hi_incl:
+            end = bisect.bisect_right(run, (hi, _AFTER_LAST))
+        else:
+            end = bisect.bisect_left(run, (hi,))
+        return run[start:end]
 
 
 class Partition:
@@ -381,14 +493,17 @@ class TableIndex:
     that looks like the single-partition one but is not.
     """
 
-    __slots__ = ("name", "column", "column_index", "parts")
+    __slots__ = ("name", "column", "column_index", "parts", "ordered")
 
     def __init__(self, name: str, column: str, column_index: int,
-                 parts: List[HashIndex]) -> None:
+                 parts: List[HashIndex], ordered: bool = False) -> None:
         self.name = name
         self.column = column
         self.column_index = column_index
         self.parts = parts
+        #: Whether the per-partition parts are :class:`OrderedHashIndex`
+        #: instances maintaining sorted runs (``CREATE INDEX ... ORDERED``).
+        self.ordered = ordered
 
     def lookup(self, value: Any) -> PositionsView:
         if len(self.parts) == 1:
@@ -422,7 +537,73 @@ class TableIndex:
         return sum(len(part) for part in self.parts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"TableIndex({self.name!r}, column={self.column!r}, partitions={len(self.parts)})"
+        kind = "ordered, " if self.ordered else ""
+        return (
+            f"TableIndex({self.name!r}, column={self.column!r}, "
+            f"{kind}partitions={len(self.parts)})"
+        )
+
+
+#: Buckets per equi-width histogram.  Small enough that building one is a
+#: handful of bisections per partition run, large enough that a selective
+#: range predicate lands in a fraction of one bucket.
+_HISTOGRAM_BUCKETS = 16
+
+
+@dataclass
+class ColumnHistogram:
+    """An equi-width value histogram of one ordered-indexed numeric column.
+
+    Built from the live sorted runs (NULL/NaN values are excluded from
+    ``total`` but still counted in ``table_rows``, so an interval selectivity
+    correctly discounts rows that can never satisfy a range predicate).
+    ``counts[i]`` covers ``[lo + i*width, lo + (i+1)*width)`` with the last
+    bucket closed at ``hi``.
+    """
+
+    column: str
+    lo: float
+    hi: float
+    width: float
+    counts: List[int]
+    total: int
+    table_rows: int
+
+    def _cdf(self, x: float) -> float:
+        """Estimated number of run values strictly below ``x`` (linear
+        interpolation inside the bucket ``x`` falls in)."""
+        if x <= self.lo:
+            return 0.0
+        if x >= self.hi or self.width <= 0:
+            return float(self.total)
+        offset = (x - self.lo) / self.width
+        index = min(int(offset), len(self.counts) - 1)
+        cum = float(sum(self.counts[:index]))
+        return cum + self.counts[index] * (offset - index)
+
+    def estimate_rows(self, lo: Optional[float], hi: Optional[float]) -> float:
+        """Estimated live rows with a value in ``[lo, hi]`` (``None`` =
+        unbounded; bound inclusivity is below histogram resolution)."""
+        if self.total == 0:
+            return 0.0
+        if self.width <= 0:
+            # Degenerate single-value histogram: all values equal ``lo``.
+            inside = (lo is None or lo <= self.lo) and (
+                hi is None or hi >= self.hi
+            )
+            return float(self.total) if inside else 0.0
+        upper = float(self.total) if hi is None else self._cdf(hi)
+        lower = 0.0 if lo is None else self._cdf(lo)
+        return max(0.0, upper - lower)
+
+    def estimate_fraction(
+        self, lo: Optional[float], hi: Optional[float]
+    ) -> float:
+        """``estimate_rows`` as a fraction of all live rows (NULL/NaN rows
+        count in the denominator — they never match a range predicate)."""
+        if self.table_rows <= 0:
+            return 0.0
+        return min(1.0, self.estimate_rows(lo, hi) / self.table_rows)
 
 
 @dataclass
@@ -441,10 +622,17 @@ class TableStatistics:
     partition_rows: List[int] = field(default_factory=list)
     #: lowered indexed column → distinct-key estimate across all partitions.
     index_distinct: Dict[str, int] = field(default_factory=dict)
+    #: lowered ordered-indexed numeric column → equi-width value histogram.
+    histograms: Dict[str, ColumnHistogram] = field(default_factory=dict)
+    #: lowered column names carrying an ordered index at snapshot time.
+    ordered_columns: List[str] = field(default_factory=list)
     mutations: int = 0
 
     def distinct_for(self, column: str) -> Optional[int]:
         return self.index_distinct.get(column.lower())
+
+    def histogram_for(self, column: str) -> Optional[ColumnHistogram]:
+        return self.histograms.get(column.lower())
 
 
 class Transaction:
@@ -801,28 +989,40 @@ class Table:
 
     # -- indexes ----------------------------------------------------------------
 
-    def _register_index(self, name: str, column: str) -> TableIndex:
+    def _register_index(
+        self, name: str, column: str, ordered: bool = False
+    ) -> TableIndex:
         column_name = self.schema.column(column).name
         key = column_name.lower()
         column_index = self.schema.column_index(column_name)
+        part_cls = OrderedHashIndex if ordered else HashIndex
         parts: List[HashIndex] = []
         for partition in self.partitions:
-            part = HashIndex(name=name, column=column_name)
+            part = part_cls(name=name, column=column_name)
             partition.indexes[key] = part
             parts.append(part)
-        table_index = TableIndex(name, column_name, column_index, parts)
+        table_index = TableIndex(
+            name, column_name, column_index, parts, ordered=ordered
+        )
         self.indexes[key] = table_index
         return table_index
 
-    def create_index(self, name: str, column: str) -> TableIndex:
-        """Create (and backfill) a hash index on ``column``."""
+    def create_index(
+        self, name: str, column: str, ordered: bool = False
+    ) -> TableIndex:
+        """Create (and backfill) a hash index on ``column``.
+
+        ``ordered=True`` creates an :class:`OrderedHashIndex` per partition:
+        equality probes behave identically, but each partition additionally
+        maintains a sorted run, enabling range probes and ORDER BY pushdown.
+        """
         column_name = self.schema.column(column).name
         if column_name.lower() in self.indexes:
             raise SchemaError(
                 f"table {self.name!r} already has an index on column "
                 f"{column_name!r}"
             )
-        table_index = self._register_index(name, column_name)
+        table_index = self._register_index(name, column_name, ordered=ordered)
         column_index = table_index.column_index
         for partition, part in zip(self.partitions, table_index.parts):
             for position, row in enumerate(partition.rows):
@@ -853,6 +1053,31 @@ class Table:
     def index_for(self, column: str) -> Optional[TableIndex]:
         """The logical index on ``column`` if one exists."""
         return self.indexes.get(column.lower())
+
+    def ordered_index_for(self, column: str) -> Optional[TableIndex]:
+        """The ordered index on ``column`` if one exists."""
+        index = self.indexes.get(column.lower())
+        if index is not None and index.ordered:
+            return index
+        return None
+
+    def _bound_compatible(self, column: str, bound: Any) -> bool:
+        """Whether ``bound`` shares the stored value class of ``column``.
+
+        The runs hold schema-coerced values of a single class per column, so
+        an incomparable bound (e.g. a string placeholder bound against an
+        INTEGER column) would raise a raw ``TypeError`` inside ``bisect``;
+        callers fall back to the filtered scan instead, which reproduces the
+        reference engine's typed per-row comparison error exactly.
+        """
+        column_type = self.schema.column(column).type
+        if column_type in (
+            ColumnType.INTEGER, ColumnType.FLOAT, ColumnType.BOOLEAN
+        ):
+            return isinstance(bound, (bool, int, float))
+        if column_type is ColumnType.VARCHAR:
+            return isinstance(bound, str)
+        return isinstance(bound, _dt.datetime)
 
     # -- access -----------------------------------------------------------------
 
@@ -978,6 +1203,58 @@ class Table:
                 chunks.append((pid, matches))
         return chunks
 
+    def range_chunks(
+        self,
+        column: str,
+        lo: Any,
+        lo_incl: bool,
+        hi: Any,
+        hi_incl: bool,
+    ) -> Optional[List[Tuple[int, List[Tuple[Any, ...]]]]]:
+        """Ordered-index range probe over every partition's sorted run.
+
+        Returns ``(partition_id, matching live rows)`` pairs with each
+        partition's rows in **position order** — the order a filtered scan of
+        that partition would deliver them — so a range probe is observably
+        indistinguishable from the scan it replaces (value order is an
+        executor-level concern; see the ORDER BY pushdown).  ``None`` bounds
+        are unbounded on that side.
+
+        Returns ``None`` when no ordered index exists on ``column`` or a
+        bound's type class is incompatible with the stored values (caller
+        falls back to a filtered scan).  NULL/NaN bounds match nothing: the
+        comparison is UNKNOWN (NULL) or false (NaN) for every row.
+        """
+        table_index = self.ordered_index_for(column)
+        if table_index is None:
+            return None
+        for bound in (lo, hi):
+            if bound is None:
+                continue
+            if isinstance(bound, float) and bound != bound:
+                return []
+            if not self._bound_compatible(table_index.column, bound):
+                return None
+        if lo is None and hi is None:
+            return None
+        chunks: List[Tuple[int, List[Tuple[Any, ...]]]] = []
+        for pid, partition in enumerate(self.partitions):
+            part = table_index.parts[pid]
+            if not isinstance(part, OrderedHashIndex):
+                return None
+            entries = part.range_slice(lo, lo_incl, hi, hi_incl)
+            if not entries:
+                continue
+            stored_rows = partition.rows
+            matches = [
+                stored
+                for position in sorted(position for _value, position in entries)
+                if (stored := stored_rows[position]) is not None
+            ]
+            if matches:
+                chunks.append((pid, matches))
+        return chunks
+
     def lookup(self, column: str, value: Any) -> Iterator[Tuple[Any, ...]]:
         """Rows whose ``column`` equals ``value`` (uses the index when present)."""
         chunks = self.probe_chunks(column, value)
@@ -992,8 +1269,60 @@ class Table:
 
     # -- statistics -------------------------------------------------------------
 
+    def _build_histogram(self, index: TableIndex) -> Optional[ColumnHistogram]:
+        """An equi-width histogram from the index's live sorted runs.
+
+        Only numeric columns are summarised (equi-width bucket arithmetic
+        needs subtractable values); each bucket count is a handful of
+        bisections per partition run, so building one is O(buckets · log n).
+        """
+        runs = [
+            part.run
+            for part in index.parts
+            if isinstance(part, OrderedHashIndex) and part.run
+        ]
+        if not runs:
+            return None
+        sample = runs[0][0][0]
+        if not isinstance(sample, (int, float)):
+            return None
+        lo = float(min(run[0][0] for run in runs))
+        hi = float(max(run[-1][0] for run in runs))
+        total = sum(len(run) for run in runs)
+        width = (hi - lo) / _HISTOGRAM_BUCKETS
+        if width <= 0:
+            counts = [total]
+        else:
+            counts = [0] * _HISTOGRAM_BUCKETS
+            for run in runs:
+                previous = 0
+                for bucket in range(1, _HISTOGRAM_BUCKETS):
+                    boundary = lo + width * bucket
+                    at = bisect.bisect_left(run, (boundary,))
+                    counts[bucket - 1] += at - previous
+                    previous = at
+                counts[_HISTOGRAM_BUCKETS - 1] += len(run) - previous
+        return ColumnHistogram(
+            column=index.column,
+            lo=lo,
+            hi=hi,
+            width=width,
+            counts=counts,
+            total=total,
+            table_rows=self.row_count,
+        )
+
     def statistics(self) -> TableStatistics:
-        """A fresh cardinality snapshot (derived from live counters, O(#partitions + #indexes))."""
+        """A fresh cardinality snapshot (derived from live counters; ordered
+        indexes additionally contribute equi-width histograms)."""
+        histograms: Dict[str, ColumnHistogram] = {}
+        ordered_columns: List[str] = []
+        for key, index in self.indexes.items():
+            if index.ordered:
+                ordered_columns.append(key)
+                histogram = self._build_histogram(index)
+                if histogram is not None:
+                    histograms[key] = histogram
         return TableStatistics(
             table=self.name,
             n_partitions=self.n_partitions,
@@ -1007,6 +1336,8 @@ class Table:
                 )
                 for key, index in self.indexes.items()
             },
+            histograms=histograms,
+            ordered_columns=ordered_columns,
             mutations=self.mutations,
         )
 

@@ -288,7 +288,7 @@ def snapshot_state(database, generation: int) -> Dict[str, Any]:
                 "n_partitions": table.n_partitions,
                 "mutations": table.mutations,
                 "indexes": [
-                    [index.name, index.column]
+                    [index.name, index.column, index.ordered]
                     for key, index in table.indexes.items()
                     if key not in primary
                 ],
@@ -331,8 +331,11 @@ def restore_state(database, payload: Dict[str, Any]) -> None:
             ],
         )
         table = database.create_table(schema, n_partitions=spec["n_partitions"])
-        for index_name, column in spec["indexes"]:
-            table.create_index(index_name, column)
+        for entry in spec["indexes"]:
+            # Pre-ordered-index checkpoints carry 2-element entries.
+            index_name, column = entry[0], entry[1]
+            ordered = entry[2] if len(entry) > 2 else False
+            table.create_index(index_name, column, ordered=ordered)
         for pid, raw_rows in enumerate(spec["partitions"]):
             partition = table.partitions[pid]
             partition.rows = [

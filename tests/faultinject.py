@@ -126,6 +126,10 @@ def make_ops(seed: int, length: int = 14, with_checkpoints: bool = True) -> List
     ops: List[Tuple] = [
         ("execute", "CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT, s TEXT)", ()),
         ("execute", "CREATE INDEX t_g ON t (g)", ()),
+        # Ordered index over the NaN/NULL/-0.0-bearing float column: crash
+        # recovery and checkpoint restore must rebuild the sorted run and
+        # its NULL/NaN side-sets to match the shadow database.
+        ("execute", "CREATE INDEX t_x ON t (x) ORDERED", ()),
     ]
     next_id = iter(range(1, 100_000))
 
@@ -432,6 +436,7 @@ def child_ops(seed: int, length: int) -> List[Tuple]:
     rng = random.Random(seed)
     ops: List[Tuple] = [
         ("execute", "CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT, s TEXT)", ()),
+        ("execute", "CREATE INDEX t_x ON t (x) ORDERED", ()),
     ]
     next_id = iter(range(1, 1_000_000))
     for _ in range(length):

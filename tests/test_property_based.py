@@ -201,15 +201,28 @@ _FUZZ_STRINGS = ["alpha", "beta", "gamma", None]
 
 
 def _random_schema(rng):
-    """One random two-table schema: the DDL plus the initial data rows."""
+    """One random two-table schema: the DDL plus the initial data rows.
+
+    ``m.o`` is strictly increasing (1.37 spacing, ±0.4 jitter) and never
+    NULL, so a single-key ``ORDER BY o`` totally orders the rows — the only
+    shape whose index-order pushdown result is comparable across partition
+    layouts.  The ordered-index axis (``ORDERED`` on ``m.x`` / ``m.o``)
+    sweeps range probes and pushdown on and off against the same statements
+    running as plain filtered scans.
+    """
     ddl = [
-        "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT, s VARCHAR)",
+        "CREATE TABLE m (id INTEGER PRIMARY KEY, g INTEGER, x FLOAT,"
+        " s VARCHAR, o FLOAT)",
         "CREATE TABLE r (id INTEGER PRIMARY KEY, m_id INTEGER, v FLOAT)",
     ]
     if rng.random() < 0.5:
         ddl.append("CREATE INDEX idx_m_g ON m (g)")
     if rng.random() < 0.5:
         ddl.append("CREATE INDEX idx_r_mid ON r (m_id)")
+    if rng.random() < 0.5:
+        ddl.append("CREATE INDEX idx_m_x ON m (x) ORDERED")
+    if rng.random() < 0.5:
+        ddl.append("CREATE INDEX idx_m_o ON m (o) ORDERED")
     n_m = rng.randint(0, 25)
     m_rows = [
         (
@@ -217,6 +230,7 @@ def _random_schema(rng):
             rng.choice([None, 0, 1, 2, 3]),
             None if rng.random() < 0.15 else round(rng.uniform(-50.0, 50.0), 3),
             rng.choice(_FUZZ_STRINGS),
+            round(i * 1.37 + rng.uniform(0.0, 0.4), 3),
         )
         for i in range(n_m)
     ]
@@ -232,15 +246,18 @@ def _random_schema(rng):
     if rng.random() < 0.2:
         # NULL-heavy variant: every m.x is NULL, so aggregate NULL skipping
         # (SUM/MIN/MAX over an all-NULL column, COUNT(x) vs COUNT(*)) is
-        # exercised on whole groups rather than only on sparse rows.
-        m_rows = [(i, g, None, s) for (i, g, _x, s) in m_rows]
+        # exercised on whole groups rather than only on sparse rows — and,
+        # with the ordered-x axis on, range probes over an all-NULL run.
+        m_rows = [(i, g, None, s, o) for (i, g, _x, s, o) in m_rows]
     return ddl, m_rows, r_rows
 
 
 def _load_schema(database, ddl, m_rows, r_rows):
     for sql in ddl:
         database.execute(sql)
-    database.executemany("INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", m_rows)
+    database.executemany(
+        "INSERT INTO m (id, g, x, s, o) VALUES (?, ?, ?, ?, ?)", m_rows
+    )
     database.executemany("INSERT INTO r (id, m_id, v) VALUES (?, ?, ?)", r_rows)
 
 
@@ -265,12 +282,42 @@ def _random_select(rng):
     kind = rng.choice(
         ["point", "filter", "isnull", "inlist", "distinct", "aggregate",
          "join", "join_filtered", "join_unindexed", "group_join",
-         "topk", "topk_aggregate", "project"]
+         "topk", "topk_aggregate", "project",
+         "range", "between", "index_topk"]
     )
     direction = rng.choice(["", " DESC"])
     limit = f" LIMIT {rng.randint(1, 10)}" if rng.random() < 0.3 else ""
+    if limit and rng.random() < 0.3:
+        limit += f" OFFSET {rng.randint(0, 5)}"
     if kind == "point":
         return "SELECT * FROM m WHERE id = ?", [rng.randint(0, 26)]
+    if kind == "range":
+        # Sargable range conjuncts on a NULL-able float column: a range
+        # probe when the seeded DDL created idx_m_x ORDERED, otherwise a
+        # plain filtered scan of the same statement.
+        op_lo = rng.choice([">", ">="])
+        op_hi = rng.choice(["<", "<="])
+        return (
+            f"SELECT id, x FROM m WHERE x {op_lo} ? AND x {op_hi} ? "
+            f"ORDER BY id{direction}{limit}",
+            [round(rng.uniform(-60.0, 10.0), 3), round(rng.uniform(-10.0, 60.0), 3)],
+        )
+    if kind == "between":
+        # BETWEEN desugars to >= AND <=; bounds may be inverted (empty).
+        return (
+            f"SELECT id, x FROM m WHERE x BETWEEN ? AND ? ORDER BY id{direction}",
+            [round(rng.uniform(-60.0, 20.0), 3), round(rng.uniform(-20.0, 60.0), 3)],
+        )
+    if kind == "index_topk":
+        # Single-key LIMIT-bearing ORDER BY over the unique non-NULL float
+        # column: index-order pushdown when idx_m_o ORDERED exists, the
+        # bounded-heap top-k path otherwise.
+        offset = f" OFFSET {rng.randint(0, 4)}" if rng.random() < 0.5 else ""
+        return (
+            f"SELECT id, o FROM m ORDER BY o{direction} "
+            f"LIMIT {rng.randint(1, 8)}{offset}",
+            [],
+        )
     if kind == "topk":
         # LIMIT-bearing ORDER BY over a NULL-able float key (id breaks
         # ties, so the order is total): the bounded-heap top-k path.
@@ -430,6 +477,9 @@ def _run_engine_differential_case(seed):
         uses_hash_join = any(
             level["access"] == "hash-probe" for level in plan.describe()
         )
+        uses_ordered_index = plan.index_order is not None or any(
+            level["access"] == "range-probe" for level in plan.describe()
+        )
         expected = interpreted.query(sql, params)
         got = None
         for parts, database in compiled.items():
@@ -450,11 +500,14 @@ def _run_engine_differential_case(seed):
         assert row_result.columns == got.columns, sql
         assert row_result.rows == got.rows, sql
         assert row_result.stats == got.stats, sql
-        if uses_hash_join or not plan.follows_syntactic_order:
-            # The seed engine has no hash joins and no statistics-driven
-            # join reordering; on those plans its nested loops do
-            # strictly different physical work, so only the result-side
-            # counter is comparable.
+        if uses_hash_join or uses_ordered_index or not plan.follows_syntactic_order:
+            # The seed engine has no hash joins, no statistics-driven join
+            # reordering, and no ordered indexes; on those plans the
+            # compiled engine does strictly different physical work (range
+            # probes bisect, index-order pushdown stops early), so only the
+            # result-side counter is comparable.  The rowwise-vs-vectorized
+            # assertion above still pins full QueryStats across compiled
+            # modes — range probes and pushdown are mode-independent.
             assert got.stats.rows_returned == expected.stats.rows_returned
         else:
             assert got.stats == expected.stats, sql
@@ -521,16 +574,25 @@ def _random_dml(rng, fresh_ids):
     """One random mutation statement: ('execute'|'executemany', sql, payload)."""
     kind = rng.choice(["insert_m", "insert_r", "delete_m", "delete_r"])
     if kind == "insert_m":
-        rows = [
-            (
-                next(fresh_ids),
-                rng.choice([None, 0, 1, 2, 3]),
-                None if rng.random() < 0.15 else round(rng.uniform(-50.0, 50.0), 3),
-                rng.choice(_FUZZ_STRINGS),
+        rows = []
+        for _ in range(rng.randint(1, 6)):
+            # o stays unique and non-NULL (fresh ids are unique, initial o
+            # values stay below 1000) so single-key ORDER BY o is total.
+            fid = next(fresh_ids)
+            rows.append(
+                (
+                    fid,
+                    rng.choice([None, 0, 1, 2, 3]),
+                    None if rng.random() < 0.15 else round(rng.uniform(-50.0, 50.0), 3),
+                    rng.choice(_FUZZ_STRINGS),
+                    fid + 0.25,
+                )
             )
-            for _ in range(rng.randint(1, 6))
-        ]
-        return ("executemany", "INSERT INTO m (id, g, x, s) VALUES (?, ?, ?, ?)", rows)
+        return (
+            "executemany",
+            "INSERT INTO m (id, g, x, s, o) VALUES (?, ?, ?, ?, ?)",
+            rows,
+        )
     if kind == "insert_r":
         rows = [
             (next(fresh_ids), rng.randint(1, 30), round(rng.uniform(0.0, 100.0), 3))
